@@ -1,0 +1,92 @@
+"""Shared configuration and helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at laptop
+scale: same protocol, same parameter sweeps, scaled-down graphs and
+query counts (see DESIGN.md §4).  Rendered tables are printed and also
+written to ``benchmarks/results/<name>.txt`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves an inspectable record.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import datasets
+from repro.experiments import ResultTable
+from repro.graph import UncertainGraph
+from repro.queries import sample_st_pairs
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Bench-scale node counts per dataset (paper scale in DESIGN.md §4).
+BENCH_NODES = {
+    "intel-lab": None,     # fixed 54 sensors
+    "lastfm": 700,
+    "as-topology": 800,
+    "dblp": 900,
+    "twitter": 900,
+    "random-1": 700,
+    "random-2": 700,
+    "regular-1": 700,
+    "regular-2": 700,
+    "smallworld-1": 700,
+    "smallworld-2": 700,
+    "scalefree-1": 700,
+    "scalefree-2": 700,
+}
+
+#: Default experiment scale (the paper averages 100 queries; we use few).
+NUM_QUERIES = 2
+BENCH_K = 5
+BENCH_R = 20
+BENCH_L = 20
+BENCH_ZETA = 0.5
+SELECTION_SAMPLES = 150
+EVALUATION_SAMPLES = 600
+
+
+def load(name: str, num_nodes: Optional[int] = -1, seed: int = 0) -> UncertainGraph:
+    """Bench-scale dataset (``num_nodes=-1`` uses BENCH_NODES)."""
+    if num_nodes == -1:
+        num_nodes = BENCH_NODES.get(name)
+    return datasets.load(name, num_nodes=num_nodes, seed=seed)
+
+
+def queries_for(
+    graph: UncertainGraph,
+    count: int = NUM_QUERIES,
+    seed: int = 11,
+    min_hops: int = 3,
+    max_hops: int = 5,
+) -> List[Tuple[int, int]]:
+    return sample_st_pairs(
+        graph, count, seed=seed, min_hops=min_hops, max_hops=max_hops
+    )
+
+
+def save_table(table: ResultTable, name: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    table.show()
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(table.render() + "\n")
+
+
+def method_label(method: str) -> str:
+    return {
+        "hc": "Hill Climbing",
+        "mrp": "Most Reliable Path",
+        "ip": "Individual Path (IP)",
+        "be": "Batch Edge (BE)",
+        "topk": "Individual Top-k",
+        "degree": "Centrality (degree)",
+        "betweenness": "Centrality (betweenness)",
+        "eigen": "Eigenvalue-based",
+        "random": "Random",
+        "exact": "Exact Solution (ES)",
+        "eo": "Eigen Optimization (EO)",
+        "esssp": "ESSSP",
+        "ima": "IMA",
+    }.get(method, method)

@@ -1,0 +1,72 @@
+"""Figure 8: targeted influence maximization in the DBLP-like network.
+
+Seniors (high-degree authors) campaign to juniors (low-degree authors);
+k new collaboration edges are recommended.  Paper's result: the paper's
+method lifts the expected influence spread far more than Eigen-
+Optimization (EO) at every budget (+326 influenced juniors at k=100).
+"""
+
+import pytest
+
+from repro.baselines import eigenvalue_selection
+from repro.graph import fixed_new_edge_probability
+from repro.influence import influence_spread, maximize_targeted_influence
+from repro.experiments import ResultTable
+
+from _common import save_table
+from repro import datasets
+
+K_VALUES = [5, 10]
+ZETA = 0.5
+
+
+def pick_groups(graph, num_seniors=5, num_juniors=60):
+    """High-degree nodes = seniors; low-degree nodes = juniors."""
+    ranked = sorted(graph.nodes(), key=lambda u: -graph.degree(u))
+    seniors = ranked[:num_seniors]
+    juniors = [u for u in reversed(ranked) if u not in seniors][:num_juniors]
+    return seniors, juniors
+
+
+def run():
+    graph = datasets.load("dblp", num_nodes=500, seed=0)
+    seniors, juniors = pick_groups(graph)
+    base = influence_spread(graph, seniors, juniors, num_samples=800, seed=9)
+
+    table = ResultTable(
+        "Figure 8: influence spread senior -> junior "
+        f"(dblp-like, |S|={len(seniors)}, |T|={len(juniors)}, zeta={ZETA})",
+        ["k", "Original spread", "EO spread", "BE spread"],
+    )
+    rows = {}
+    for k in K_VALUES:
+        eo_edges = eigenvalue_selection(
+            graph, k, fixed_new_edge_probability(ZETA), seed=1
+        )
+        eo_spread = influence_spread(
+            graph, seniors, juniors, num_samples=800, seed=9,
+            extra_edges=eo_edges,
+        )
+        be = maximize_targeted_influence(
+            graph, seniors, juniors, k, zeta=ZETA, r=12, l=10,
+            spread_samples=800, seed=2,
+        )
+        table.add_row(k, base, eo_spread, be.new_spread)
+        rows[k] = (base, eo_spread, be.new_spread)
+    table.add_note(
+        "paper (k=100): original ~462, EO adds little, paper's method "
+        "reaches ~788 (+326 juniors)"
+    )
+    save_table(table, "figure08_influence_spread")
+    return rows
+
+
+def test_figure08(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for k, (base, eo_spread, be_spread) in rows.items():
+        # The targeted method beats both no-action and the global
+        # eigenvalue heuristic.
+        assert be_spread > base
+        assert be_spread >= eo_spread - 0.25
+    # Larger budgets help.
+    assert rows[K_VALUES[-1]][2] >= rows[K_VALUES[0]][2] - 0.25

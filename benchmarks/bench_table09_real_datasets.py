@@ -1,0 +1,87 @@
+"""Table 9: single-source-target comparison on the real-like datasets.
+
+HC / MRP / IP / BE on the four dataset stand-ins with default parameters:
+reliability gain, running time and peak memory.  Paper's shape: BE wins
+or ties the gain everywhere (most prominently on sparse Twitter), MRP is
+always lowest, HC is an order of magnitude slower, memory is similar
+with MRP slightly lighter.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ResultTable,
+    SingleStProtocol,
+    compare_methods_single_st,
+    default_estimator_factory,
+)
+
+from _common import (
+    BENCH_K,
+    BENCH_L,
+    BENCH_R,
+    BENCH_ZETA,
+    load,
+    method_label,
+    queries_for,
+    save_table,
+)
+
+DATASETS = ["lastfm", "as-topology", "dblp", "twitter"]
+METHODS = ["hc", "mrp", "ip", "be"]
+
+
+def run():
+    table = ResultTable(
+        f"Table 9: single-source-target maximization on real-like datasets "
+        f"(k=4, zeta={BENCH_ZETA}, r=16, l={BENCH_L})",
+        ["Dataset", "Method", "Reliability Gain", "Time (s)", "Peak MB"],
+    )
+    all_stats = {}
+    for name in DATASETS:
+        graph = load(name)
+        queries = queries_for(graph, count=2, seed=17)
+        # r=16/k=4 keeps Hill Climbing's candidate sweep tractable; the
+        # relative picture is unchanged (see Tables 12-13 for larger k).
+        protocol = SingleStProtocol(
+            k=4,
+            zeta=BENCH_ZETA,
+            r=16,
+            l=BENCH_L,
+            evaluation_samples=600,
+            track_memory=True,
+            estimator_factory=default_estimator_factory(120),
+        )
+        stats = compare_methods_single_st(graph, queries, METHODS, protocol)
+        for method in METHODS:
+            table.add_row(
+                name,
+                method_label(method),
+                stats[method].mean_gain,
+                stats[method].mean_seconds,
+                stats[method].mean_peak_mb,
+            )
+        all_stats[name] = stats
+    table.add_note(
+        "paper (k=10): BE wins gain on all datasets (lastFM 0.33, "
+        "AS 0.42, DBLP 0.24, Twitter 0.19); HC ~10-30x slower than BE"
+    )
+    save_table(table, "table09_real_datasets")
+    return all_stats
+
+
+def test_table09(benchmark):
+    all_stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    be_wins = 0
+    for name, stats in all_stats.items():
+        # MRP (single path) never beats BE (multiple paths) materially.
+        assert stats["be"].mean_gain >= stats["mrp"].mean_gain - 0.05
+        # BE never trails IP beyond evaluation noise.
+        assert stats["be"].mean_gain >= stats["ip"].mean_gain - 0.05
+        # HC pays a large time premium for comparable quality.
+        assert stats["hc"].mean_seconds > stats["be"].mean_seconds
+        if stats["be"].mean_gain >= stats["ip"].mean_gain - 0.02:
+            be_wins += 1
+    # BE wins or ties IP on at least half the datasets (paper: all; at
+    # 2 queries per dataset the tie band absorbs sampling noise).
+    assert be_wins >= len(all_stats) // 2

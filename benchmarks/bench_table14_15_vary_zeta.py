@@ -1,0 +1,66 @@
+"""Tables 14-15: sensitivity to the new-edge probability zeta.
+
+Paper's shape: reliability gain grows roughly linearly with zeta (the
+new edges simply carry more probability mass), occasionally faster when
+the optimal edge set flips (Observation 1); running time is insensitive
+to zeta.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ResultTable,
+    SingleStProtocol,
+    compare_methods_single_st,
+    default_estimator_factory,
+)
+
+from _common import method_label, queries_for, save_table
+from repro import datasets
+
+ZETA_VALUES = [0.3, 0.5, 0.7, 1.0]
+METHODS = ["mrp", "be"]
+DATASETS = ["as-topology", "twitter"]
+
+
+def run():
+    results = {}
+    for name in DATASETS:
+        graph = datasets.load(name, num_nodes=500, seed=0)
+        queries = queries_for(graph, count=2, seed=31)
+        table = ResultTable(
+            f"Tables 14/15: varying new-edge probability zeta "
+            f"({name}-like, k=5, r=15, l=15)",
+            ["zeta"] + [f"{method_label(m)} gain" for m in METHODS]
+            + [f"{method_label(m)} time (s)" for m in METHODS],
+        )
+        per_zeta = {}
+        for zeta in ZETA_VALUES:
+            protocol = SingleStProtocol(
+                k=5, zeta=zeta, r=15, l=15, evaluation_samples=500,
+                estimator_factory=default_estimator_factory(120),
+            )
+            stats = compare_methods_single_st(graph, queries, METHODS, protocol)
+            table.add_row(
+                zeta,
+                *[stats[m].mean_gain for m in METHODS],
+                *[stats[m].mean_seconds for m in METHODS],
+            )
+            per_zeta[zeta] = stats
+        table.add_note("paper: gain ~linear in zeta; time insensitive")
+        save_table(table, f"table14_15_vary_zeta_{name}")
+        results[name] = per_zeta
+    return results
+
+
+def test_tables14_15(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, per_zeta in results.items():
+        gains = [per_zeta[z]["be"].mean_gain for z in ZETA_VALUES]
+        # Strictly more probable new edges help strictly more (up to noise).
+        assert gains[-1] > gains[0]
+        assert gains == sorted(gains) or all(
+            b >= a - 0.05 for a, b in zip(gains, gains[1:])
+        )
+        # zeta=1 dominates every other setting.
+        assert gains[-1] == max(gains)

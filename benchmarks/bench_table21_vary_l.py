@@ -1,0 +1,57 @@
+"""Table 21: sensitivity to the number of most-reliable paths l.
+
+Paper's shape: gain increases with l and saturates around l=30 (here the
+scaled graphs saturate earlier); running time is linear in l for both IP
+and BE.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ResultTable,
+    SingleStProtocol,
+    compare_methods_single_st,
+    default_estimator_factory,
+)
+
+from _common import queries_for, save_table
+from repro import datasets
+
+L_VALUES = [3, 6, 12, 24]
+METHODS = ["ip", "be"]
+
+
+def run():
+    graph = datasets.load("twitter", num_nodes=500, seed=0)
+    queries = queries_for(graph, count=2, seed=59)
+    table = ResultTable(
+        "Table 21: varying #most-reliable paths l (twitter-like, k=5)",
+        ["l", "IP gain", "BE gain", "IP time (s)", "BE time (s)"],
+    )
+    per_l = {}
+    for l in L_VALUES:
+        protocol = SingleStProtocol(
+            k=5, zeta=0.5, r=15, l=l, evaluation_samples=500,
+            estimator_factory=default_estimator_factory(120),
+        )
+        stats = compare_methods_single_st(graph, queries, METHODS, protocol)
+        table.add_row(
+            l,
+            stats["ip"].mean_gain, stats["be"].mean_gain,
+            stats["ip"].mean_seconds, stats["be"].mean_seconds,
+        )
+        per_l[l] = stats
+    table.add_note("paper: gain saturates at l=30; time linear in l")
+    save_table(table, "table21_vary_l")
+    return per_l
+
+
+def test_table21(benchmark):
+    per_l = benchmark.pedantic(run, rounds=1, iterations=1)
+    gains = [per_l[l]["be"].mean_gain for l in L_VALUES]
+    # More paths never hurt materially.
+    assert gains[-1] >= gains[0] - 0.05
+    # Saturation: the last doubling of l adds less than the first.
+    first_step = gains[1] - gains[0]
+    last_step = gains[-1] - gains[-2]
+    assert last_step <= first_step + 0.1

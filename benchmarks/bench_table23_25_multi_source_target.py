@@ -1,0 +1,75 @@
+"""Tables 23-25: multiple-source-target maximization (Min / Max / Avg).
+
+BE against HC, Eigen-Optimization (EO), ESSSP and IMA on the twitter-like
+dataset for each aggregate and growing set sizes.  Paper's shape: BE wins
+the gain under every aggregate; EO (global, query-agnostic) trails badly
+on Min/Max; IMA is closest to BE under Avg (its objective is a variant of
+average reliability); HC is the slowest by far.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ResultTable,
+    compare_methods_multi,
+    default_estimator_factory,
+)
+from repro.queries import sample_multi_sets
+
+from _common import method_label, save_table
+from repro import datasets
+
+METHODS = ["hc", "eo", "esssp", "ima", "be"]
+AGGREGATES = ["minimum", "maximum", "average"]
+SET_SIZES = [2, 3]
+TABLE_IDS = {"minimum": "23", "maximum": "24", "average": "25"}
+
+
+def run():
+    graph = datasets.load("twitter", num_nodes=400, seed=0)
+    results = {}
+    for aggregate in AGGREGATES:
+        table = ResultTable(
+            f"Table {TABLE_IDS[aggregate]}: multi-source-target "
+            f"({aggregate}), twitter-like, k=4, k1/k=25%",
+            ["#Src:#Tgt"]
+            + [f"{method_label(m)} gain" for m in METHODS]
+            + [f"{method_label(m)} time (s)" for m in METHODS],
+        )
+        per_size = {}
+        for size in SET_SIZES:
+            sources, targets = sample_multi_sets(graph, size, seed=67 + size)
+            stats = compare_methods_multi(
+                graph, sources, targets, METHODS, aggregate,
+                k=4, zeta=0.5, r=12, l=10, k1_fraction=0.25,
+                estimator_factory=default_estimator_factory(100),
+                evaluation_samples=400,
+            )
+            table.add_row(
+                f"{size}:{size}",
+                *[stats[m].mean_gain for m in METHODS],
+                *[stats[m].mean_seconds for m in METHODS],
+            )
+            per_size[size] = stats
+        table.add_note(
+            "paper (k=100, up to 500:500): BE wins gain everywhere; "
+            "EO weakest on Min/Max; IMA ~BE on Avg; HC slowest"
+        )
+        save_table(
+            table, f"table{TABLE_IDS[aggregate]}_multi_{aggregate}"
+        )
+        results[aggregate] = per_size
+    return results
+
+
+def test_tables23_25(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for aggregate, per_size in results.items():
+        for size, stats in per_size.items():
+            # BE beats the query-agnostic EO baseline (paper's headline).
+            assert stats["be"].mean_gain >= stats["eo"].mean_gain - 0.05
+            # BE never loses badly to any competitor.
+            best_other = max(
+                stats[m].mean_gain for m in METHODS if m != "be"
+            )
+            assert stats["be"].mean_gain >= best_other - 0.15

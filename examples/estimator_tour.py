@@ -1,0 +1,70 @@
+"""A tour of the reliability estimators (exact, MC, RSS, lazy).
+
+Shows that the samplers agree with exact computation on a small graph,
+then compares their cost/variance trade-off on a larger one — the
+substance of the paper's Tables 6 and 7.
+
+Run:  python examples/estimator_tour.py
+"""
+
+import statistics
+import time
+
+from repro import datasets
+from repro.graph import UncertainGraph
+from repro.queries import sample_st_pairs
+from repro.reliability import (
+    LazyPropagationEstimator,
+    MonteCarloEstimator,
+    RecursiveStratifiedSampler,
+    exact_reliability,
+)
+
+
+def main() -> None:
+    # 1. Agreement with exact computation on a bridge network.
+    bridge = UncertainGraph.from_edges(
+        [(0, 1, 0.5), (0, 2, 0.5), (1, 2, 0.5), (1, 3, 0.5), (2, 3, 0.5)]
+    )
+    truth = exact_reliability(bridge, 0, 3)
+    print(f"Wheatstone bridge, all p=0.5: exact R(0,3) = {truth:.4f}")
+    for name, est in [
+        ("monte carlo", MonteCarloEstimator(20000, seed=1)),
+        ("rss        ", RecursiveStratifiedSampler(5000, seed=1)),
+        ("lazy       ", LazyPropagationEstimator(20000, seed=1)),
+    ]:
+        print(f"  {name}: {est.reliability(bridge, 0, 3):.4f}")
+    print()
+
+    # 2. Variance at a fixed budget on a real-like graph.  Pick a query
+    # with moderate reliability — that's the regime where the paper's
+    # selection loops live and where stratification pays.
+    graph = datasets.load("as-topology", num_nodes=500, seed=0)
+    probes = sample_st_pairs(graph, 8, seed=9, min_hops=2, max_hops=3)
+    scout = MonteCarloEstimator(2000, seed=42)
+    s, t = min(
+        probes,
+        key=lambda pair: abs(scout.reliability(graph, *pair) - 0.4),
+    )
+    budget = 200
+    print(f"{graph}, query {s}->{t}, budget Z={budget} per estimate")
+    for name, factory in [
+        ("monte carlo", lambda seed: MonteCarloEstimator(budget, seed=seed)),
+        ("rss        ", lambda seed: RecursiveStratifiedSampler(budget, seed=seed)),
+    ]:
+        start = time.perf_counter()
+        values = [factory(seed).reliability(graph, s, t) for seed in range(30)]
+        elapsed = time.perf_counter() - start
+        print(f"  {name}: mean={statistics.mean(values):.4f} "
+              f"stdev={statistics.stdev(values):.4f} "
+              f"({elapsed / 30 * 1000:.1f} ms/estimate)")
+    print()
+    print("RSS reaches the same mean with a lower spread at the same")
+    print("sample budget — so it converges with fewer samples, which is")
+    print("why the paper swaps MC for RSS in its selection loops")
+    print("(Tables 6-7).  The variance edge grows with graph size; at")
+    print("this scale it is modest.")
+
+
+if __name__ == "__main__":
+    main()

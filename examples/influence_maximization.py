@@ -1,0 +1,55 @@
+"""Targeted influence maximization by link recommendation (§8.4.2).
+
+Senior researchers (high-degree authors of a DBLP-like collaboration
+graph) campaign toward junior researchers (low-degree authors).  We
+recommend k new collaboration edges that maximize the expected influence
+spread under the independent-cascade model, and compare against the
+eigenvalue-optimization baseline the paper uses in Figure 8.
+
+Run:  python examples/influence_maximization.py
+"""
+
+from repro import datasets
+from repro.baselines import eigenvalue_selection
+from repro.graph import fixed_new_edge_probability
+from repro.influence import influence_spread, maximize_targeted_influence
+
+
+def main() -> None:
+    graph = datasets.load("dblp", num_nodes=500, seed=0)
+    ranked = sorted(graph.nodes(), key=lambda u: -graph.degree(u))
+    seniors = ranked[:5]
+    juniors = [u for u in reversed(ranked) if u not in seniors][:30]
+
+    print(f"collaboration network: {graph}")
+    print(f"seniors (sources): {len(seniors)} highest-degree authors")
+    print(f"juniors (targets): {len(juniors)} lowest-degree authors")
+
+    base = influence_spread(graph, seniors, juniors, num_samples=1000, seed=3)
+    print(f"expected influence spread before: {base:.1f} juniors")
+    print()
+
+    k = 8
+    # The paper's method: targeted IM = multi-target average reliability.
+    solution = maximize_targeted_influence(
+        graph, seniors, juniors, k, zeta=0.5, r=10, l=6,
+        spread_samples=1000, seed=4,
+    )
+    print(f"[paper's method] {len(solution.edges)} recommended edges")
+    print(f"  spread after: {solution.new_spread:.1f} "
+          f"({solution.gain:+.1f} juniors)")
+
+    # Baseline: global eigenvalue optimization (query-agnostic).
+    eo_edges = eigenvalue_selection(
+        graph, k, fixed_new_edge_probability(0.5), seed=1
+    )
+    eo_spread = influence_spread(
+        graph, seniors, juniors, num_samples=1000, seed=3,
+        extra_edges=eo_edges,
+    )
+    print(f"[eigen baseline] spread after: {eo_spread:.1f} "
+          f"({eo_spread - base:+.1f} juniors)")
+
+
+if __name__ == "__main__":
+    main()

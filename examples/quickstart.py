@@ -1,0 +1,41 @@
+"""Quickstart: budgeted reliability maximization in 30 lines.
+
+Builds a small uncertain graph, asks for the best k=2 shortcut edges
+between a source and a target, and prints the before/after reliability.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ReliabilityMaximizer, UncertainGraph
+from repro.reliability import MonteCarloEstimator
+
+
+def main() -> None:
+    # An uncertain graph: every edge exists only with some probability.
+    graph = UncertainGraph(name="quickstart")
+    graph.add_edge(0, 1, 0.8)
+    graph.add_edge(1, 2, 0.4)
+    graph.add_edge(2, 3, 0.7)
+    graph.add_edge(0, 4, 0.6)
+    graph.add_edge(4, 5, 0.5)
+    graph.add_edge(5, 3, 0.6)
+
+    source, target = 0, 3
+    base = MonteCarloEstimator(5000, seed=1).reliability(graph, source, target)
+    print(f"graph: {graph}")
+    print(f"reliability R({source}, {target}) before: {base:.3f}")
+
+    # Ask for the best k=2 new edges, each materializing with zeta=0.5.
+    solver = ReliabilityMaximizer(r=6, l=10, evaluation_samples=5000)
+    solution = solver.maximize(graph, source, target, k=2, zeta=0.5)
+
+    print(f"selected shortcut edges: "
+          f"{[(u, v) for u, v, _ in solution.edges]}")
+    print(f"reliability after: {solution.new_reliability:.3f} "
+          f"(gain {solution.gain:+.3f})")
+    print(f"candidates considered: {solution.num_candidates}, "
+          f"selection took {solution.selection_seconds * 1000:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Road-network delivery reliability (the intro's logistics scenario).
+
+The paper motivates budgeted reliability maximization with road networks
+under unexpected congestion: edges are road segments whose probability
+is the chance they are passable in time, and the planner may build a
+limited number of new segments (bypasses/flyovers) between nearby
+intersections to maximize on-time delivery probability from a depot to
+a customer.
+
+Run:  python examples/road_network.py
+"""
+
+import numpy as np
+
+from repro.core import ReliabilityMaximizer
+from repro.graph import UncertainGraph, grid_2d
+from repro.reliability import RecursiveStratifiedSampler, reliability_bounds
+
+ROWS, COLS = 10, 10
+
+
+def build_city(seed: int = 3) -> UncertainGraph:
+    """10x10 street grid; arterials are reliable, side streets congest."""
+    city = grid_2d(ROWS, COLS, name="city")
+    rng = np.random.default_rng(seed)
+    for u, v, _ in list(city.edges()):
+        on_arterial = (u // COLS == v // COLS == ROWS // 2) or (
+            u % COLS == v % COLS == COLS // 2
+        )
+        if on_arterial:
+            p = rng.uniform(0.85, 0.95)   # arterial: nearly always clear
+        else:
+            p = rng.uniform(0.35, 0.7)    # side street: congestion-prone
+        city.set_probability(u, v, float(p))
+    return city
+
+
+def main() -> None:
+    city = build_city()
+    # Depot in the congested north-west corner; customer at the end of
+    # the east-west arterial.  The interesting decision is how to hook
+    # the depot onto the reliable arterial with few new segments.
+    depot = 0
+    customer = (ROWS // 2) * COLS + (COLS - 1)
+    print(f"street grid: {city} (depot {depot} -> customer {customer})")
+
+    # New segments only between intersections within 3 blocks (the
+    # paper's h-hop physical constraint), each passable with p = 0.8.
+    solver = ReliabilityMaximizer(
+        estimator=RecursiveStratifiedSampler(200, seed=1),
+        evaluation_samples=3000,
+        r=20,
+        l=15,
+        h=3,
+    )
+    for k in (1, 3):
+        solution = solver.maximize(city, depot, customer, k, zeta=0.8)
+        print(f"\nbudget k={k} new segments:")
+        print(f"  on-time delivery probability: "
+              f"{solution.base_reliability:.3f} -> "
+              f"{solution.new_reliability:.3f} ({solution.gain:+.3f})")
+        for u, v, p in solution.edges:
+            print(f"  + build segment ({u // COLS},{u % COLS}) <-> "
+                  f"({v // COLS},{v % COLS})  (p={p})")
+        if not solution.edges:
+            print("  (no single segment improves the route — shortcut "
+                  "chains need a bigger budget)")
+        bracket = reliability_bounds(
+            city.with_edges(solution.edges), depot, customer, num_paths=12
+        )
+        print(f"  certified bracket after construction: "
+              f"[{bracket.lower:.3f}, {bracket.upper:.3f}]")
+
+    print(
+        "\nNote the k=1 vs k=3 contrast: no individual segment pays off,\n"
+        "but a coordinated chain onto the arterial does — the interaction\n"
+        "that makes the objective non-submodular and motivates the\n"
+        "paper's path-batch selection over per-edge greedy methods."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — Reliability Maximization in Uncertain Graphs.
+
+A pure-Python reproduction of Ke, Khan, Al Hasan & Rezvansangsari,
+"Reliability Maximization in Uncertain Graphs" (ICDE 2021 / TKDE;
+arXiv:1903.08587): add ``k`` shortcut edges to an uncertain graph to
+maximize s-t reliability.
+
+Quickstart
+----------
+>>> from repro import UncertainGraph, ReliabilityMaximizer
+>>> g = UncertainGraph()
+>>> g.add_edge(0, 1, 0.8); g.add_edge(1, 2, 0.5); g.add_edge(2, 3, 0.7)
+>>> solver = ReliabilityMaximizer(r=10, l=10)
+>>> solution = solver.maximize(g, 0, 3, k=1, zeta=0.5)
+>>> len(solution.edges)
+1
+
+Subpackages
+-----------
+``repro.graph``
+    Uncertain-graph substrate, generators, probability models.
+``repro.reliability``
+    Exact / Monte Carlo / RSS / lazy-propagation estimators.
+``repro.paths``
+    Most reliable path, top-l paths, budget-constrained search.
+``repro.baselines``
+    Individual top-k, hill climbing, centrality, eigenvalue, ESSSP,
+    IMA, exhaustive exact solution.
+``repro.core``
+    The paper's method: search-space elimination + path-batch selection;
+    Problems 1-4 solvers.
+``repro.influence``
+    Independent-cascade influence application.
+``repro.datasets`` / ``repro.queries`` / ``repro.experiments``
+    Evaluation substrate.
+"""
+
+from .graph import UncertainGraph
+from .reliability import (
+    ExactEstimator,
+    LazyPropagationEstimator,
+    MonteCarloEstimator,
+    RecursiveStratifiedSampler,
+    ReliabilityEstimator,
+    exact_reliability,
+)
+from .paths import most_reliable_path, top_l_most_reliable_paths
+from .core import (
+    METHODS,
+    MultiSolution,
+    MultiSourceTargetMaximizer,
+    ReliabilityMaximizer,
+    Solution,
+    improve_most_reliable_path,
+)
+from .influence import influence_spread, maximize_targeted_influence
+from . import baselines, datasets, experiments, graph, influence, paths, queries, reliability
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UncertainGraph",
+    "ExactEstimator",
+    "LazyPropagationEstimator",
+    "MonteCarloEstimator",
+    "RecursiveStratifiedSampler",
+    "ReliabilityEstimator",
+    "exact_reliability",
+    "most_reliable_path",
+    "top_l_most_reliable_paths",
+    "METHODS",
+    "MultiSolution",
+    "MultiSourceTargetMaximizer",
+    "ReliabilityMaximizer",
+    "Solution",
+    "improve_most_reliable_path",
+    "influence_spread",
+    "maximize_targeted_influence",
+    "baselines",
+    "datasets",
+    "experiments",
+    "graph",
+    "influence",
+    "paths",
+    "queries",
+    "reliability",
+    "__version__",
+]

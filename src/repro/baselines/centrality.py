@@ -1,0 +1,145 @@
+"""Centrality-based baselines (§3.3) and Brandes betweenness.
+
+Connect the most central (hub) nodes with new edges until the budget is
+spent.  Two centrality notions from the paper:
+
+* *degree centrality* — aggregated incident edge probabilities;
+* *betweenness centrality* — number of shortest paths through a node,
+  computed with Brandes' algorithm (unweighted), implemented from
+  scratch below.
+
+Both are query-agnostic, which is exactly the weakness the paper
+demonstrates: they improve global connectivity, not a specific s-t pair.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graph import UncertainGraph
+from .common import Edge, NewEdgeProbability, ProbEdge
+
+
+def degree_centrality(graph: UncertainGraph) -> Dict[int, float]:
+    """Aggregated edge-probability degree per node."""
+    return {u: graph.weighted_degree(u) for u in graph.nodes()}
+
+
+def betweenness_centrality(
+    graph: UncertainGraph,
+    sample_sources: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[int, float]:
+    """Brandes' betweenness centrality (unweighted shortest paths).
+
+    ``sample_sources`` enables the standard source-sampled approximation
+    for larger graphs; ``None`` runs all sources exactly.
+    """
+    import random as _random
+
+    nodes = list(graph.nodes())
+    centrality = {u: 0.0 for u in nodes}
+    if sample_sources is not None and sample_sources < len(nodes):
+        rng = _random.Random(seed)
+        sources = rng.sample(nodes, sample_sources)
+        scale = len(nodes) / sample_sources
+    else:
+        sources = nodes
+        scale = 1.0
+    for s in sources:
+        # Single-source shortest-path DAG accumulation (Brandes 2001).
+        stack: List[int] = []
+        pred: Dict[int, List[int]] = {u: [] for u in nodes}
+        sigma: Dict[int, float] = {u: 0.0 for u in nodes}
+        dist: Dict[int, int] = {}
+        sigma[s] = 1.0
+        dist[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            stack.append(u)
+            for v in graph.successors(u):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+                if dist[v] == dist[u] + 1:
+                    sigma[v] += sigma[u]
+                    pred[v].append(u)
+        delta = {u: 0.0 for u in nodes}
+        while stack:
+            w = stack.pop()
+            for u in pred[w]:
+                delta[u] += sigma[u] / sigma[w] * (1.0 + delta[w])
+            if w != s:
+                centrality[w] += delta[w] * scale
+        del pred, sigma, delta
+    return centrality
+
+
+def _connect_top_nodes(
+    graph: UncertainGraph,
+    scores: Dict[int, float],
+    k: int,
+    new_edge_prob: NewEdgeProbability,
+    candidates: Optional[Sequence[Edge]] = None,
+) -> List[ProbEdge]:
+    """Pick k missing edges between the highest-scoring node pairs.
+
+    When a candidate set is supplied (post search-space elimination),
+    candidates are ranked by the product of endpoint scores; otherwise
+    pairs of top-central nodes are enumerated best-first.
+    """
+    if candidates is not None:
+        ranked = sorted(
+            candidates,
+            key=lambda e: -(scores.get(e[0], 0.0) * max(scores.get(e[1], 0.0), 1e-12)),
+        )
+        return [(u, v, new_edge_prob(u, v)) for u, v in ranked[:k]]
+    # Unrestricted: consider pairs among the ~top hub nodes only.
+    top_count = max(2 * k + 2, 16)
+    hubs = sorted(scores, key=lambda u: -scores[u])[:top_count]
+    pairs: List[Tuple[float, int, int]] = []
+    for i, u in enumerate(hubs):
+        others = hubs if graph.directed else hubs[i + 1:]
+        for v in others:
+            if u == v or graph.has_edge(u, v):
+                continue
+            pairs.append((scores[u] * scores[v], u, v))
+    pairs.sort(key=lambda item: -item[0])
+    selected: List[ProbEdge] = []
+    seen: Set[Edge] = set()
+    for _, u, v in pairs:
+        key = (u, v) if graph.directed or u <= v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        selected.append((key[0], key[1], new_edge_prob(key[0], key[1])))
+        if len(selected) >= k:
+            break
+    return selected
+
+
+def degree_centrality_selection(
+    graph: UncertainGraph,
+    k: int,
+    new_edge_prob: NewEdgeProbability,
+    candidates: Optional[Sequence[Edge]] = None,
+) -> List[ProbEdge]:
+    """Connect hub nodes by aggregated-probability degree (§3.3)."""
+    return _connect_top_nodes(
+        graph, degree_centrality(graph), k, new_edge_prob, candidates
+    )
+
+
+def betweenness_centrality_selection(
+    graph: UncertainGraph,
+    k: int,
+    new_edge_prob: NewEdgeProbability,
+    candidates: Optional[Sequence[Edge]] = None,
+    sample_sources: Optional[int] = 64,
+    seed: int = 0,
+) -> List[ProbEdge]:
+    """Connect hub nodes by betweenness centrality (§3.3)."""
+    scores = betweenness_centrality(graph, sample_sources=sample_sources, seed=seed)
+    return _connect_top_nodes(graph, scores, k, new_edge_prob, candidates)

@@ -1,0 +1,73 @@
+"""Shared helpers for edge-selection baselines.
+
+Every selector returns the chosen edges as ``(u, v, p)`` triples ready to
+be added to the graph; helpers here turn candidate ``(u, v)`` pairs into
+such triples using a new-edge probability model (fixed ``zeta`` by
+default, or any :class:`repro.graph.NewEdgeProbability`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Set, Tuple
+
+from ..graph import UncertainGraph
+
+Edge = Tuple[int, int]
+ProbEdge = Tuple[int, int, float]
+NewEdgeProbability = Callable[[int, int], float]
+
+
+def with_probabilities(
+    candidates: Iterable[Edge],
+    new_edge_prob: NewEdgeProbability,
+) -> List[ProbEdge]:
+    """Attach model probabilities to candidate pairs."""
+    return [(u, v, new_edge_prob(u, v)) for u, v in candidates]
+
+
+def all_missing_edges(
+    graph: UncertainGraph,
+    h: Optional[int] = None,
+    forbidden_nodes: Optional[Set[int]] = None,
+) -> List[Edge]:
+    """The unrestricted candidate universe (optionally h-hop limited).
+
+    With ``h`` set, only pairs within ``h`` hops in the topology are
+    candidates (the paper's physical-constraint provision, §2.1 Remarks).
+    O(n^2) in the worst case — intended for small graphs or post-
+    elimination use.
+    """
+    forbidden = forbidden_nodes or set()
+    if h is None:
+        return [
+            (u, v) for u, v in graph.missing_edges()
+            if u not in forbidden and v not in forbidden
+        ]
+    candidates: List[Edge] = []
+    for u in graph.nodes():
+        if u in forbidden:
+            continue
+        for v in graph.within_hops(u, h):
+            if v in forbidden or graph.has_edge(u, v):
+                continue
+            if not graph.directed and v < u:
+                continue  # canonical orientation only
+            candidates.append((u, v))
+    return candidates
+
+
+def dedupe_canonical(
+    graph: UncertainGraph,
+    candidates: Iterable[Edge],
+) -> List[Edge]:
+    """Canonicalize and de-duplicate candidate pairs."""
+    seen: Set[Edge] = set()
+    result: List[Edge] = []
+    for u, v in candidates:
+        if u == v:
+            continue
+        key = (u, v) if graph.directed or u <= v else (v, u)
+        if key not in seen and not graph.has_edge(*key):
+            seen.add(key)
+            result.append(key)
+    return result

@@ -1,0 +1,53 @@
+"""Exhaustive Exact Solution (ES) baseline — Table 11.
+
+Enumerates every ``C(|candidates|, k)`` subset of candidate edges and
+keeps the subset with the highest estimated reliability.  Exponential in
+``k``; only run on Intel-Lab-scale inputs, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import List, Sequence, Tuple
+
+from ..graph import UncertainGraph
+from ..reliability import ReliabilityEstimator
+from .common import Edge, NewEdgeProbability, ProbEdge
+
+
+def exact_solution(
+    graph: UncertainGraph,
+    source: int,
+    target: int,
+    k: int,
+    candidates: Sequence[Edge],
+    new_edge_prob: NewEdgeProbability,
+    estimator: ReliabilityEstimator,
+    max_combinations: int = 2_000_000,
+) -> List[ProbEdge]:
+    """Best k-subset of candidates by exhaustive enumeration.
+
+    Raises ``ValueError`` when the search space exceeds
+    ``max_combinations`` — a guard against accidentally invoking ES on a
+    large instance.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    n = len(candidates)
+    size = min(k, n)
+    total = math.comb(n, size)
+    if total > max_combinations:
+        raise ValueError(
+            f"exact solution would enumerate {total} subsets "
+            f"(> {max_combinations}); reduce the candidate set first"
+        )
+    prob_edges = [(u, v, new_edge_prob(u, v)) for u, v in candidates]
+    best_subset: Tuple[ProbEdge, ...] = ()
+    best_value = -1.0
+    for subset in itertools.combinations(prob_edges, size):
+        value = estimator.reliability(graph, source, target, list(subset))
+        if value > best_value:
+            best_value = value
+            best_subset = subset
+    return list(best_subset)

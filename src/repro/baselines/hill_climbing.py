@@ -1,0 +1,51 @@
+"""Hill Climbing baseline (Algorithm 1).
+
+Greedily adds the candidate edge with the maximum *marginal* reliability
+gain, one edge per round, for ``k`` rounds.  Since Problem 1 is neither
+submodular nor supermodular (Lemma 1), the greedy carries no
+approximation guarantee, and the paper highlights its cold-start problem:
+early rounds see many zero-gain candidates and pick arbitrarily.
+
+This is the strongest-quality baseline in the paper's tables and also
+the slowest: ``O(k * |candidates| * Z * (n + m))``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..graph import UncertainGraph
+from ..reliability import ReliabilityEstimator
+from .common import Edge, NewEdgeProbability, ProbEdge
+
+
+def hill_climbing(
+    graph: UncertainGraph,
+    source: int,
+    target: int,
+    k: int,
+    candidates: Sequence[Edge],
+    new_edge_prob: NewEdgeProbability,
+    estimator: ReliabilityEstimator,
+) -> List[ProbEdge]:
+    """Greedy marginal-gain selection of ``k`` edges (Algorithm 1)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    selected: List[ProbEdge] = []
+    remaining: List[ProbEdge] = [
+        (u, v, new_edge_prob(u, v)) for u, v in candidates
+    ]
+    current = estimator.reliability(graph, source, target)
+    while len(selected) < k and remaining:
+        best_index = -1
+        best_value = -1.0
+        for index, edge in enumerate(remaining):
+            value = estimator.reliability(
+                graph, source, target, selected + [edge]
+            )
+            if value > best_value:
+                best_value = value
+                best_index = index
+        selected.append(remaining.pop(best_index))
+        current = best_value
+    return selected

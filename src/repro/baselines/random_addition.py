@@ -1,0 +1,22 @@
+"""Random edge addition — the sanity-check baseline used in ablations."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from .common import Edge, NewEdgeProbability, ProbEdge
+
+
+def random_selection(
+    candidates: Sequence[Edge],
+    k: int,
+    new_edge_prob: NewEdgeProbability,
+    seed: int = 0,
+) -> List[ProbEdge]:
+    """Uniformly sample ``k`` candidate edges (without replacement)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    rng = random.Random(seed)
+    chosen = rng.sample(list(candidates), min(k, len(candidates)))
+    return [(u, v, new_edge_prob(u, v)) for u, v in chosen]

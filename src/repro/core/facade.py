@@ -1,0 +1,281 @@
+"""High-level API for single-source-target reliability maximization.
+
+:class:`ReliabilityMaximizer` wires together search-space elimination
+(Algorithm 4), top-l path pruning, and any of the paper's selection
+methods behind one call:
+
+>>> from repro import ReliabilityMaximizer, datasets
+>>> graph = datasets.load("lastfm")                         # doctest: +SKIP
+>>> solver = ReliabilityMaximizer(r=100, l=30)              # doctest: +SKIP
+>>> solution = solver.maximize(graph, s, t, k=10, zeta=0.5) # doctest: +SKIP
+>>> solution.edges, solution.gain                           # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from ..graph import UncertainGraph, fixed_new_edge_probability
+from ..reliability import (
+    MonteCarloEstimator,
+    RecursiveStratifiedSampler,
+    ReliabilityEstimator,
+)
+from ..baselines import (
+    all_missing_edges,
+    betweenness_centrality_selection,
+    degree_centrality_selection,
+    eigenvalue_selection,
+    exact_solution,
+    hill_climbing,
+    individual_top_k,
+    random_selection,
+)
+from ..baselines.common import NewEdgeProbability, ProbEdge
+from .search_space import (
+    CandidateSpace,
+    eliminate_search_space,
+    select_top_l_paths,
+)
+from .selection import batch_selection, individual_path_selection
+from .mrp_improvement import improve_most_reliable_path
+
+#: Methods accepted by :meth:`ReliabilityMaximizer.maximize`.
+METHODS = (
+    "be",           # path-batch edge selection (the paper's method)
+    "ip",           # individual path-based edge selection
+    "mrp",          # most reliable path improvement (Algorithm 3)
+    "hc",           # hill climbing (Algorithm 1)
+    "topk",         # individual top-k (§3.1)
+    "degree",       # degree-centrality baseline (§3.3)
+    "betweenness",  # betweenness-centrality baseline (§3.3)
+    "eigen",        # eigenvalue-based baseline (Algorithm 2)
+    "random",       # random candidate edges (ablation)
+    "exact",        # exhaustive subset enumeration (Table 11)
+)
+
+
+@dataclass
+class Solution:
+    """Result of one budgeted reliability-maximization run."""
+
+    method: str
+    edges: List[ProbEdge]
+    base_reliability: float
+    new_reliability: float
+    elimination_seconds: float = 0.0
+    selection_seconds: float = 0.0
+    num_candidates: int = 0
+
+    @property
+    def gain(self) -> float:
+        """Reliability gain achieved by the selected edges."""
+        return self.new_reliability - self.base_reliability
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end time: elimination plus selection."""
+        return self.elimination_seconds + self.selection_seconds
+
+
+class ReliabilityMaximizer:
+    """End-to-end solver for Problem 1 (single source-target).
+
+    Parameters
+    ----------
+    estimator:
+        Sampler used *inside* selection loops (default: RSS with 250
+        samples, the paper's converged configuration).
+    evaluation_samples / evaluation_seed:
+        Monte Carlo configuration used to score the base and final
+        reliability of solutions.  Fixed seeds make method comparisons
+        paired: every method's gain is measured in the same worlds.
+    r, l, h:
+        Search-space parameters — top-``r`` relevant nodes per side,
+        top-``l`` most reliable paths, optional ``h``-hop constraint on
+        new edges.
+    """
+
+    def __init__(
+        self,
+        estimator: Optional[ReliabilityEstimator] = None,
+        evaluation_samples: int = 1000,
+        evaluation_seed: int = 9_999,
+        r: int = 100,
+        l: int = 30,
+        h: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.estimator = estimator or RecursiveStratifiedSampler(
+            num_samples=250, seed=seed
+        )
+        self.evaluation_samples = evaluation_samples
+        self.evaluation_seed = evaluation_seed
+        self.r = r
+        self.l = l
+        self.h = h
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def candidates(
+        self,
+        graph: UncertainGraph,
+        source: int,
+        target: int,
+        new_edge_prob: NewEdgeProbability,
+        forbidden_nodes: Optional[Set[int]] = None,
+    ) -> CandidateSpace:
+        """Algorithm 4 with this solver's parameters."""
+        return eliminate_search_space(
+            graph,
+            source,
+            target,
+            r=self.r,
+            new_edge_prob=new_edge_prob,
+            estimator=self.estimator,
+            h=self.h,
+            forbidden_nodes=forbidden_nodes,
+        )
+
+    def evaluate(
+        self,
+        graph: UncertainGraph,
+        source: int,
+        target: int,
+        extra_edges: Optional[Sequence[ProbEdge]] = None,
+    ) -> float:
+        """Reliability under the paired evaluation sampler."""
+        estimator = MonteCarloEstimator(
+            self.evaluation_samples, seed=self.evaluation_seed
+        )
+        return estimator.reliability(
+            graph, source, target, list(extra_edges) if extra_edges else None
+        )
+
+    # ------------------------------------------------------------------
+    def maximize(
+        self,
+        graph: UncertainGraph,
+        source: int,
+        target: int,
+        k: int,
+        zeta: float = 0.5,
+        method: str = "be",
+        new_edge_prob: Optional[NewEdgeProbability] = None,
+        candidate_space: Optional[CandidateSpace] = None,
+        eliminate: bool = True,
+    ) -> Solution:
+        """Select ``k`` new edges with the requested method.
+
+        ``candidate_space`` lets callers share one elimination across
+        several methods (how the paper's comparison tables are built);
+        ``eliminate=False`` reproduces the no-elimination rows of
+        Table 4 by using every missing edge (h-hop constrained when the
+        solver has ``h`` set).
+        """
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+        if k < 1:
+            raise ValueError("k must be positive")
+        prob_model = new_edge_prob or fixed_new_edge_probability(zeta)
+
+        elimination_seconds = 0.0
+        if candidate_space is not None:
+            space = candidate_space
+            elimination_seconds = space.elapsed_seconds
+        elif eliminate and method not in ("degree", "betweenness", "eigen"):
+            space = self.candidates(graph, source, target, prob_model)
+            elimination_seconds = space.elapsed_seconds
+        elif eliminate:
+            # Centrality/eigen baselines still benefit from elimination
+            # (Table 5): restrict them to the relevant candidate set.
+            space = self.candidates(graph, source, target, prob_model)
+            elimination_seconds = space.elapsed_seconds
+        else:
+            start = time.perf_counter()
+            pairs = all_missing_edges(graph, h=self.h)
+            space = CandidateSpace(
+                source_side=[],
+                target_side=[],
+                edges=[(u, v, prob_model(u, v)) for u, v in pairs],
+                elapsed_seconds=time.perf_counter() - start,
+            )
+            elimination_seconds = space.elapsed_seconds
+
+        start = time.perf_counter()
+        edges = self._dispatch(
+            graph, source, target, k, method, prob_model, space, eliminate
+        )
+        selection_seconds = time.perf_counter() - start
+
+        base = self.evaluate(graph, source, target)
+        new = self.evaluate(graph, source, target, edges) if edges else base
+        return Solution(
+            method=method,
+            edges=edges,
+            base_reliability=base,
+            new_reliability=new,
+            elimination_seconds=elimination_seconds,
+            selection_seconds=selection_seconds,
+            num_candidates=len(space.edges),
+        )
+
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        graph: UncertainGraph,
+        source: int,
+        target: int,
+        k: int,
+        method: str,
+        prob_model: NewEdgeProbability,
+        space: CandidateSpace,
+        eliminated: bool,
+    ) -> List[ProbEdge]:
+        pairs = space.edge_pairs()
+        if method in ("be", "ip"):
+            path_set = select_top_l_paths(graph, source, target, self.l, space.edges)
+            if method == "be":
+                return batch_selection(
+                    graph, source, target, k, path_set, self.estimator
+                )
+            return individual_path_selection(
+                graph, source, target, k, path_set, self.estimator
+            )
+        if method == "mrp":
+            return improve_most_reliable_path(
+                graph, source, target, k, prob_model, candidates=pairs
+            ).edges
+        if method == "hc":
+            return hill_climbing(
+                graph, source, target, k, pairs, prob_model, self.estimator
+            )
+        if method == "topk":
+            return individual_top_k(
+                graph, source, target, k, pairs, prob_model, self.estimator
+            )
+        if method == "degree":
+            return degree_centrality_selection(
+                graph, k, prob_model, candidates=pairs if eliminated else None
+            )
+        if method == "betweenness":
+            return betweenness_centrality_selection(
+                graph, k, prob_model,
+                candidates=pairs if eliminated else None,
+                seed=self.seed,
+            )
+        if method == "eigen":
+            return eigenvalue_selection(
+                graph, k, prob_model,
+                candidates=pairs if eliminated else None,
+                seed=self.seed,
+            )
+        if method == "random":
+            return random_selection(pairs, k, prob_model, seed=self.seed)
+        if method == "exact":
+            return exact_solution(
+                graph, source, target, k, pairs, prob_model, self.estimator
+            )
+        raise AssertionError(f"unhandled method {method!r}")  # pragma: no cover

@@ -1,0 +1,387 @@
+"""Multiple-source-target reliability maximization (Problem 4, §6).
+
+Three aggregate objectives over all ``(s, t)`` pairs in ``S x T``:
+
+* **average** (§6.1) — one global batch selection over the union of all
+  pairs' top-l paths, scoring batches by average-reliability gain;
+* **minimum** (§6.2) — repeatedly improve the currently-weakest pair
+  with a ``k1``-edge installment of the single-pair solver;
+* **maximum** (§6.3) — the same loop aimed at the currently-strongest
+  pair.
+
+All three share Algorithm 4's elimination (run per source / per target)
+and the path-batch machinery of §5.2.2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..graph import UncertainGraph, fixed_new_edge_probability
+from ..reliability import (
+    MonteCarloEstimator,
+    ReliabilityEstimator,
+    RecursiveStratifiedSampler,
+)
+from ..baselines.common import Edge, NewEdgeProbability, ProbEdge
+from .search_space import (
+    CandidateSpace,
+    PathInfo,
+    candidate_edges_between,
+    select_top_l_paths,
+    top_r_nodes,
+)
+from .selection import build_path_batches
+from .facade import ReliabilityMaximizer
+
+AGGREGATES = ("average", "minimum", "maximum")
+_ALIASES = {"avg": "average", "min": "minimum", "max": "maximum"}
+
+Pair = Tuple[int, int]
+
+
+@dataclass
+class MultiSolution:
+    """Result of a multi-source-target run."""
+
+    aggregate: str
+    edges: List[ProbEdge]
+    base_value: float
+    new_value: float
+    pair_base: Dict[Pair, float] = field(default_factory=dict)
+    pair_new: Dict[Pair, float] = field(default_factory=dict)
+    elimination_seconds: float = 0.0
+    selection_seconds: float = 0.0
+
+    @property
+    def gain(self) -> float:
+        """Improvement of the aggregate objective."""
+        return self.new_value - self.base_value
+
+
+def _normalize_aggregate(aggregate: str) -> str:
+    aggregate = _ALIASES.get(aggregate, aggregate)
+    if aggregate not in AGGREGATES:
+        raise ValueError(
+            f"unknown aggregate {aggregate!r}; expected one of {AGGREGATES}"
+        )
+    return aggregate
+
+
+def _aggregate_value(values: Dict[Pair, float], aggregate: str) -> float:
+    if not values:
+        return 0.0
+    if aggregate == "average":
+        return sum(values.values()) / len(values)
+    if aggregate == "minimum":
+        return min(values.values())
+    return max(values.values())
+
+
+class MultiSourceTargetMaximizer:
+    """Solver for Problem 4 under average / minimum / maximum aggregates.
+
+    Parameters mirror :class:`ReliabilityMaximizer`; ``k1`` is the
+    per-round installment for the min/max strategies (the paper's
+    default is ``k1 = 10% of k``).
+    """
+
+    def __init__(
+        self,
+        estimator: Optional[ReliabilityEstimator] = None,
+        evaluation_samples: int = 500,
+        evaluation_seed: int = 9_999,
+        r: int = 100,
+        l: int = 30,
+        h: Optional[int] = None,
+        k1_fraction: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        self.estimator = estimator or RecursiveStratifiedSampler(
+            num_samples=250, seed=seed
+        )
+        self.evaluation_samples = evaluation_samples
+        self.evaluation_seed = evaluation_seed
+        self.r = r
+        self.l = l
+        self.h = h
+        self.k1_fraction = k1_fraction
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def evaluate_pairs(
+        self,
+        graph: UncertainGraph,
+        pairs: Sequence[Pair],
+        extra_edges: Optional[Sequence[ProbEdge]] = None,
+    ) -> Dict[Pair, float]:
+        """Paired-seed evaluation of every pair's reliability."""
+        estimator = MonteCarloEstimator(
+            self.evaluation_samples, seed=self.evaluation_seed
+        )
+        return estimator.pair_reliabilities(
+            graph, list(pairs), list(extra_edges) if extra_edges else None
+        )
+
+    def candidate_space(
+        self,
+        graph: UncertainGraph,
+        sources: Sequence[int],
+        targets: Sequence[int],
+        new_edge_prob: NewEdgeProbability,
+        forbidden_nodes: Optional[Set[int]] = None,
+    ) -> CandidateSpace:
+        """Union-of-sides elimination (§6.1): C(s) over S and C(t) over T."""
+        start = time.perf_counter()
+        source_side: Dict[int, float] = {}
+        for s in sources:
+            for node, value in self.estimator.reachability_from(graph, s).items():
+                if value > source_side.get(node, 0.0):
+                    source_side[node] = value
+        target_side: Dict[int, float] = {}
+        for t in targets:
+            for node, value in self.estimator.reachability_to(graph, t).items():
+                if value > target_side.get(node, 0.0):
+                    target_side[node] = value
+        c_source: List[int] = []
+        for s in sources:
+            c_source.extend(top_r_nodes(source_side, self.r, s))
+        c_target: List[int] = []
+        for t in targets:
+            c_target.extend(top_r_nodes(target_side, self.r, t))
+        c_source = list(dict.fromkeys(c_source))
+        c_target = list(dict.fromkeys(c_target))
+        edges = candidate_edges_between(
+            graph, c_source, c_target, new_edge_prob, h=self.h,
+            forbidden_nodes=forbidden_nodes,
+        )
+        return CandidateSpace(
+            source_side=c_source,
+            target_side=c_target,
+            edges=edges,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    def maximize(
+        self,
+        graph: UncertainGraph,
+        sources: Sequence[int],
+        targets: Sequence[int],
+        k: int,
+        zeta: float = 0.5,
+        aggregate: str = "average",
+        new_edge_prob: Optional[NewEdgeProbability] = None,
+        forbidden_nodes: Optional[Set[int]] = None,
+    ) -> MultiSolution:
+        """Problem 4: top-k edges maximizing the aggregate reliability."""
+        aggregate = _normalize_aggregate(aggregate)
+        if k < 1:
+            raise ValueError("k must be positive")
+        if not sources or not targets:
+            raise ValueError("sources and targets must be non-empty")
+        prob_model = new_edge_prob or fixed_new_edge_probability(zeta)
+        pairs = [(s, t) for s in sources for t in targets if s != t]
+        if not pairs:
+            raise ValueError("S x T contains only trivial pairs (s == t)")
+
+        if aggregate == "average":
+            return self._maximize_average(
+                graph, sources, targets, pairs, k, prob_model, forbidden_nodes
+            )
+        return self._maximize_extreme(
+            graph, pairs, k, prob_model, aggregate, forbidden_nodes
+        )
+
+    # ------------------------------------------------------------------
+    def _maximize_average(
+        self,
+        graph: UncertainGraph,
+        sources: Sequence[int],
+        targets: Sequence[int],
+        pairs: List[Pair],
+        k: int,
+        prob_model: NewEdgeProbability,
+        forbidden_nodes: Optional[Set[int]],
+    ) -> MultiSolution:
+        space = self.candidate_space(
+            graph, sources, targets, prob_model, forbidden_nodes
+        )
+        start = time.perf_counter()
+        # Top-l paths per pair, merged into one labeled pool.
+        pair_paths: Dict[Pair, List[PathInfo]] = {}
+        candidate_probs: Dict[Edge, float] = {}
+        for s, t in pairs:
+            path_set = select_top_l_paths(graph, s, t, self.l, space.edges)
+            pair_paths[(s, t)] = path_set.paths
+            for u, v, p in path_set.surviving_candidates:
+                candidate_probs[(u, v)] = p
+        edges = self._batch_select_pairs(
+            graph, pairs, pair_paths, candidate_probs, k
+        )
+        selection_seconds = time.perf_counter() - start
+
+        pair_base = self.evaluate_pairs(graph, pairs)
+        pair_new = self.evaluate_pairs(graph, pairs, edges) if edges else pair_base
+        return MultiSolution(
+            aggregate="average",
+            edges=edges,
+            base_value=_aggregate_value(pair_base, "average"),
+            new_value=_aggregate_value(pair_new, "average"),
+            pair_base=pair_base,
+            pair_new=pair_new,
+            elimination_seconds=space.elapsed_seconds,
+            selection_seconds=selection_seconds,
+        )
+
+    def _batch_select_pairs(
+        self,
+        graph: UncertainGraph,
+        pairs: List[Pair],
+        pair_paths: Dict[Pair, List[PathInfo]],
+        candidate_probs: Dict[Edge, float],
+        k: int,
+    ) -> List[ProbEdge]:
+        """§6.1's batch greedy with the average-reliability objective."""
+        all_paths = [p for paths in pair_paths.values() for p in paths]
+        path_pair: Dict[int, Pair] = {}
+        for pair, paths in pair_paths.items():
+            for p in paths:
+                path_pair[id(p)] = pair
+        batches = build_path_batches(all_paths)
+
+        chosen: List[PathInfo] = list(batches.pop(frozenset(), []))
+        selected: Set[Edge] = set()
+
+        def value_of(paths: List[PathInfo]) -> float:
+            if not paths:
+                return 0.0
+            per_pair: Dict[Pair, List[PathInfo]] = {}
+            for p in paths:
+                per_pair.setdefault(path_pair[id(p)], []).append(p)
+            existing: Set[Edge] = set()
+            needed: Set[Edge] = set()
+            for p in paths:
+                existing.update(p.existing_edges)
+                needed.update(p.candidate_edges)
+            sub = graph.edge_subgraph(existing)
+            overlay = [(u, v, candidate_probs[(u, v)]) for u, v in needed]
+            total = 0.0
+            for s, t in pairs:
+                sub.add_node(s)
+                sub.add_node(t)
+            values = self.estimator.pair_reliabilities(
+                sub, [p for p in pairs if per_pair.get(p)], overlay
+            )
+            total = sum(values.values())
+            return total / len(pairs)
+
+        current = value_of(chosen)
+        while len(selected) < k and batches:
+            free = [label for label in batches if label <= selected]
+            for label in free:
+                chosen.extend(batches.pop(label))
+            if free:
+                current = value_of(chosen)
+            best_label: Optional[FrozenSet[Edge]] = None
+            best_norm = float("-inf")
+            best_value = current
+            best_activated: List[FrozenSet[Edge]] = []
+            for label in batches:
+                new_edges = label - selected
+                if not new_edges or len(selected) + len(new_edges) > k:
+                    continue
+                would_have = selected | new_edges
+                activated = [
+                    other for other in batches
+                    if other != label and other <= would_have
+                ]
+                trial = list(chosen) + list(batches[label])
+                for other in activated:
+                    trial.extend(batches[other])
+                value = value_of(trial)
+                norm = (value - current) / len(new_edges)
+                if norm > best_norm:
+                    best_norm, best_label = norm, label
+                    best_value, best_activated = value, activated
+            if best_label is None:
+                break
+            selected |= best_label
+            chosen.extend(batches.pop(best_label))
+            for other in best_activated:
+                chosen.extend(batches.pop(other))
+            current = best_value
+        return [(u, v, candidate_probs[(u, v)]) for u, v in sorted(selected)]
+
+    # ------------------------------------------------------------------
+    def _maximize_extreme(
+        self,
+        graph: UncertainGraph,
+        pairs: List[Pair],
+        k: int,
+        prob_model: NewEdgeProbability,
+        aggregate: str,
+        forbidden_nodes: Optional[Set[int]],
+    ) -> MultiSolution:
+        """§6.2 / §6.3: k1-installment improvement of the extreme pair."""
+        k1 = max(1, int(round(k * self.k1_fraction)))
+        pick_min = aggregate == "minimum"
+
+        elimination_seconds = 0.0
+        start = time.perf_counter()
+        working = graph.copy()
+        added: List[ProbEdge] = []
+        saturated: Set[Pair] = set()
+
+        pair_values = self.estimator.pair_reliabilities(working, pairs)
+        single = ReliabilityMaximizer(
+            estimator=self.estimator,
+            evaluation_samples=self.evaluation_samples,
+            evaluation_seed=self.evaluation_seed,
+            r=self.r,
+            l=self.l,
+            h=self.h,
+            seed=self.seed,
+        )
+        while len(added) < k:
+            active = {p: v for p, v in pair_values.items() if p not in saturated}
+            if not active:
+                break
+            chooser = min if pick_min else max
+            pair = chooser(active, key=lambda p: (active[p], p))
+            budget = min(k1, k - len(added))
+            space = single.candidates(
+                working, pair[0], pair[1], prob_model,
+                forbidden_nodes=forbidden_nodes,
+            )
+            elimination_seconds += space.elapsed_seconds
+            solution = single.maximize(
+                working, pair[0], pair[1], budget,
+                method="be",
+                new_edge_prob=prob_model,
+                candidate_space=space,
+            )
+            if not solution.edges:
+                saturated.add(pair)
+                continue
+            for u, v, p in solution.edges:
+                working.add_edge(u, v, p)
+                added.append((u, v, p))
+            saturated.clear()
+            pair_values = self.estimator.pair_reliabilities(working, pairs)
+        selection_seconds = time.perf_counter() - start - elimination_seconds
+
+        pair_base = self.evaluate_pairs(graph, pairs)
+        pair_new = self.evaluate_pairs(graph, pairs, added) if added else pair_base
+        return MultiSolution(
+            aggregate=aggregate,
+            edges=added,
+            base_value=_aggregate_value(pair_base, aggregate),
+            new_value=_aggregate_value(pair_new, aggregate),
+            pair_base=pair_base,
+            pair_new=pair_new,
+            elimination_seconds=elimination_seconds,
+            selection_seconds=max(selection_seconds, 0.0),
+        )

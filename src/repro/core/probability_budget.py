@@ -1,0 +1,116 @@
+"""Total-probability-budget reliability maximization (future work, §9).
+
+The paper's conclusion proposes replacing the fixed per-edge probability
+``zeta`` with a *total reliability budget*: the solver may both choose
+which edges to add and how to split a probability budget ``B`` across
+them.  This module implements that extension for the most-reliable-path
+objective, where it admits a clean optimal structure:
+
+For a path that uses ``j`` new edges with allocations ``p_1 .. p_j``
+summing to ``B``, the path probability is maximized by the *even* split
+``p_i = B / j`` (AM-GM: the product of positives with a fixed sum is
+maximized when they are equal).  So the optimal solution is found by
+running the budget-constrained path search once per ``j`` with red-edge
+probability ``min(B / j, 1)`` and keeping the best outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..graph import UncertainGraph
+from ..paths import constrained_most_reliable_paths, most_reliable_path
+from ..baselines.common import Edge, ProbEdge, all_missing_edges
+
+
+@dataclass
+class BudgetedMRPSolution:
+    """Outcome of probability-budget MRP maximization."""
+
+    edges: List[ProbEdge]
+    """New edges with their allocated probabilities (even split)."""
+
+    old_probability: float
+    new_probability: float
+    path: Optional[List[int]]
+
+    @property
+    def improvement(self) -> float:
+        """Probability gained on the most reliable path."""
+        return self.new_probability - self.old_probability
+
+    @property
+    def budget_spent(self) -> float:
+        """Total probability allocated to the chosen edges."""
+        return sum(p for _, _, p in self.edges)
+
+
+def improve_mrp_with_probability_budget(
+    graph: UncertainGraph,
+    source: int,
+    target: int,
+    max_new_edges: int,
+    total_probability: float,
+    candidates: Optional[Sequence[Edge]] = None,
+    h: Optional[int] = None,
+) -> BudgetedMRPSolution:
+    """Optimal MRP improvement under a total probability budget.
+
+    Parameters
+    ----------
+    max_new_edges:
+        Upper bound ``k`` on how many new edges may be added.
+    total_probability:
+        The budget ``B`` split across the chosen edges; each edge's
+        probability is capped at 1.
+
+    Notes
+    -----
+    Optimal for the most-reliable-path objective among even splits,
+    which are optimal overall by the AM-GM argument in the module
+    docstring.  Runs ``k`` constrained searches — one per possible
+    new-edge count.
+    """
+    if max_new_edges < 1:
+        raise ValueError("max_new_edges must be positive")
+    if total_probability <= 0.0:
+        raise ValueError("total_probability must be positive")
+    candidate_pairs = (
+        list(candidates) if candidates is not None
+        else all_missing_edges(graph, h=h)
+    )
+    _, old_prob = most_reliable_path(graph, source, target)
+
+    best_prob = old_prob
+    best_edges: List[ProbEdge] = []
+    best_path: Optional[List[int]] = None
+    for j in range(1, max_new_edges + 1):
+        per_edge = min(total_probability / j, 1.0)
+        if per_edge <= 0.0:
+            continue
+        red = [(u, v, per_edge) for u, v in candidate_pairs]
+        by_count = constrained_most_reliable_paths(
+            graph, source, target, j, red
+        )
+        found = by_count.get(j)
+        if found is None or len(found.red_edges) != j:
+            continue
+        if found.probability > best_prob:
+            best_prob = found.probability
+            best_edges = [(u, v, per_edge) for u, v in found.red_edges]
+            best_path = found.nodes
+    if not best_edges:
+        blue_path, _ = most_reliable_path(graph, source, target)
+        return BudgetedMRPSolution(
+            edges=[],
+            old_probability=old_prob,
+            new_probability=old_prob,
+            path=blue_path,
+        )
+    return BudgetedMRPSolution(
+        edges=best_edges,
+        old_probability=old_prob,
+        new_probability=best_prob,
+        path=best_path,
+    )

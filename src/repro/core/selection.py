@@ -1,0 +1,174 @@
+"""Top-k edge selection along most reliable paths (§5.2).
+
+Two selectors over the pruned path set:
+
+* :func:`individual_path_selection` (IP, Algorithm 5) — greedily include
+  whole paths, one per round, maximizing the reliability of the subgraph
+  induced by the chosen paths.
+* :func:`batch_selection` (BE, Algorithm 6 + §5.2.2) — group paths that
+  need the same candidate edges into *batches*, include one batch per
+  round, score batches by marginal gain **normalized by the number of
+  genuinely new edges**, and activate for free every batch whose
+  candidate edges are already covered.  BE is the paper's ultimate
+  method.
+
+Both evaluate reliability only on the small subgraph induced by the
+selected paths (Problem 3's objective ``R(s, t, P1)``), which is what
+makes them orders of magnitude faster than hill climbing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from ..graph import UncertainGraph
+from ..reliability import ReliabilityEstimator
+from ..baselines.common import Edge, ProbEdge
+from .search_space import PathInfo, PathSet
+
+
+def _evaluate_path_set(
+    graph: UncertainGraph,
+    source: int,
+    target: int,
+    paths: Sequence[PathInfo],
+    candidate_probs: Dict[Edge, float],
+    estimator: ReliabilityEstimator,
+) -> float:
+    """``R(s, t, P1)`` — reliability on the subgraph induced by ``paths``."""
+    if not paths:
+        return 0.0
+    existing: Set[Edge] = set()
+    needed: Set[Edge] = set()
+    for path in paths:
+        existing.update(path.existing_edges)
+        needed.update(path.candidate_edges)
+    sub = graph.edge_subgraph(existing)
+    sub.add_node(source)
+    sub.add_node(target)
+    overlay = [(u, v, candidate_probs[(u, v)]) for u, v in needed]
+    return estimator.reliability(sub, source, target, overlay)
+
+
+def individual_path_selection(
+    graph: UncertainGraph,
+    source: int,
+    target: int,
+    k: int,
+    path_set: PathSet,
+    estimator: ReliabilityEstimator,
+) -> List[ProbEdge]:
+    """Algorithm 5: greedy per-path inclusion under the k-edge budget."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    candidate_probs = {(u, v): p for u, v, p in path_set.surviving_candidates}
+    chosen: List[PathInfo] = [p for p in path_set.paths if not p.candidate_edges]
+    remaining: List[PathInfo] = [p for p in path_set.paths if p.candidate_edges]
+    selected_edges: Set[Edge] = set()
+
+    while len(selected_edges) < k and remaining:
+        best_path: Optional[PathInfo] = None
+        best_value = -1.0
+        for path in remaining:
+            if len(selected_edges | path.candidate_edges) > k:
+                continue
+            value = _evaluate_path_set(
+                graph, source, target, chosen + [path], candidate_probs, estimator
+            )
+            if value > best_value:
+                best_value = value
+                best_path = path
+        if best_path is None:
+            break
+        chosen.append(best_path)
+        selected_edges |= best_path.candidate_edges
+        remaining = [
+            p for p in remaining
+            if p is not best_path
+            and len(selected_edges | p.candidate_edges) <= k
+        ]
+    return [(u, v, candidate_probs[(u, v)]) for u, v in sorted(selected_edges)]
+
+
+def build_path_batches(paths: Sequence[PathInfo]) -> Dict[FrozenSet[Edge], List[PathInfo]]:
+    """Algorithm 6: group paths by their candidate-edge label."""
+    batches: Dict[FrozenSet[Edge], List[PathInfo]] = {}
+    for path in paths:
+        batches.setdefault(path.candidate_edges, []).append(path)
+    return batches
+
+
+def batch_selection(
+    graph: UncertainGraph,
+    source: int,
+    target: int,
+    k: int,
+    path_set: PathSet,
+    estimator: ReliabilityEstimator,
+    normalize: bool = True,
+) -> List[ProbEdge]:
+    """BE (§5.2.2): batch-at-a-time greedy with per-new-edge normalization.
+
+    Every round evaluates each feasible batch *together with* all batches
+    it would activate (label a subset of the would-be selected edges) and
+    includes the batch with the best normalized marginal gain.
+    ``normalize=False`` disables the per-new-edge normalization (ablation:
+    reverts the scoring to Example 3's "raw gain" variant, which prefers
+    the individually-best path batch).
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    candidate_probs = {(u, v): p for u, v, p in path_set.surviving_candidates}
+    batches = build_path_batches(path_set.paths)
+
+    chosen: List[PathInfo] = list(batches.pop(frozenset(), []))
+    selected_edges: Set[Edge] = set()
+    current_value = _evaluate_path_set(
+        graph, source, target, chosen, candidate_probs, estimator
+    )
+
+    while len(selected_edges) < k and batches:
+        # Batches already fully covered by selected edges come for free.
+        free_labels = [
+            label for label in batches if label <= selected_edges
+        ]
+        for label in free_labels:
+            chosen.extend(batches.pop(label))
+        if free_labels:
+            current_value = _evaluate_path_set(
+                graph, source, target, chosen, candidate_probs, estimator
+            )
+        best_label: Optional[FrozenSet[Edge]] = None
+        best_norm_gain = float("-inf")
+        best_value = current_value
+        best_activated: List[FrozenSet[Edge]] = []
+        for label in batches:
+            new_edges = label - selected_edges
+            if not new_edges or len(selected_edges) + len(new_edges) > k:
+                continue
+            would_have = selected_edges | new_edges
+            activated = [
+                other for other in batches
+                if other != label and other <= would_have
+            ]
+            trial_paths = list(chosen) + list(batches[label])
+            for other in activated:
+                trial_paths.extend(batches[other])
+            value = _evaluate_path_set(
+                graph, source, target, trial_paths, candidate_probs, estimator
+            )
+            divisor = len(new_edges) if normalize else 1
+            norm_gain = (value - current_value) / divisor
+            if norm_gain > best_norm_gain:
+                best_norm_gain = norm_gain
+                best_label = label
+                best_value = value
+                best_activated = activated
+        if best_label is None:
+            break
+        selected_edges |= best_label
+        chosen.extend(batches.pop(best_label))
+        for other in best_activated:
+            chosen.extend(batches.pop(other))
+        current_value = best_value
+    return [(u, v, candidate_probs[(u, v)]) for u, v in sorted(selected_edges)]

@@ -1,0 +1,21 @@
+"""Dataset builders: real-dataset stand-ins + Table 8 synthetics."""
+
+from . import intel_lab, social, synthetic
+from .registry import (
+    REAL_DATASETS,
+    SYNTHETIC_DATASETS,
+    clear_cache,
+    load,
+    names,
+)
+
+__all__ = [
+    "intel_lab",
+    "social",
+    "synthetic",
+    "REAL_DATASETS",
+    "SYNTHETIC_DATASETS",
+    "clear_cache",
+    "load",
+    "names",
+]

@@ -1,0 +1,67 @@
+"""Dataset registry: build-by-name with caching.
+
+``load("twitter")`` returns the Twitter-like stand-in; ``scale`` shrinks
+or grows node counts (Table 22's knob), and results are memoized so the
+benchmark suite builds each graph once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..graph import UncertainGraph
+from . import intel_lab, social, synthetic
+
+_BUILDERS: Dict[str, Callable[[int, int], UncertainGraph]] = {
+    "intel-lab": lambda num_nodes, seed: intel_lab.build(seed=seed or 7),
+    "lastfm": lambda num_nodes, seed: social.build_lastfm(num_nodes or 1200, seed),
+    "as-topology": lambda num_nodes, seed: social.build_as_topology(num_nodes or 2000, seed),
+    "dblp": lambda num_nodes, seed: social.build_dblp(num_nodes or 2500, seed),
+    "twitter": lambda num_nodes, seed: social.build_twitter(num_nodes or 3000, seed),
+    "random-1": lambda num_nodes, seed: synthetic.build_random(1, num_nodes or 2000, seed),
+    "random-2": lambda num_nodes, seed: synthetic.build_random(2, num_nodes or 2000, seed),
+    "regular-1": lambda num_nodes, seed: synthetic.build_regular(1, num_nodes or 2000, seed),
+    "regular-2": lambda num_nodes, seed: synthetic.build_regular(2, num_nodes or 2000, seed),
+    "smallworld-1": lambda num_nodes, seed: synthetic.build_smallworld(1, num_nodes or 2000, seed),
+    "smallworld-2": lambda num_nodes, seed: synthetic.build_smallworld(2, num_nodes or 2000, seed),
+    "scalefree-1": lambda num_nodes, seed: synthetic.build_scalefree(1, num_nodes or 2000, seed),
+    "scalefree-2": lambda num_nodes, seed: synthetic.build_scalefree(2, num_nodes or 2000, seed),
+}
+
+REAL_DATASETS = ("intel-lab", "lastfm", "as-topology", "dblp", "twitter")
+SYNTHETIC_DATASETS = (
+    "random-1", "random-2", "regular-1", "regular-2",
+    "smallworld-1", "smallworld-2", "scalefree-1", "scalefree-2",
+)
+
+_cache: Dict[Tuple[str, Optional[int], int], UncertainGraph] = {}
+
+
+def names() -> List[str]:
+    """All registered dataset names."""
+    return sorted(_BUILDERS)
+
+
+def load(
+    name: str,
+    num_nodes: Optional[int] = None,
+    seed: int = 0,
+    copy: bool = False,
+) -> UncertainGraph:
+    """Build (or fetch cached) dataset ``name``.
+
+    ``num_nodes=None`` uses the dataset's default scale.  The cached
+    instance is shared — pass ``copy=True`` before mutating it.
+    """
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown dataset {name!r}; known: {names()}")
+    key = (name, num_nodes, seed)
+    if key not in _cache:
+        _cache[key] = _BUILDERS[name](num_nodes or 0, seed)
+    graph = _cache[key]
+    return graph.copy() if copy else graph
+
+
+def clear_cache() -> None:
+    """Drop all cached datasets (mainly for tests)."""
+    _cache.clear()

@@ -1,0 +1,30 @@
+"""Experiment harness: metrics, tables, reusable drivers."""
+
+from .metrics import Measurement, measure
+from .harness import MethodStats, ResultTable, mean
+from .tables import (
+    SingleStProtocol,
+    compare_methods_multi,
+    compare_methods_single_st,
+    default_estimator_factory,
+    elimination_timings,
+    mc_estimator_factory,
+)
+
+__all__ = [
+    "Measurement",
+    "measure",
+    "MethodStats",
+    "ResultTable",
+    "mean",
+    "SingleStProtocol",
+    "compare_methods_multi",
+    "compare_methods_single_st",
+    "default_estimator_factory",
+    "elimination_timings",
+    "mc_estimator_factory",
+]
+
+from .report import build_report, collect_result_tables, write_report
+
+__all__ += ["build_report", "collect_result_tables", "write_report"]

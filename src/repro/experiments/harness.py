@@ -1,0 +1,92 @@
+"""Experiment harness: ASCII tables shaped like the paper's.
+
+Every benchmark builds a :class:`ResultTable` whose rows mirror the rows
+of the corresponding paper table, prints it, and asserts the qualitative
+claims (who wins, monotonicity, crossovers) that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+
+@dataclass
+class ResultTable:
+    """A printable experiment table."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a row; floats are formatted to three decimals."""
+        self.rows.append([_format_cell(c) for c in cells])
+
+    def add_note(self, note: str) -> None:
+        """Attach a footnote shown under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Aligned ASCII rendering of the table."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered table to stdout."""
+        print()
+        print(self.render())
+
+    def column(self, header: str) -> List[str]:
+        """All cells of the named column."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0 for empty input)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass
+class MethodStats:
+    """Aggregated per-method statistics over a query workload."""
+
+    method: str
+    gains: List[float] = field(default_factory=list)
+    seconds: List[float] = field(default_factory=list)
+    peak_mb: List[float] = field(default_factory=list)
+
+    @property
+    def mean_gain(self) -> float:
+        """Average reliability gain over the workload."""
+        return mean(self.gains)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average wall-clock seconds per query."""
+        return mean(self.seconds)
+
+    @property
+    def mean_peak_mb(self) -> float:
+        """Average peak allocated MB per query (0 when not tracked)."""
+        return mean(self.peak_mb)

@@ -1,0 +1,51 @@
+"""Measurement utilities: wall-clock time and peak memory.
+
+The paper reports per-query running time (seconds) and memory usage
+(GB of RSS on their C++ testbed).  Here memory is the peak *allocated*
+bytes during the call as seen by ``tracemalloc`` — absolute values are
+not comparable to the paper's, but relative ordering across methods is.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Measurement:
+    """Result of one timed (and optionally memory-profiled) call."""
+
+    value: Any
+    seconds: float
+    peak_mb: float
+
+
+def measure(
+    fn: Callable[..., T],
+    *args: Any,
+    track_memory: bool = False,
+    **kwargs: Any,
+) -> Measurement:
+    """Run ``fn`` and record elapsed seconds (and peak MB if requested).
+
+    ``tracemalloc`` roughly doubles runtime, so memory tracking is
+    opt-in; with it off, ``peak_mb`` is 0.
+    """
+    if track_memory:
+        tracemalloc.start()
+    start = time.perf_counter()
+    try:
+        value = fn(*args, **kwargs)
+    finally:
+        elapsed = time.perf_counter() - start
+        if track_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        else:
+            peak = 0
+    return Measurement(value=value, seconds=elapsed, peak_mb=peak / (1024 * 1024))

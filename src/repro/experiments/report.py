@@ -1,0 +1,72 @@
+"""Collect benchmark result tables into a single report.
+
+``pytest benchmarks/ --benchmark-only`` leaves one rendered table per
+experiment under ``benchmarks/results/``; this module stitches them into
+one markdown document (the raw material for EXPERIMENTS.md updates).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+#: Display order: paper tables first, figures, then extras.
+_SECTION_ORDER = ("table", "figure", "ablation", "extension")
+
+
+def collect_result_tables(results_dir: str) -> Dict[str, str]:
+    """Read every ``*.txt`` result table, keyed by experiment name."""
+    tables: Dict[str, str] = {}
+    if not os.path.isdir(results_dir):
+        return tables
+    for filename in sorted(os.listdir(results_dir)):
+        if not filename.endswith(".txt"):
+            continue
+        path = os.path.join(results_dir, filename)
+        with open(path, "r", encoding="utf-8") as handle:
+            tables[filename[:-4]] = handle.read().rstrip()
+    return tables
+
+
+def _sort_key(name: str):
+    for rank, prefix in enumerate(_SECTION_ORDER):
+        if name.startswith(prefix):
+            return (rank, name)
+    return (len(_SECTION_ORDER), name)
+
+
+def build_report(
+    results_dir: str,
+    title: str = "Benchmark results",
+) -> str:
+    """One markdown document with every result table as a code block."""
+    tables = collect_result_tables(results_dir)
+    lines: List[str] = [f"# {title}", ""]
+    if not tables:
+        lines.append("_No result tables found — run the benchmark suite "
+                     "first: `pytest benchmarks/ --benchmark-only`._")
+        return "\n".join(lines) + "\n"
+    lines.append(
+        f"{len(tables)} experiments collected from `{results_dir}`."
+    )
+    lines.append("")
+    for name in sorted(tables, key=_sort_key):
+        lines.append(f"## {name.replace('_', ' ')}")
+        lines.append("")
+        lines.append("```")
+        lines.append(tables[name])
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    results_dir: str,
+    output_path: str,
+    title: str = "Benchmark results",
+) -> str:
+    """Build the report and write it to ``output_path``; returns it."""
+    report = build_report(results_dir, title=title)
+    with open(output_path, "w", encoding="utf-8") as handle:
+        handle.write(report)
+    return report

@@ -1,0 +1,66 @@
+"""Uncertain-graph substrate: data structure, generators, probabilities."""
+
+from .uncertain_graph import Edge, ProbEdge, UncertainGraph
+from .generators import (
+    barabasi_albert,
+    erdos_renyi,
+    grid_2d,
+    node_sampled_subgraph,
+    path_graph,
+    powerlaw_cluster,
+    random_regular,
+    watts_strogatz,
+)
+from .probability import (
+    NewEdgeProbability,
+    assign_distance_decay,
+    assign_exponential_counts,
+    assign_fixed,
+    assign_inverse_out_degree,
+    assign_snapshot_frequency,
+    assign_uniform,
+    fixed_new_edge_probability,
+    normal_new_edge_probability,
+    uniform_new_edge_probability,
+)
+from .stats import (
+    GraphSummary,
+    approximate_diameter,
+    average_shortest_path_length,
+    clustering_coefficient,
+    probability_summary,
+    summarize,
+)
+from .io import read_edge_list, write_edge_list
+
+__all__ = [
+    "Edge",
+    "ProbEdge",
+    "UncertainGraph",
+    "barabasi_albert",
+    "erdos_renyi",
+    "grid_2d",
+    "node_sampled_subgraph",
+    "path_graph",
+    "powerlaw_cluster",
+    "random_regular",
+    "watts_strogatz",
+    "NewEdgeProbability",
+    "assign_distance_decay",
+    "assign_exponential_counts",
+    "assign_fixed",
+    "assign_inverse_out_degree",
+    "assign_snapshot_frequency",
+    "assign_uniform",
+    "fixed_new_edge_probability",
+    "normal_new_edge_probability",
+    "uniform_new_edge_probability",
+    "GraphSummary",
+    "approximate_diameter",
+    "average_shortest_path_length",
+    "clustering_coefficient",
+    "probability_summary",
+    "summarize",
+    "read_edge_list",
+    "write_edge_list",
+]

@@ -1,0 +1,311 @@
+"""Synthetic graph generators (topology only, probabilities added later).
+
+The paper's synthetic evaluation (Table 8) uses four families generated
+with NetworkX: Erdős–Rényi random, k-regular, Watts–Strogatz small-world
+and Barabási–Albert scale-free.  These are re-implemented here from
+scratch so the substrate is self-contained; all take a ``seed`` and are
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .uncertain_graph import UncertainGraph
+
+_PLACEHOLDER_PROB = 1.0  # topology generators assign probabilities later
+
+
+def _empty(n: int, directed: bool, name: str) -> UncertainGraph:
+    graph = UncertainGraph(directed=directed, name=name)
+    for u in range(n):
+        graph.add_node(u)
+    return graph
+
+
+def erdos_renyi(
+    n: int,
+    num_edges: Optional[int] = None,
+    p: Optional[float] = None,
+    seed: int = 0,
+    directed: bool = False,
+    name: str = "random",
+) -> UncertainGraph:
+    """G(n, m) or G(n, p) random graph.
+
+    Exactly one of ``num_edges`` / ``p`` must be given.  The G(n, m)
+    variant (used for the paper's *Random 1/2* with a fixed edge count)
+    samples distinct node pairs uniformly without replacement.
+    """
+    if (num_edges is None) == (p is None):
+        raise ValueError("provide exactly one of num_edges= or p=")
+    rng = np.random.default_rng(seed)
+    graph = _empty(n, directed, name)
+    if p is not None:
+        # G(n, p): geometric skipping over the ~n^2/2 pair sequence.
+        max_pairs = n * (n - 1) if directed else n * (n - 1) // 2
+        expected = int(max_pairs * p)
+        num_edges = int(rng.binomial(max_pairs, p)) if expected < max_pairs else max_pairs
+    edges: Set[Tuple[int, int]] = set()
+    target = int(num_edges)
+    max_pairs = n * (n - 1) if directed else n * (n - 1) // 2
+    if target > max_pairs:
+        raise ValueError(f"cannot place {target} edges among {max_pairs} pairs")
+    while len(edges) < target:
+        batch = max(1024, target - len(edges))
+        us = rng.integers(0, n, size=batch)
+        vs = rng.integers(0, n, size=batch)
+        for u, v in zip(us.tolist(), vs.tolist()):
+            if u == v:
+                continue
+            key = (u, v) if directed else (min(u, v), max(u, v))
+            if key not in edges:
+                edges.add(key)
+                if len(edges) >= target:
+                    break
+    for u, v in edges:
+        graph.add_edge(u, v, _PLACEHOLDER_PROB)
+    return graph
+
+
+def random_regular(
+    n: int,
+    degree: int,
+    seed: int = 0,
+    name: str = "regular",
+    max_retries: int = 200,
+) -> UncertainGraph:
+    """Random d-regular undirected graph via the pairing (stub) model.
+
+    Retries the pairing until a simple matching is found; with
+    ``n * degree`` even and ``degree << n`` this succeeds quickly.
+    """
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even for a regular graph")
+    if degree >= n:
+        raise ValueError("degree must be smaller than n")
+    rng = np.random.default_rng(seed)
+    for _ in range(max_retries):
+        edges = _pairing_attempt(rng, n, degree)
+        if edges is not None:
+            graph = _empty(n, False, name)
+            for u, v in edges:
+                graph.add_edge(u, v, _PLACEHOLDER_PROB)
+            return graph
+    raise RuntimeError(
+        f"failed to build a simple {degree}-regular graph in {max_retries} tries"
+    )
+
+
+def _pairing_attempt(rng, n: int, degree: int) -> Optional[Set[Tuple[int, int]]]:
+    """One stub-matching attempt; unsuitable pairs are reshuffled.
+
+    A raw pairing almost surely contains collisions for degree >~ 4, so
+    colliding stubs are returned to the pool and re-paired until either
+    all stubs are matched or no progress can be made (restart).
+    """
+    stubs = np.repeat(np.arange(n), degree)
+    edges: Set[Tuple[int, int]] = set()
+    while stubs.size:
+        stubs = rng.permutation(stubs)
+        leftover: List[int] = []
+        progress = False
+        for u, v in stubs.reshape(-1, 2).tolist():
+            key = (min(u, v), max(u, v))
+            if u != v and key not in edges:
+                edges.add(key)
+                progress = True
+            else:
+                leftover.extend((u, v))
+        if not progress:
+            return None
+        stubs = np.array(leftover, dtype=np.int64)
+    return edges
+
+
+def watts_strogatz(
+    n: int,
+    k: int,
+    beta: float = 0.3,
+    seed: int = 0,
+    name: str = "smallworld",
+) -> UncertainGraph:
+    """Watts–Strogatz small-world graph.
+
+    Starts from a ring lattice where every node connects to its ``k``
+    nearest neighbors (``k`` rounded up to the next even number of lattice
+    links), then rewires each edge's far endpoint with probability
+    ``beta``.
+    """
+    if k >= n:
+        raise ValueError("k must be smaller than n")
+    rng = np.random.default_rng(seed)
+    graph = _empty(n, False, name)
+    half = max(1, k // 2)
+    edges: Set[Tuple[int, int]] = set()
+    for u in range(n):
+        for offset in range(1, half + 1):
+            v = (u + offset) % n
+            edges.add((min(u, v), max(u, v)))
+    # If k is odd, add one extra "across" link per alternate node so the
+    # average degree matches k more closely.
+    if k % 2 == 1:
+        for u in range(0, n, 2):
+            v = (u + half + 1) % n
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+    rewired: Set[Tuple[int, int]] = set()
+    edge_list = sorted(edges)
+    for u, v in edge_list:
+        if rng.random() < beta:
+            for _ in range(10):
+                w = int(rng.integers(0, n))
+                key = (min(u, w), max(u, w))
+                if w != u and key not in rewired and key not in edges:
+                    rewired.add(key)
+                    break
+            else:
+                rewired.add((u, v))
+        else:
+            rewired.add((u, v))
+    for u, v in rewired:
+        graph.add_edge(u, v, _PLACEHOLDER_PROB)
+    return graph
+
+
+def barabasi_albert(
+    n: int,
+    m: int = 2,
+    seed: int = 0,
+    name: str = "scalefree",
+    m_schedule: Optional[Sequence[int]] = None,
+) -> UncertainGraph:
+    """Barabási–Albert preferential-attachment graph.
+
+    ``m_schedule`` lets callers alternate attachment counts per new node
+    (the paper alternates m=2 and m=3 for *ScaleFree 1* to hit a target
+    edge count); when given, it is cycled over and ``m`` is ignored.
+    """
+    schedule: List[int] = list(m_schedule) if m_schedule else [m]
+    m_max = max(schedule)
+    if m_max < 1 or m_max >= n:
+        raise ValueError("attachment count must be in [1, n)")
+    rng = np.random.default_rng(seed)
+    graph = _empty(n, False, name)
+    # Seed clique on the first m_max + 1 nodes.
+    targets: List[int] = []  # repeated-node list realizes degree weighting
+    start = m_max + 1
+    for u in range(start):
+        for v in range(u + 1, start):
+            graph.add_edge(u, v, _PLACEHOLDER_PROB)
+            targets.extend((u, v))
+    for idx, u in enumerate(range(start, n)):
+        mi = schedule[idx % len(schedule)]
+        chosen: Set[int] = set()
+        while len(chosen) < mi:
+            v = targets[int(rng.integers(0, len(targets)))]
+            if v != u:
+                chosen.add(v)
+        for v in chosen:
+            graph.add_edge(u, v, _PLACEHOLDER_PROB)
+            targets.extend((u, v))
+    return graph
+
+
+def powerlaw_cluster(
+    n: int,
+    m: int = 2,
+    triad_probability: float = 0.5,
+    seed: int = 0,
+    name: str = "powerlaw-cluster",
+) -> UncertainGraph:
+    """Holme–Kim powerlaw-cluster graph (BA + triad closure).
+
+    Preferential attachment like Barabási–Albert, but after each
+    attachment a triangle is closed with ``triad_probability`` by linking
+    to a random neighbor of the last target — yielding scale-free degree
+    with the high clustering coefficient social graphs exhibit.
+    """
+    if m < 1 or m >= n:
+        raise ValueError("attachment count must be in [1, n)")
+    rng = np.random.default_rng(seed)
+    graph = _empty(n, False, name)
+    targets: List[int] = []
+    start = m + 1
+    for u in range(start):
+        for v in range(u + 1, start):
+            graph.add_edge(u, v, _PLACEHOLDER_PROB)
+            targets.extend((u, v))
+    for u in range(start, n):
+        added: Set[int] = set()
+        last_target: Optional[int] = None
+        while len(added) < m:
+            close_triad = (
+                last_target is not None
+                and rng.random() < triad_probability
+            )
+            if close_triad:
+                neighbors = [
+                    w for w in graph.successors(last_target)
+                    if w != u and w not in added
+                ]
+                if neighbors:
+                    v = neighbors[int(rng.integers(0, len(neighbors)))]
+                else:
+                    close_triad = False
+            if not close_triad:
+                v = targets[int(rng.integers(0, len(targets)))]
+                if v == u or v in added:
+                    continue
+            graph.add_edge(u, v, _PLACEHOLDER_PROB)
+            targets.extend((u, v))
+            added.add(v)
+            last_target = v
+    return graph
+
+
+def grid_2d(
+    rows: int,
+    cols: int,
+    diagonal: bool = False,
+    name: str = "grid",
+) -> UncertainGraph:
+    """Rectangular grid graph (used by sensor-network fixtures)."""
+    graph = _empty(rows * cols, False, name)
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                graph.add_edge(node(r, c), node(r, c + 1), _PLACEHOLDER_PROB)
+            if r + 1 < rows:
+                graph.add_edge(node(r, c), node(r + 1, c), _PLACEHOLDER_PROB)
+            if diagonal and r + 1 < rows and c + 1 < cols:
+                graph.add_edge(node(r, c), node(r + 1, c + 1), _PLACEHOLDER_PROB)
+    return graph
+
+
+def path_graph(n: int, name: str = "path") -> UncertainGraph:
+    """Simple path 0-1-...-(n-1); handy for tests."""
+    graph = _empty(n, False, name)
+    for u in range(n - 1):
+        graph.add_edge(u, u + 1, _PLACEHOLDER_PROB)
+    return graph
+
+
+def node_sampled_subgraph(
+    graph: UncertainGraph,
+    num_nodes: int,
+    seed: int = 0,
+) -> UncertainGraph:
+    """Uniform node-induced subgraph (the paper's Table 22 scaling knob)."""
+    rng = np.random.default_rng(seed)
+    nodes = list(graph.nodes())
+    if num_nodes >= len(nodes):
+        return graph.copy()
+    keep = rng.choice(len(nodes), size=num_nodes, replace=False)
+    return graph.subgraph(nodes[i] for i in keep.tolist())

@@ -1,0 +1,67 @@
+"""Reading and writing uncertain graphs.
+
+The on-disk format is the conventional probabilistic edge list used by
+uncertain-graph research code: one ``u v p`` triple per line, ``#``
+comments, with an optional header comment recording directedness.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Iterable, Union
+
+from .uncertain_graph import UncertainGraph
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def write_edge_list(graph: UncertainGraph, path: PathLike) -> None:
+    """Write ``graph`` as a probabilistic edge list."""
+    with open(path, "w", encoding="utf-8") as handle:
+        _write(graph, handle)
+
+
+def _write(graph: UncertainGraph, handle: IO[str]) -> None:
+    kind = "directed" if graph.directed else "undirected"
+    handle.write(f"# repro uncertain graph: {kind}\n")
+    if graph.name:
+        handle.write(f"# name: {graph.name}\n")
+    isolated = [u for u in graph.nodes() if graph.degree(u) == 0]
+    if isolated:
+        handle.write("# isolated: " + " ".join(str(u) for u in isolated) + "\n")
+    for u, v, p in graph.edges():
+        handle.write(f"{u} {v} {p:.10g}\n")
+
+
+def read_edge_list(path: PathLike) -> UncertainGraph:
+    """Read a probabilistic edge list written by :func:`write_edge_list`.
+
+    Files without the header comment are treated as undirected.
+    """
+    directed = False
+    name = ""
+    isolated: Iterable[int] = ()
+    edges = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("repro uncertain graph:"):
+                    directed = "directed" in body.split(":", 1)[1] and \
+                        "undirected" not in body.split(":", 1)[1]
+                elif body.startswith("name:"):
+                    name = body.split(":", 1)[1].strip()
+                elif body.startswith("isolated:"):
+                    isolated = [int(x) for x in body.split(":", 1)[1].split()]
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ValueError(f"malformed edge line: {line!r}")
+            edges.append((int(parts[0]), int(parts[1]), float(parts[2])))
+    graph = UncertainGraph.from_edges(edges, directed=directed, name=name)
+    for u in isolated:
+        graph.add_node(u)
+    return graph

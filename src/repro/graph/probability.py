@@ -1,0 +1,181 @@
+"""Edge-probability assignment models.
+
+The paper evaluates several ways of attaching probabilities to edges
+(§8.1 "Edge probability models"):
+
+* measured link quality (Intel Lab, AS Topology) — simulated here via
+  distance decay / snapshot persistence;
+* inverse out-degree (LastFM);
+* ``1 - exp(-t / mu)`` over an interaction count ``t`` (DBLP, Twitter);
+* uniform at random in a range (synthetic datasets);
+
+and several models for probabilities of *new* edges (Table 16): fixed
+``zeta``, uniform ranges, and a truncated normal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from .uncertain_graph import UncertainGraph
+
+NewEdgeProbability = Callable[[int, int], float]
+
+
+def assign_fixed(graph: UncertainGraph, p: float) -> UncertainGraph:
+    """Set every edge's probability to ``p`` (in place; returns graph)."""
+    for u, v, _ in list(graph.edges()):
+        graph.set_probability(u, v, p)
+    return graph
+
+
+def assign_uniform(
+    graph: UncertainGraph,
+    low: float = 0.0,
+    high: float = 0.6,
+    seed: int = 0,
+) -> UncertainGraph:
+    """Uniform probabilities in ``(low, high]`` (the synthetic-data model)."""
+    rng = np.random.default_rng(seed)
+    for u, v, _ in list(graph.edges()):
+        p = float(rng.uniform(low, high))
+        graph.set_probability(u, v, max(p, 1e-9))
+    return graph
+
+
+def assign_inverse_out_degree(graph: UncertainGraph) -> UncertainGraph:
+    """LastFM model: ``p(u, v) = 1 / out_degree(u)``.
+
+    For undirected graphs the out-degree of the canonical source endpoint
+    is used, matching how the paper treats LastFM as undirected.
+    """
+    for u, v, _ in list(graph.edges()):
+        out_deg = max(1, len(graph.successors(u)))
+        graph.set_probability(u, v, 1.0 / out_deg)
+    return graph
+
+
+def assign_exponential_counts(
+    graph: UncertainGraph,
+    mu: float = 20.0,
+    mean_count: float = 4.0,
+    seed: int = 0,
+    counts: Optional[Dict[Tuple[int, int], int]] = None,
+) -> UncertainGraph:
+    """DBLP/Twitter model: ``p = 1 - exp(-t / mu)`` for a count ``t``.
+
+    When ``counts`` is not supplied, per-edge interaction counts are drawn
+    from a geometric distribution with the given mean, mimicking the
+    heavy-tailed collaboration/retweet counts of the real datasets.
+    """
+    rng = np.random.default_rng(seed)
+    for u, v, _ in list(graph.edges()):
+        if counts is not None:
+            t = counts.get((u, v), counts.get((v, u), 1))
+        else:
+            t = 1 + int(rng.geometric(1.0 / mean_count))
+        p = 1.0 - math.exp(-t / mu)
+        graph.set_probability(u, v, max(p, 1e-9))
+    return graph
+
+
+def assign_snapshot_frequency(
+    graph: UncertainGraph,
+    num_snapshots: int = 120,
+    persistence_alpha: float = 2.0,
+    persistence_beta: float = 5.0,
+    seed: int = 0,
+) -> UncertainGraph:
+    """AS-Topology model: probability = fraction of snapshots with the edge.
+
+    Each edge gets a latent persistence drawn from a Beta distribution and
+    its probability is the empirical frequency over ``num_snapshots``
+    simulated monthly snapshots — matching how the paper derives AS edge
+    probabilities from ten years of monthly BGP snapshots.
+    """
+    rng = np.random.default_rng(seed)
+    for u, v, _ in list(graph.edges()):
+        persistence = float(rng.beta(persistence_alpha, persistence_beta))
+        observed = int(rng.binomial(num_snapshots, persistence))
+        p = max(observed, 1) / num_snapshots
+        graph.set_probability(u, v, p)
+    return graph
+
+
+def assign_distance_decay(
+    graph: UncertainGraph,
+    positions: Dict[int, Tuple[float, float]],
+    scale: float = 8.0,
+    cutoff: float = 20.0,
+    noise: float = 0.05,
+    seed: int = 0,
+) -> UncertainGraph:
+    """Sensor-network model: link quality decays with distance.
+
+    ``p = exp(-dist / scale)`` plus slight noise, zeroed beyond ``cutoff``
+    meters (the paper observes Intel-Lab links >20 m have probability
+    close to 0 and drops edges with p < 0.1).
+    """
+    rng = np.random.default_rng(seed)
+    for u, v, _ in list(graph.edges()):
+        (x1, y1), (x2, y2) = positions[u], positions[v]
+        dist = math.hypot(x1 - x2, y1 - y2)
+        if dist > cutoff:
+            p = 1e-9
+        else:
+            p = math.exp(-dist / scale) + float(rng.normal(0.0, noise))
+        graph.set_probability(u, v, min(max(p, 1e-9), 1.0))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Probability models for *new* (candidate) edges — Table 16.
+# ----------------------------------------------------------------------
+
+def fixed_new_edge_probability(zeta: float) -> NewEdgeProbability:
+    """Every new edge gets probability ``zeta`` (the default model)."""
+    if not 0.0 < zeta <= 1.0:
+        raise ValueError(f"zeta must be in (0, 1], got {zeta}")
+
+    def model(u: int, v: int) -> float:
+        return zeta
+
+    return model
+
+
+def uniform_new_edge_probability(
+    low: float,
+    high: float,
+    seed: int = 0,
+) -> NewEdgeProbability:
+    """New-edge probabilities uniform in ``(low, high)``.
+
+    Deterministic per pair: the draw is keyed by ``(u, v)`` so repeated
+    queries about the same candidate edge agree.
+    """
+
+    def model(u: int, v: int) -> float:
+        pair_seed = (seed * 1_000_003 + u * 92_821 + v * 31) % (2**32)
+        rng = np.random.default_rng(pair_seed)
+        return float(max(rng.uniform(low, high), 1e-9))
+
+    return model
+
+
+def normal_new_edge_probability(
+    mean: float = 0.5,
+    std: float = 0.038,
+    seed: int = 0,
+) -> NewEdgeProbability:
+    """Truncated-normal new-edge probabilities (the paper's N(0.5, 0.038))."""
+
+    def model(u: int, v: int) -> float:
+        pair_seed = (seed * 1_000_003 + u * 92_821 + v * 31 + 7) % (2**32)
+        rng = np.random.default_rng(pair_seed)
+        p = float(rng.normal(mean, std))
+        return min(max(p, 1e-9), 1.0)
+
+    return model

@@ -1,0 +1,13 @@
+"""Influence maximization application (independent cascade)."""
+
+from .ic_model import cascade_steps, simulate_cascade
+from .spread import influence_spread
+from .targeted_im import InfluenceSolution, maximize_targeted_influence
+
+__all__ = [
+    "cascade_steps",
+    "simulate_cascade",
+    "influence_spread",
+    "InfluenceSolution",
+    "maximize_targeted_influence",
+]

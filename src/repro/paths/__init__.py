@@ -1,0 +1,29 @@
+"""Path algorithms over uncertain graphs."""
+
+from .dijkstra import (
+    hop_shortest_path,
+    most_reliable_path,
+    path_probability,
+    reliability_dijkstra_all,
+)
+from .yen import paths_induced_edges, top_l_most_reliable_paths
+from .layered import (
+    ConstrainedPath,
+    best_improvement,
+    constrained_most_reliable_paths,
+)
+from .maxflow import DinicMaxFlow, min_cut
+
+__all__ = [
+    "hop_shortest_path",
+    "most_reliable_path",
+    "path_probability",
+    "reliability_dijkstra_all",
+    "paths_induced_edges",
+    "top_l_most_reliable_paths",
+    "ConstrainedPath",
+    "best_improvement",
+    "constrained_most_reliable_paths",
+    "DinicMaxFlow",
+    "min_cut",
+]

@@ -1,0 +1,149 @@
+"""Maximum flow / minimum cut (Dinic's algorithm).
+
+Substrate for the cut-based reliability upper bound: for any s-t edge
+cut ``C``, the s-t reliability is at most ``1 - prod_{e in C} (1 - p_e)``
+(t is unreachable whenever every cut edge fails).  The *tightest* such
+bound over single cuts is found by a min-cut computation with edge
+capacities ``-log(1 - p_e)`` — minimizing the capacity sum maximizes the
+product of failure probabilities.
+
+Implemented from scratch (level-graph BFS + blocking-flow DFS) to keep
+the substrate self-contained.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+class DinicMaxFlow:
+    """Dinic's max-flow on a directed capacity graph.
+
+    Capacities are floats; the algorithm is exact up to float arithmetic
+    and runs in ``O(V^2 E)`` — ample for the query-relevant subgraphs
+    this library feeds it.
+    """
+
+    def __init__(self) -> None:
+        self._graph: Dict[int, List[int]] = {}
+        # Edge arrays: to[i], cap[i]; reverse edge is i ^ 1.
+        self._to: List[int] = []
+        self._cap: List[float] = []
+        self._meta: List[Optional[Edge]] = []
+
+    def add_edge(self, u: int, v: int, capacity: float,
+                 meta: Optional[Edge] = None) -> None:
+        """Add a directed edge with the given capacity.
+
+        ``meta`` tags the forward edge with the original graph edge so
+        cut edges can be reported in the caller's terms.
+        """
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self._graph.setdefault(u, []).append(len(self._to))
+        self._to.append(v)
+        self._cap.append(capacity)
+        self._meta.append(meta)
+        self._graph.setdefault(v, []).append(len(self._to))
+        self._to.append(u)
+        self._cap.append(0.0)
+        self._meta.append(None)
+
+    def max_flow(self, source: int, sink: int) -> float:
+        """Total maximum flow from source to sink."""
+        if source == sink:
+            return math.inf
+        flow = 0.0
+        while True:
+            level = self._bfs_levels(source, sink)
+            if level is None:
+                return flow
+            iters = {u: 0 for u in self._graph}
+            while True:
+                pushed = self._dfs_push(source, sink, math.inf, level, iters)
+                if pushed <= 0:
+                    break
+                flow += pushed
+
+    def min_cut_edges(self, source: int, sink: int) -> List[Edge]:
+        """Saturated forward edges crossing the min cut (by meta tag).
+
+        Must be called after :meth:`max_flow`; returns the tagged
+        original edges from the source side to the sink side.
+        """
+        reachable = self._residual_reachable(source)
+        cut: List[Edge] = []
+        for u in reachable:
+            for index in self._graph.get(u, ()):
+                v = self._to[index]
+                if v not in reachable and self._meta[index] is not None:
+                    cut.append(self._meta[index])
+        return cut
+
+    # ------------------------------------------------------------------
+    def _bfs_levels(self, source: int, sink: int) -> Optional[Dict[int, int]]:
+        level = {source: 0}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for index in self._graph.get(u, ()):
+                v = self._to[index]
+                if self._cap[index] > 1e-12 and v not in level:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level if sink in level else None
+
+    def _dfs_push(self, u, sink, limit, level, iters) -> float:
+        if u == sink:
+            return limit
+        edges = self._graph.get(u, [])
+        while iters[u] < len(edges):
+            index = edges[iters[u]]
+            v = self._to[index]
+            if self._cap[index] > 1e-12 and level.get(v, -1) == level[u] + 1:
+                pushed = self._dfs_push(
+                    v, sink, min(limit, self._cap[index]), level, iters
+                )
+                if pushed > 0:
+                    self._cap[index] -= pushed
+                    self._cap[index ^ 1] += pushed
+                    return pushed
+            iters[u] += 1
+        return 0.0
+
+    def _residual_reachable(self, source: int) -> Set[int]:
+        seen = {source}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for index in self._graph.get(u, ()):
+                v = self._to[index]
+                if self._cap[index] > 1e-12 and v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return seen
+
+
+def min_cut(
+    edges: Iterable[Tuple[int, int, float]],
+    source: int,
+    sink: int,
+    directed: bool = True,
+) -> Tuple[float, List[Edge]]:
+    """Minimum s-t cut of a capacity graph.
+
+    Returns ``(cut_value, cut_edges)`` where ``cut_edges`` are original
+    ``(u, v)`` pairs.  For undirected graphs each edge is added in both
+    directions with the same capacity.
+    """
+    flow = DinicMaxFlow()
+    for u, v, capacity in edges:
+        flow.add_edge(u, v, capacity, meta=(u, v))
+        if not directed:
+            flow.add_edge(v, u, capacity, meta=(u, v))
+    value = flow.max_flow(source, sink)
+    return value, flow.min_cut_edges(source, sink)

@@ -1,0 +1,15 @@
+"""Query workload generation."""
+
+from .workloads import (
+    pairs_at_exact_distance,
+    sample_multi_sets,
+    sample_st_pair,
+    sample_st_pairs,
+)
+
+__all__ = [
+    "pairs_at_exact_distance",
+    "sample_multi_sets",
+    "sample_st_pair",
+    "sample_st_pairs",
+]

@@ -1,0 +1,123 @@
+"""Query workload generation (§8.1 "Queries").
+
+The paper evaluates on 100 random s-t pairs per dataset, where the
+target is 3-5 hops from the source ("if two nodes are too close, their
+original reliability will be naturally high").  Multi-source-target
+queries grow a source set from the <=5-hop neighborhood of ``s`` and a
+disjoint target set from the neighborhood of ``t``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set, Tuple
+
+from ..graph import UncertainGraph
+
+Pair = Tuple[int, int]
+
+
+def sample_st_pair(
+    graph: UncertainGraph,
+    rng: random.Random,
+    min_hops: int = 3,
+    max_hops: int = 5,
+    max_attempts: int = 200,
+) -> Pair:
+    """One s-t pair with hop distance in ``[min_hops, max_hops]``.
+
+    Raises ``RuntimeError`` when the graph has no such pair reachable
+    within the attempt budget (e.g. a clique).
+    """
+    nodes = list(graph.nodes())
+    if len(nodes) < 2:
+        raise ValueError("graph too small for query generation")
+    for _ in range(max_attempts):
+        source = rng.choice(nodes)
+        dist = graph.hop_distances(source, max_hops=max_hops)
+        eligible = [v for v, d in dist.items() if min_hops <= d <= max_hops]
+        if eligible:
+            return source, rng.choice(eligible)
+    raise RuntimeError(
+        f"no s-t pair at {min_hops}-{max_hops} hops found "
+        f"in {max_attempts} attempts"
+    )
+
+
+def sample_st_pairs(
+    graph: UncertainGraph,
+    count: int,
+    seed: int = 0,
+    min_hops: int = 3,
+    max_hops: int = 5,
+) -> List[Pair]:
+    """``count`` distinct s-t pairs (deterministic for a given seed)."""
+    rng = random.Random(seed)
+    pairs: List[Pair] = []
+    seen: Set[Pair] = set()
+    attempts = 0
+    while len(pairs) < count and attempts < count * 50:
+        attempts += 1
+        pair = sample_st_pair(graph, rng, min_hops, max_hops)
+        if pair not in seen:
+            seen.add(pair)
+            pairs.append(pair)
+    if len(pairs) < count:
+        raise RuntimeError(f"could only generate {len(pairs)}/{count} pairs")
+    return pairs
+
+
+def pairs_at_exact_distance(
+    graph: UncertainGraph,
+    distance: int,
+    count: int,
+    seed: int = 0,
+) -> List[Pair]:
+    """Pairs exactly ``distance`` hops apart (Table 19's workload)."""
+    rng = random.Random(seed)
+    nodes = list(graph.nodes())
+    pairs: List[Pair] = []
+    seen: Set[Pair] = set()
+    attempts = 0
+    while len(pairs) < count and attempts < count * 200:
+        attempts += 1
+        source = rng.choice(nodes)
+        dist = graph.hop_distances(source, max_hops=distance)
+        eligible = [v for v, d in dist.items() if d == distance]
+        if not eligible:
+            continue
+        pair = (source, rng.choice(eligible))
+        if pair not in seen:
+            seen.add(pair)
+            pairs.append(pair)
+    if len(pairs) < count:
+        raise RuntimeError(
+            f"could only generate {len(pairs)}/{count} pairs at distance {distance}"
+        )
+    return pairs
+
+
+def sample_multi_sets(
+    graph: UncertainGraph,
+    set_size: int,
+    seed: int = 0,
+    neighborhood_hops: int = 5,
+) -> Tuple[List[int], List[int]]:
+    """Disjoint source/target sets grown around a random s-t pair (§8.1).
+
+    Returns ``(sources, targets)``, each of ``set_size`` nodes drawn
+    uniformly from the <=5-hop neighborhoods of ``s`` and ``t``.
+    """
+    rng = random.Random(seed)
+    for _ in range(100):
+        s, t = sample_st_pair(graph, rng)
+        s_pool = sorted(graph.within_hops(s, neighborhood_hops) | {s})
+        t_pool = sorted(graph.within_hops(t, neighborhood_hops) | {t})
+        t_pool = [v for v in t_pool if v not in set(s_pool[:set_size * 2])]
+        if len(s_pool) < set_size or len(t_pool) < set_size:
+            continue
+        sources = rng.sample(s_pool, set_size)
+        targets = rng.sample(t_pool, set_size)
+        if not set(sources) & set(targets):
+            return sources, targets
+    raise RuntimeError("could not build disjoint source/target sets")

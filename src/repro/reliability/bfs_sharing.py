@@ -1,0 +1,182 @@
+"""BFS-sharing index: pre-sampled worlds shared across queries.
+
+The paper's related work (§7, citing the in-depth comparison of s-t
+reliability algorithms) includes *BFSSharing* — an offline index that
+samples ``Z`` possible worlds once and answers every subsequent query by
+traversing the stored worlds.  Amortized over a query workload (e.g. the
+multi-source-target loops, which re-evaluate hundreds of pairs on the
+same graph) this is far cheaper than re-sampling per query.
+
+Overlay (``extra_edges``) support: stored worlds cover only the indexed
+graph; overlay edges are Bernoulli-sampled per (query, world) with a
+deterministic per-index seed, so marginals match plain Monte Carlo.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..graph import UncertainGraph
+from .estimator import Overlay, ReliabilityEstimator, build_overlay
+
+
+class BFSSharingIndex(ReliabilityEstimator):
+    """Offline sampled-worlds index over one uncertain graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to index.  The index snapshots the graph at build
+        time; later mutations are NOT reflected (rebuild instead).
+    num_samples:
+        Number of stored possible worlds ``Z``.
+    seed:
+        Sampling seed; also derives per-query overlay coin seeds.
+    """
+
+    name = "bfs-sharing"
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        num_samples: int = 500,
+        seed: int = 0,
+    ) -> None:
+        if num_samples < 1:
+            raise ValueError("num_samples must be positive")
+        self.graph = graph
+        self.num_samples = num_samples
+        self.seed = seed
+        self._worlds: List[Dict[int, List[int]]] = []
+        self._build()
+
+    def _build(self) -> None:
+        rng = random.Random(self.seed)
+        rand = rng.random
+        edges = list(self.graph.edges())
+        directed = self.graph.directed
+        for _ in range(self.num_samples):
+            adjacency: Dict[int, List[int]] = {}
+            for u, v, p in edges:
+                if p >= 1.0 or rand() < p:
+                    adjacency.setdefault(u, []).append(v)
+                    if not directed:
+                        adjacency.setdefault(v, []).append(u)
+            self._worlds.append(adjacency)
+
+    # ------------------------------------------------------------------
+    def reliability(
+        self,
+        graph: UncertainGraph,
+        source: int,
+        target: int,
+        extra_edges: Overlay = None,
+    ) -> float:
+        """Fraction of stored worlds where target is reachable.
+
+        ``graph`` must be the indexed graph (defensive check by
+        identity); pass ``extra_edges`` for candidate-edge overlays.
+        """
+        self._check(graph)
+        if source == target:
+            return 1.0
+        if source not in graph:
+            return 0.0
+        overlay = build_overlay(graph, extra_edges)
+        hits = 0
+        for index, world in enumerate(self._worlds):
+            if self._reaches(world, overlay, source, target, index):
+                hits += 1
+        return hits / self.num_samples
+
+    def reachability_from(
+        self,
+        graph: UncertainGraph,
+        source: int,
+        extra_edges: Overlay = None,
+    ) -> Dict[int, float]:
+        self._check(graph)
+        if source not in graph:
+            return {}
+        overlay = build_overlay(graph, extra_edges)
+        counts: Dict[int, int] = {}
+        for index, world in enumerate(self._worlds):
+            for node in self._reach_set(world, overlay, source, index):
+                counts[node] = counts.get(node, 0) + 1
+        result = {node: c / self.num_samples for node, c in counts.items()}
+        result[source] = 1.0
+        return result
+
+    def pair_reliabilities(
+        self,
+        graph: UncertainGraph,
+        pairs: Sequence[Tuple[int, int]],
+        extra_edges: Overlay = None,
+    ) -> Dict[Tuple[int, int], float]:
+        """Worlds are shared across all pairs — the index's sweet spot."""
+        self._check(graph)
+        overlay = build_overlay(graph, extra_edges)
+        counts = {pair: 0 for pair in pairs}
+        by_source: Dict[int, List[Tuple[int, int]]] = {}
+        for s, t in pairs:
+            by_source.setdefault(s, []).append((s, t))
+        for index, world in enumerate(self._worlds):
+            for s, spairs in by_source.items():
+                reach = self._reach_set(world, overlay, s, index)
+                for pair in spairs:
+                    if pair[1] in reach or pair[1] == s:
+                        counts[pair] += 1
+        return {pair: c / self.num_samples for pair, c in counts.items()}
+
+    # ------------------------------------------------------------------
+    def _check(self, graph: UncertainGraph) -> None:
+        if graph is not self.graph:
+            raise ValueError(
+                "BFSSharingIndex answers queries only for the graph it "
+                "indexed; rebuild the index for a different graph"
+            )
+
+    def _overlay_coin(self, world_index: int, u: int, v: int, p: float) -> bool:
+        """Deterministic Bernoulli(p) per (world, overlay edge).
+
+        Keyed by world and canonical edge so every query sees the same
+        overlay edge state inside one world (consistency across the
+        sources of a pair workload), while states stay independent
+        across worlds.
+        """
+        if p >= 1.0:
+            return True
+        key = (u, v) if u <= v else (v, u)
+        # Tuples of ints hash deterministically across processes, so the
+        # derived seed is stable; Random() itself needs an int.
+        seed = hash((self.seed, world_index, key)) & 0x7FFFFFFF
+        return random.Random(seed).random() < p
+
+    def _reaches(self, world, overlay, source, target, world_index) -> bool:
+        return target in self._reach_set(world, overlay, source, world_index)
+
+    def _reach_set(
+        self,
+        world: Dict[int, List[int]],
+        overlay: Dict[int, List[Tuple[int, float]]],
+        source: int,
+        world_index: int,
+    ) -> Set[int]:
+        visited = {source}
+        frontier = deque([source])
+        while frontier:
+            u = frontier.popleft()
+            for v in world.get(u, ()):
+                if v not in visited:
+                    visited.add(v)
+                    frontier.append(v)
+            if overlay and u in overlay:
+                for v, p in overlay[u]:
+                    if v in visited:
+                        continue
+                    if self._overlay_coin(world_index, u, v, p):
+                        visited.add(v)
+                        frontier.append(v)
+        return visited

@@ -1,0 +1,348 @@
+"""Recursive stratified sampling (RSS) for s-t reliability.
+
+Follows Li et al., "Recursive Stratified Sampling: A New Framework for
+Query Evaluation on Uncertain Graphs" (TKDE 2016), the advanced sampler
+the paper plugs into its pipeline in §5.3: select ``r`` edges, partition
+the probability space into ``r + 1`` non-overlapping strata (stratum ``i``
+fixes edges ``1..i-1`` absent and edge ``i`` present), allocate samples
+proportionally to stratum probability, recurse, and fall back to plain
+Monte Carlo when a stratum's sample budget drops below a threshold.
+
+The estimator keeps MC's ``O(Z (n + m))`` complexity but has a strictly
+smaller variance, so fewer samples reach the same index of dispersion —
+the effect Tables 6 and 7 measure.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..graph import UncertainGraph
+from .estimator import Overlay, ReliabilityEstimator, build_overlay
+
+EdgeKey = Tuple[int, int]
+
+
+class _Adjacency:
+    """Merged view of graph + overlay edges with stable edge keys."""
+
+    def __init__(self, graph: UncertainGraph, overlay: Dict[int, List[Tuple[int, float]]]):
+        self._succ = graph.successors
+        self._overlay = overlay
+        self._canonical = not graph.directed
+
+    def key(self, u: int, v: int) -> EdgeKey:
+        if self._canonical and v < u:
+            return (v, u)
+        return (u, v)
+
+    def neighbors(self, u: int) -> Iterable[Tuple[int, float, EdgeKey]]:
+        for v, p in self._succ(u).items():
+            yield v, p, self.key(u, v)
+        for v, p in self._overlay.get(u, ()):
+            yield v, p, self.key(u, v)
+
+
+class RecursiveStratifiedSampler(ReliabilityEstimator):
+    """RSS estimator with proportional sample allocation.
+
+    Parameters
+    ----------
+    num_samples:
+        Total sample budget ``Z`` (shared across strata).
+    num_stratify_edges:
+        ``r`` — how many frontier edges define the strata at each level.
+    mc_threshold:
+        Strata whose allocated budget falls below this run plain MC.
+    max_depth:
+        Recursion guard; deeper strata fall back to MC.
+    seed:
+        PRNG seed.
+    """
+
+    name = "rss"
+
+    def __init__(
+        self,
+        num_samples: int = 250,
+        num_stratify_edges: int = 6,
+        mc_threshold: int = 40,
+        max_depth: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if num_samples < 1:
+            raise ValueError("num_samples must be positive")
+        if num_stratify_edges < 1:
+            raise ValueError("num_stratify_edges must be positive")
+        self.num_samples = num_samples
+        self.num_stratify_edges = num_stratify_edges
+        self.mc_threshold = mc_threshold
+        self.max_depth = max_depth
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def reliability(
+        self,
+        graph: UncertainGraph,
+        source: int,
+        target: int,
+        extra_edges: Overlay = None,
+    ) -> float:
+        if source == target:
+            return 1.0
+        if source not in graph or target not in graph:
+            return 0.0
+        adj = _Adjacency(graph, build_overlay(graph, extra_edges))
+        return self._estimate(adj, source, target, {}, self.num_samples, 0)
+
+    def reachability_from(
+        self,
+        graph: UncertainGraph,
+        source: int,
+        extra_edges: Overlay = None,
+    ) -> Dict[int, float]:
+        if source not in graph:
+            return {}
+        adj = _Adjacency(graph, build_overlay(graph, extra_edges))
+        counts: Dict[int, float] = {}
+        self._estimate_vector(adj, source, {}, self.num_samples, 0, 1.0, counts)
+        counts[source] = 1.0
+        return counts
+
+    # ------------------------------------------------------------------
+    # scalar (s-t) recursion
+    # ------------------------------------------------------------------
+    def _estimate(
+        self,
+        adj: _Adjacency,
+        source: int,
+        target: int,
+        forced: Dict[EdgeKey, bool],
+        budget: int,
+        depth: int,
+    ) -> float:
+        certain = self._certain_region(adj, source, forced)
+        if target in certain:
+            return 1.0
+        if target not in self._potential_region(adj, source, forced):
+            return 0.0
+        if depth >= self.max_depth or budget < self.mc_threshold:
+            return self._monte_carlo(adj, source, target, forced, max(budget, 1))
+
+        strata_edges = self._select_strata_edges(adj, certain, forced)
+        if not strata_edges:
+            return 0.0  # no undetermined frontier: target unreachable
+
+        estimate = 0.0
+        prefix_absent = 1.0
+        forced_base = dict(forced)
+        for u, v, p, key in strata_edges:
+            pi = prefix_absent * p
+            stratum_forced = dict(forced_base)
+            stratum_forced[key] = True
+            estimate += pi * self._recurse(
+                adj, source, target, stratum_forced, pi, budget, depth
+            )
+            forced_base[key] = False
+            prefix_absent *= 1.0 - p
+        if prefix_absent > 0.0:
+            estimate += prefix_absent * self._recurse(
+                adj, source, target, forced_base, prefix_absent, budget, depth
+            )
+        return estimate
+
+    def _recurse(
+        self,
+        adj: _Adjacency,
+        source: int,
+        target: int,
+        forced: Dict[EdgeKey, bool],
+        pi: float,
+        budget: int,
+        depth: int,
+    ) -> float:
+        allocated = int(round(budget * pi))
+        if pi <= 1e-12:
+            return 0.0
+        allocated = max(allocated, 1)
+        if allocated < self.mc_threshold:
+            return self._monte_carlo(adj, source, target, forced, allocated)
+        return self._estimate(adj, source, target, forced, allocated, depth + 1)
+
+    # ------------------------------------------------------------------
+    # vector (reachability-from) recursion
+    # ------------------------------------------------------------------
+    def _estimate_vector(
+        self,
+        adj: _Adjacency,
+        source: int,
+        forced: Dict[EdgeKey, bool],
+        budget: int,
+        depth: int,
+        weight: float,
+        out: Dict[int, float],
+    ) -> None:
+        """Accumulate ``weight * P(node reachable)`` into ``out``."""
+        certain = self._certain_region(adj, source, forced)
+        if depth >= self.max_depth or budget < self.mc_threshold:
+            self._monte_carlo_vector(adj, source, forced, max(budget, 1), weight, out)
+            return
+        strata_edges = self._select_strata_edges(adj, certain, forced)
+        if not strata_edges:
+            for node in certain:
+                out[node] = out.get(node, 0.0) + weight
+            return
+        prefix_absent = 1.0
+        forced_base = dict(forced)
+        for u, v, p, key in strata_edges:
+            pi = prefix_absent * p
+            if pi > 1e-12:
+                stratum_forced = dict(forced_base)
+                stratum_forced[key] = True
+                allocated = max(int(round(budget * pi)), 1)
+                if allocated < self.mc_threshold:
+                    self._monte_carlo_vector(
+                        adj, source, stratum_forced, allocated, weight * pi, out
+                    )
+                else:
+                    self._estimate_vector(
+                        adj, source, stratum_forced, allocated,
+                        depth + 1, weight * pi, out,
+                    )
+            forced_base[key] = False
+            prefix_absent *= 1.0 - p
+        if prefix_absent > 1e-12:
+            allocated = max(int(round(budget * prefix_absent)), 1)
+            if allocated < self.mc_threshold:
+                self._monte_carlo_vector(
+                    adj, source, forced_base, allocated,
+                    weight * prefix_absent, out,
+                )
+            else:
+                self._estimate_vector(
+                    adj, source, forced_base, allocated,
+                    depth + 1, weight * prefix_absent, out,
+                )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _certain_region(
+        adj: _Adjacency,
+        source: int,
+        forced: Dict[EdgeKey, bool],
+    ) -> Set[int]:
+        """Nodes reachable via forced-present or probability-1 edges."""
+        seen = {source}
+        frontier = deque([source])
+        while frontier:
+            u = frontier.popleft()
+            for v, p, key in adj.neighbors(u):
+                if v in seen:
+                    continue
+                status = forced.get(key)
+                if status is True or (status is None and p >= 1.0):
+                    seen.add(v)
+                    frontier.append(v)
+        return seen
+
+    @staticmethod
+    def _potential_region(
+        adj: _Adjacency,
+        source: int,
+        forced: Dict[EdgeKey, bool],
+    ) -> Set[int]:
+        """Nodes reachable if every undetermined edge were present."""
+        seen = {source}
+        frontier = deque([source])
+        while frontier:
+            u = frontier.popleft()
+            for v, p, key in adj.neighbors(u):
+                if v in seen:
+                    continue
+                status = forced.get(key)
+                if status is False or (status is None and p <= 0.0):
+                    continue
+                seen.add(v)
+                frontier.append(v)
+        return seen
+
+    def _select_strata_edges(
+        self,
+        adj: _Adjacency,
+        certain: Set[int],
+        forced: Dict[EdgeKey, bool],
+    ) -> List[Tuple[int, int, float, EdgeKey]]:
+        """Undetermined edges on the certain-region frontier, best first."""
+        candidates: Dict[EdgeKey, Tuple[int, int, float, EdgeKey]] = {}
+        for u in certain:
+            for v, p, key in adj.neighbors(u):
+                if v in certain or key in forced or key in candidates:
+                    continue
+                if 0.0 < p < 1.0:
+                    candidates[key] = (u, v, p, key)
+        ranked = sorted(candidates.values(), key=lambda item: -item[2])
+        return ranked[: self.num_stratify_edges]
+
+    def _monte_carlo(
+        self,
+        adj: _Adjacency,
+        source: int,
+        target: int,
+        forced: Dict[EdgeKey, bool],
+        num_samples: int,
+    ) -> float:
+        rand = self._rng.random
+        hits = 0
+        for _ in range(num_samples):
+            visited = {source}
+            frontier = deque([source])
+            found = False
+            while frontier and not found:
+                u = frontier.popleft()
+                for v, p, key in adj.neighbors(u):
+                    if v in visited:
+                        continue
+                    status = forced.get(key)
+                    if status is False:
+                        continue
+                    if status is True or p >= 1.0 or rand() < p:
+                        if v == target:
+                            found = True
+                            break
+                        visited.add(v)
+                        frontier.append(v)
+            if found:
+                hits += 1
+        return hits / num_samples
+
+    def _monte_carlo_vector(
+        self,
+        adj: _Adjacency,
+        source: int,
+        forced: Dict[EdgeKey, bool],
+        num_samples: int,
+        weight: float,
+        out: Dict[int, float],
+    ) -> None:
+        rand = self._rng.random
+        unit = weight / num_samples
+        for _ in range(num_samples):
+            visited = {source}
+            frontier = deque([source])
+            while frontier:
+                u = frontier.popleft()
+                for v, p, key in adj.neighbors(u):
+                    if v in visited:
+                        continue
+                    status = forced.get(key)
+                    if status is False:
+                        continue
+                    if status is True or p >= 1.0 or rand() < p:
+                        visited.add(v)
+                        frontier.append(v)
+            for node in visited:
+                out[node] = out.get(node, 0.0) + unit

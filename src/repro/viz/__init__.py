@@ -1,0 +1,5 @@
+"""Visualization helpers (SVG network rendering)."""
+
+from .svg import render_network_svg, save_network_svg
+
+__all__ = ["render_network_svg", "save_network_svg"]

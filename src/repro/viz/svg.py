@@ -1,0 +1,114 @@
+"""SVG rendering of sensor networks and solutions (Figures 6/7 style).
+
+Pure-string SVG generation — no plotting dependency.  Renders a
+positioned uncertain graph with edge thickness proportional to link
+probability, and overlays a solution's new edges as dashed highlights,
+mirroring the paper's case-study figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..graph import UncertainGraph
+
+Position = Tuple[float, float]
+ProbEdge = Tuple[int, int, float]
+
+
+def _scale_positions(
+    positions: Dict[int, Position],
+    width: int,
+    height: int,
+    margin: int,
+) -> Dict[int, Position]:
+    xs = [x for x, _ in positions.values()]
+    ys = [y for _, y in positions.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+    scaled = {}
+    for node, (x, y) in positions.items():
+        sx = margin + (x - min_x) / span_x * (width - 2 * margin)
+        # SVG's y axis points down; flip so the map reads naturally.
+        sy = height - margin - (y - min_y) / span_y * (height - 2 * margin)
+        scaled[node] = (sx, sy)
+    return scaled
+
+
+def render_network_svg(
+    graph: UncertainGraph,
+    positions: Dict[int, Position],
+    new_edges: Optional[Sequence[ProbEdge]] = None,
+    highlight_nodes: Optional[Iterable[int]] = None,
+    width: int = 640,
+    height: int = 480,
+    min_probability: float = 0.0,
+) -> str:
+    """Render the graph as an SVG document string.
+
+    Existing edges are gray with width proportional to probability;
+    ``new_edges`` are drawn dashed in red; ``highlight_nodes`` (e.g. the
+    query's source and target) get a distinct fill.
+    """
+    margin = 24
+    scaled = _scale_positions(positions, width, height, margin)
+    highlights = set(highlight_nodes or ())
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    drawn = set()
+    for u, v, p in graph.edges():
+        if p < min_probability or u not in scaled or v not in scaled:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in drawn:
+            continue
+        drawn.add(key)
+        (x1, y1), (x2, y2) = scaled[u], scaled[v]
+        stroke = 0.4 + 2.6 * p
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="#999" stroke-width="{stroke:.2f}" opacity="0.7"/>'
+        )
+    for u, v, p in new_edges or ():
+        if u not in scaled or v not in scaled:
+            continue
+        (x1, y1), (x2, y2) = scaled[u], scaled[v]
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="#d62728" stroke-width="2.5" stroke-dasharray="6,4"/>'
+        )
+    for node, (x, y) in scaled.items():
+        fill = "#ff7f0e" if node in highlights else "#1f77b4"
+        radius = 8 if node in highlights else 5
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{radius}" fill="{fill}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 7:.1f}" y="{y - 7:.1f}" font-size="9" '
+            f'font-family="sans-serif" fill="#333">{node}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_network_svg(
+    path: str,
+    graph: UncertainGraph,
+    positions: Dict[int, Position],
+    new_edges: Optional[Sequence[ProbEdge]] = None,
+    highlight_nodes: Optional[Iterable[int]] = None,
+    **kwargs,
+) -> None:
+    """Render and write the SVG to ``path``."""
+    svg = render_network_svg(
+        graph, positions, new_edges=new_edges,
+        highlight_nodes=highlight_nodes, **kwargs,
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg)

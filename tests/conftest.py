@@ -1,0 +1,85 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph import UncertainGraph
+
+
+@pytest.fixture
+def diamond() -> UncertainGraph:
+    """0 -> {1, 2} -> 3 diamond with known exact reliability 0.652."""
+    g = UncertainGraph()
+    g.add_edge(0, 1, 0.8)
+    g.add_edge(1, 3, 0.5)
+    g.add_edge(0, 2, 0.6)
+    g.add_edge(2, 3, 0.7)
+    return g
+
+
+@pytest.fixture
+def directed_diamond() -> UncertainGraph:
+    g = UncertainGraph(directed=True)
+    g.add_edge(0, 1, 0.8)
+    g.add_edge(1, 3, 0.5)
+    g.add_edge(0, 2, 0.6)
+    g.add_edge(2, 3, 0.7)
+    return g
+
+
+@pytest.fixture
+def figure2_graph() -> UncertainGraph:
+    """The paper's Figure 2 counterexample graph (s=0, A=1, t=2)."""
+    g = UncertainGraph()
+    g.add_node(0)
+    g.add_node(1)
+    g.add_node(2)
+    return g
+
+
+@pytest.fixture
+def figure3_graph() -> UncertainGraph:
+    """Figure 3: s=0, A=1, B=2, t=3; edges AB and At with prob alpha."""
+
+    def build(alpha: float) -> UncertainGraph:
+        g = UncertainGraph()
+        g.add_node(0)
+        g.add_edge(1, 2, alpha)  # A-B
+        g.add_edge(1, 3, alpha)  # A-t
+        return g
+
+    return build
+
+
+def small_uncertain_graphs(
+    max_nodes: int = 6,
+    directed: bool = False,
+) -> st.SearchStrategy[UncertainGraph]:
+    """Hypothesis strategy: random small graphs with probabilistic edges."""
+
+    @st.composite
+    def build(draw) -> UncertainGraph:
+        n = draw(st.integers(min_value=2, max_value=max_nodes))
+        is_directed = draw(st.booleans()) if directed else False
+        g = UncertainGraph(directed=is_directed)
+        for u in range(n):
+            g.add_node(u)
+        max_edges = n * (n - 1) if is_directed else n * (n - 1) // 2
+        num_edges = draw(st.integers(min_value=0, max_value=min(max_edges, 9)))
+        for _ in range(num_edges):
+            u = draw(st.integers(min_value=0, max_value=n - 1))
+            v = draw(st.integers(min_value=0, max_value=n - 1))
+            if u == v:
+                continue
+            p = draw(
+                st.floats(
+                    min_value=0.05, max_value=1.0,
+                    allow_nan=False, allow_infinity=False,
+                )
+            )
+            g.add_edge(u, v, p)
+        return g
+
+    return build()

@@ -1,0 +1,102 @@
+"""Tests for adaptive-precision Monte Carlo and the Wilson interval."""
+
+import pytest
+
+from repro.graph import UncertainGraph, assign_fixed, path_graph
+from repro.reliability import (
+    AdaptiveMonteCarlo,
+    exact_reliability,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_proportion(self):
+        lower, upper = wilson_interval(50, 100)
+        assert lower < 0.5 < upper
+
+    def test_narrows_with_samples(self):
+        narrow = wilson_interval(500, 1000)
+        wide = wilson_interval(5, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_extreme_proportions_stay_in_unit(self):
+        lower, upper = wilson_interval(0, 100)
+        assert lower == 0.0 and upper < 0.1
+        lower, upper = wilson_interval(100, 100)
+        assert lower > 0.9 and upper >= 1.0 - 1e-9
+
+    def test_zero_samples(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_higher_confidence_is_wider(self):
+        at_90 = wilson_interval(30, 100, confidence=0.90)
+        at_99 = wilson_interval(30, 100, confidence=0.99)
+        assert (at_99[1] - at_99[0]) > (at_90[1] - at_90[0])
+
+    def test_unsupported_confidence(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, confidence=0.5)
+
+
+class TestAdaptiveMonteCarlo:
+    def test_interval_contains_truth(self, diamond):
+        # A 95% interval misses 5% of the time; a small slack makes the
+        # test deterministic without weakening it meaningfully.
+        truth = exact_reliability(diamond, 0, 3)
+        result = AdaptiveMonteCarlo(
+            target_half_width=0.02, seed=3
+        ).estimate(diamond, 0, 3)
+        assert result.lower - 0.01 <= truth <= result.upper + 0.01
+        assert result.half_width <= 0.02 + 1e-9
+
+    def test_easy_queries_use_fewer_samples(self):
+        # R ~ 0.99: variance tiny, convergence fast.
+        easy = UncertainGraph.from_edges([(0, 1, 0.99)])
+        hard = UncertainGraph.from_edges([(0, 1, 0.5)])
+        est = AdaptiveMonteCarlo(target_half_width=0.02, seed=4)
+        easy_n = est.estimate(easy, 0, 1).samples_used
+        est2 = AdaptiveMonteCarlo(target_half_width=0.02, seed=4)
+        hard_n = est2.estimate(hard, 0, 1).samples_used
+        assert easy_n < hard_n
+
+    def test_budget_cap_respected(self, diamond):
+        result = AdaptiveMonteCarlo(
+            target_half_width=0.0001, max_samples=1000, seed=5
+        ).estimate(diamond, 0, 3)
+        assert result.samples_used == 1000
+
+    def test_trivial_queries(self, diamond):
+        est = AdaptiveMonteCarlo(seed=0)
+        assert est.estimate(diamond, 2, 2).value == 1.0
+        assert est.estimate(diamond, 0, 99).value == 0.0
+
+    def test_reliability_protocol(self, diamond):
+        truth = exact_reliability(diamond, 0, 3)
+        value = AdaptiveMonteCarlo(
+            target_half_width=0.02, seed=6
+        ).reliability(diamond, 0, 3)
+        assert value == pytest.approx(truth, abs=0.05)
+
+    def test_reachability_fallback(self, diamond):
+        reach = AdaptiveMonteCarlo(seed=7).reachability_from(diamond, 0)
+        assert reach[0] == 1.0
+        assert set(reach) == {0, 1, 2, 3}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveMonteCarlo(target_half_width=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveMonteCarlo(block_size=0)
+        with pytest.raises(ValueError):
+            AdaptiveMonteCarlo(block_size=100, max_samples=10)
+        with pytest.raises(ValueError):
+            AdaptiveMonteCarlo(confidence=0.42)
+
+    def test_overlay_edges(self):
+        g = path_graph(3)
+        assign_fixed(g, 0.5)
+        est = AdaptiveMonteCarlo(target_half_width=0.02, seed=8)
+        with_direct = est.estimate(g, 0, 2, [(0, 2, 0.9)])
+        truth = exact_reliability(g, 0, 2, [(0, 2, 0.9)])
+        assert with_direct.lower - 0.01 <= truth <= with_direct.upper + 0.01

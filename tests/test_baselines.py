@@ -1,0 +1,252 @@
+"""Tests for the baseline edge-selection methods (§3 + multi-S/T)."""
+
+import itertools
+
+import pytest
+
+from repro.graph import (
+    UncertainGraph,
+    assign_fixed,
+    fixed_new_edge_probability,
+    path_graph,
+)
+from repro.reliability import ExactEstimator, exact_reliability
+from repro.baselines import (
+    all_missing_edges,
+    betweenness_centrality,
+    betweenness_centrality_selection,
+    dedupe_canonical,
+    degree_centrality,
+    degree_centrality_selection,
+    eigenvalue_selection,
+    esssp_selection,
+    exact_solution,
+    hill_climbing,
+    ima_selection,
+    individual_top_k,
+    leading_eigen,
+    random_selection,
+)
+
+ZETA = fixed_new_edge_probability(0.5)
+
+
+@pytest.fixture
+def chain():
+    g = path_graph(5)
+    assign_fixed(g, 0.5)
+    return g
+
+
+class TestCommonHelpers:
+    def test_all_missing_edges(self, diamond):
+        missing = set(all_missing_edges(diamond))
+        assert missing == {(0, 3), (1, 2)}
+
+    def test_all_missing_edges_h(self, chain):
+        missing = set(all_missing_edges(chain, h=2))
+        assert missing == {(0, 2), (1, 3), (2, 4)}
+
+    def test_all_missing_edges_forbidden(self, diamond):
+        missing = set(all_missing_edges(diamond, forbidden_nodes={3}))
+        assert missing == {(1, 2)}
+
+    def test_dedupe_canonical(self, diamond):
+        result = dedupe_canonical(diamond, [(3, 0), (0, 3), (1, 2)])
+        assert result == [(0, 3), (1, 2)]
+
+
+class TestIndividualTopK:
+    def test_prefers_direct_edge(self, chain):
+        edges = individual_top_k(
+            chain, 0, 4, 1, all_missing_edges(chain), ZETA, ExactEstimator()
+        )
+        assert [(u, v) for u, v, _ in edges] == [(0, 4)]
+
+    def test_returns_k_edges(self, chain):
+        edges = individual_top_k(
+            chain, 0, 4, 3, all_missing_edges(chain), ZETA, ExactEstimator()
+        )
+        assert len(edges) == 3
+
+    def test_invalid_k(self, chain):
+        with pytest.raises(ValueError):
+            individual_top_k(chain, 0, 4, 0, [], ZETA, ExactEstimator())
+
+
+class TestHillClimbing:
+    def test_first_pick_is_direct_edge(self, chain):
+        edges = hill_climbing(
+            chain, 0, 4, 1, all_missing_edges(chain), ZETA, ExactEstimator()
+        )
+        assert [(u, v) for u, v, _ in edges] == [(0, 4)]
+
+    def test_marginal_gains_respected(self, chain):
+        """HC's 2-edge pick must match exhaustive search here (tiny case)."""
+        candidates = all_missing_edges(chain)
+        hc = hill_climbing(chain, 0, 4, 2, candidates, ZETA, ExactEstimator())
+        hc_val = exact_reliability(chain, 0, 4, hc)
+        best = max(
+            exact_reliability(
+                chain, 0, 4, [(u, v, 0.5) for u, v in subset]
+            )
+            for subset in itertools.combinations(candidates, 2)
+        )
+        # Greedy is not optimal in general, but must be within the
+        # single-swap neighborhood here; the chain case is exact.
+        assert hc_val == pytest.approx(best, abs=1e-9)
+
+    def test_budget_larger_than_candidates(self, diamond):
+        edges = hill_climbing(
+            diamond, 0, 3, 10, all_missing_edges(diamond), ZETA, ExactEstimator()
+        )
+        assert len(edges) == 2  # only two missing edges exist
+
+
+class TestCentrality:
+    def test_degree_centrality_values(self, diamond):
+        scores = degree_centrality(diamond)
+        assert scores[0] == pytest.approx(0.8 + 0.6)
+        assert scores[3] == pytest.approx(0.5 + 0.7)
+
+    def test_betweenness_star_center(self):
+        g = UncertainGraph()
+        for leaf in range(1, 6):
+            g.add_edge(0, leaf, 0.5)
+        scores = betweenness_centrality(g)
+        assert scores[0] > 0
+        assert all(scores[leaf] == 0 for leaf in range(1, 6))
+
+    def test_betweenness_path_middle(self):
+        g = path_graph(5)
+        scores = betweenness_centrality(g)
+        assert scores[2] == max(scores.values())
+
+    def test_degree_selection_connects_hubs(self):
+        g = UncertainGraph()
+        # Two stars whose centers are not connected.
+        for leaf in range(2, 6):
+            g.add_edge(0, leaf, 0.9)
+        for leaf in range(6, 10):
+            g.add_edge(1, leaf, 0.9)
+        edges = degree_centrality_selection(g, 1, ZETA)
+        assert [(u, v) for u, v, _ in edges] == [(0, 1)]
+
+    def test_selection_with_candidates(self, chain):
+        candidates = [(0, 2), (0, 4)]
+        edges = degree_centrality_selection(
+            chain, 1, ZETA, candidates=candidates
+        )
+        assert len(edges) == 1
+        assert (edges[0][0], edges[0][1]) in candidates
+
+    def test_betweenness_selection_budget(self, chain):
+        edges = betweenness_centrality_selection(chain, 2, ZETA)
+        assert len(edges) == 2
+
+
+class TestEigen:
+    def test_leading_eigen_star(self):
+        import math
+
+        g = UncertainGraph()
+        for leaf in range(1, 5):
+            g.add_edge(0, leaf, 1.0)
+        value, left, right = leading_eigen(g)
+        # Star K_{1,4} leading eigenvalue = sqrt(4) = 2.
+        assert value == pytest.approx(2.0, abs=1e-6)
+        assert left[0] == max(left.values())
+
+    def test_selection_prefers_high_scores(self):
+        g = UncertainGraph()
+        for leaf in range(2, 6):
+            g.add_edge(0, leaf, 0.9)
+        for leaf in range(6, 8):
+            g.add_edge(1, leaf, 0.9)
+        edges = eigenvalue_selection(g, 1, ZETA)
+        # The missing edge between the two components' hubs or within the
+        # large star's periphery — endpoints must include the big hub side.
+        (u, v, _), = edges
+        assert 0 in (u, v) or {u, v} <= {2, 3, 4, 5}
+
+    def test_selection_with_candidates(self, chain):
+        edges = eigenvalue_selection(chain, 1, ZETA, candidates=[(0, 2), (0, 4)])
+        assert len(edges) == 1
+
+    def test_invalid_k(self, chain):
+        with pytest.raises(ValueError):
+            eigenvalue_selection(chain, 0, ZETA)
+
+
+class TestEsssp:
+    def test_connects_disconnected_pair(self):
+        g = UncertainGraph()
+        g.add_edge(0, 1, 0.9)
+        g.add_edge(2, 3, 0.9)
+        edges = esssp_selection(
+            g, [0], [3], 1, [(1, 2), (0, 3)], ZETA
+        )
+        assert len(edges) == 1
+        # Either bridge connects; both are acceptable greedy choices.
+        assert (edges[0][0], edges[0][1]) in {(1, 2), (0, 3)}
+
+    def test_shortens_path(self, chain):
+        edges = esssp_selection(chain, [0], [4], 1, [(0, 4), (1, 3)], ZETA)
+        assert [(u, v) for u, v, _ in edges] == [(0, 4)]
+
+    def test_budget(self, chain):
+        edges = esssp_selection(
+            chain, [0], [4], 2, all_missing_edges(chain), ZETA
+        )
+        assert len(edges) == 2
+
+
+class TestIma:
+    def test_reaches_targets(self, chain):
+        edges = ima_selection(
+            chain, [0], [4], 1, all_missing_edges(chain), ZETA, seed=3
+        )
+        assert len(edges) == 1
+
+    def test_prefers_edges_from_activated_region(self):
+        g = UncertainGraph(directed=True)
+        g.add_edge(0, 1, 0.9)
+        g.add_edge(2, 3, 0.9)
+        # Candidates: from the activated region (1) vs from nowhere (3->2).
+        edges = ima_selection(
+            g, [0], [3], 1, [(1, 2), (3, 2)], ZETA, seed=1
+        )
+        assert [(u, v) for u, v, _ in edges] == [(1, 2)]
+
+
+class TestExactSolution:
+    def test_matches_bruteforce(self, chain):
+        candidates = all_missing_edges(chain)
+        best = exact_solution(
+            chain, 0, 4, 2, candidates, ZETA, ExactEstimator()
+        )
+        best_val = exact_reliability(chain, 0, 4, best)
+        brute = max(
+            exact_reliability(chain, 0, 4, [(u, v, 0.5) for u, v in subset])
+            for subset in itertools.combinations(candidates, 2)
+        )
+        assert best_val == pytest.approx(brute)
+
+    def test_guard_on_huge_spaces(self, chain):
+        with pytest.raises(ValueError, match="enumerate"):
+            exact_solution(
+                chain, 0, 4, 2, all_missing_edges(chain), ZETA,
+                ExactEstimator(), max_combinations=1,
+            )
+
+
+class TestRandomSelection:
+    def test_deterministic(self):
+        candidates = [(0, i) for i in range(1, 20)]
+        a = random_selection(candidates, 5, ZETA, seed=4)
+        b = random_selection(candidates, 5, ZETA, seed=4)
+        assert a == b
+
+    def test_k_larger_than_pool(self):
+        edges = random_selection([(0, 1)], 5, ZETA, seed=0)
+        assert len(edges) == 1

@@ -1,0 +1,169 @@
+"""Tests for max-flow/min-cut and the analytic reliability bounds."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.graph import UncertainGraph, assign_fixed, path_graph
+from repro.paths import DinicMaxFlow, min_cut
+from repro.reliability import (
+    exact_reliability,
+    reliability_bounds,
+    reliability_lower_bound,
+    reliability_upper_bound,
+)
+
+from .conftest import small_uncertain_graphs
+
+
+class TestDinic:
+    def test_single_path_flow(self):
+        flow = DinicMaxFlow()
+        flow.add_edge(0, 1, 3.0)
+        flow.add_edge(1, 2, 2.0)
+        assert flow.max_flow(0, 2) == pytest.approx(2.0)
+
+    def test_parallel_paths_add(self):
+        flow = DinicMaxFlow()
+        flow.add_edge(0, 1, 1.0)
+        flow.add_edge(1, 3, 1.0)
+        flow.add_edge(0, 2, 2.0)
+        flow.add_edge(2, 3, 2.0)
+        assert flow.max_flow(0, 3) == pytest.approx(3.0)
+
+    def test_classic_bottleneck(self):
+        flow = DinicMaxFlow()
+        flow.add_edge(0, 1, 10.0)
+        flow.add_edge(0, 2, 10.0)
+        flow.add_edge(1, 2, 1.0)
+        flow.add_edge(1, 3, 4.0)
+        flow.add_edge(2, 3, 9.0)
+        assert flow.max_flow(0, 3) == pytest.approx(13.0)
+
+    def test_disconnected(self):
+        flow = DinicMaxFlow()
+        flow.add_edge(0, 1, 5.0)
+        flow.add_edge(2, 3, 5.0)
+        assert flow.max_flow(0, 3) == 0.0
+
+    def test_source_equals_sink(self):
+        flow = DinicMaxFlow()
+        flow.add_edge(0, 1, 1.0)
+        assert flow.max_flow(0, 0) == math.inf
+
+    def test_negative_capacity_rejected(self):
+        flow = DinicMaxFlow()
+        with pytest.raises(ValueError):
+            flow.add_edge(0, 1, -1.0)
+
+    def test_min_cut_edges_identified(self):
+        value, cut = min_cut(
+            [(0, 1, 5.0), (1, 2, 1.0), (2, 3, 5.0)], 0, 3
+        )
+        assert value == pytest.approx(1.0)
+        assert cut == [(1, 2)]
+
+    def test_min_cut_undirected(self):
+        value, cut = min_cut(
+            [(0, 1, 2.0), (1, 2, 2.0), (0, 2, 1.0)], 0, 2, directed=False
+        )
+        assert value == pytest.approx(3.0)
+        assert len(cut) == 2
+
+
+class TestUpperBound:
+    def test_series_graph_cut(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.5), (1, 2, 0.4)])
+        upper, cut = reliability_upper_bound(g, 0, 2)
+        # Tightest single cut: the 0.4 edge -> bound 0.4.
+        assert upper == pytest.approx(0.4)
+        assert cut == [(1, 2)]
+
+    def test_parallel_edges_cut(self):
+        g = UncertainGraph.from_edges(
+            [(0, 1, 0.5), (1, 3, 0.5), (0, 2, 0.5), (2, 3, 0.5)]
+        )
+        upper, cut = reliability_upper_bound(g, 0, 3)
+        # Both sides must be cut: 1 - 0.25 = 0.75.
+        assert upper == pytest.approx(0.75)
+        assert len(cut) == 2
+
+    def test_certain_edge_infinite_capacity(self):
+        g = UncertainGraph.from_edges([(0, 1, 1.0)])
+        upper, _ = reliability_upper_bound(g, 0, 1)
+        assert upper == 1.0
+
+    def test_disconnected_zero(self):
+        g = UncertainGraph()
+        g.add_edge(0, 1, 0.9)
+        g.add_node(5)
+        upper, cut = reliability_upper_bound(g, 0, 5)
+        assert upper == 0.0
+        assert cut == []
+
+    def test_upper_dominates_exact(self, diamond):
+        upper, _ = reliability_upper_bound(diamond, 0, 3)
+        assert upper >= exact_reliability(diamond, 0, 3) - 1e-12
+
+
+class TestLowerBound:
+    def test_single_path(self):
+        g = path_graph(4)
+        assign_fixed(g, 0.5)
+        lower, paths = reliability_lower_bound(g, 0, 3)
+        assert lower == pytest.approx(0.125)
+        assert paths == [[0, 1, 2, 3]]
+
+    def test_disjoint_paths_combine(self):
+        g = UncertainGraph.from_edges(
+            [(0, 1, 0.5), (1, 3, 0.5), (0, 2, 0.5), (2, 3, 0.5)]
+        )
+        lower, paths = reliability_lower_bound(g, 0, 3)
+        assert lower == pytest.approx(1 - 0.75 * 0.75)
+        assert len(paths) == 2
+
+    def test_shared_edges_not_double_counted(self):
+        # Two paths share edge (0, 1): only one can be kept.
+        g = UncertainGraph.from_edges(
+            [(0, 1, 0.9), (1, 2, 0.5), (1, 3, 0.5), (2, 4, 0.9), (3, 4, 0.9)]
+        )
+        lower, paths = reliability_lower_bound(g, 0, 4)
+        assert len(paths) == 1
+
+    def test_unreachable(self):
+        g = UncertainGraph()
+        g.add_edge(0, 1, 0.5)
+        g.add_node(9)
+        lower, paths = reliability_lower_bound(g, 0, 9)
+        assert lower == 0.0 and paths == []
+
+    def test_lower_bounded_by_exact(self, diamond):
+        lower, _ = reliability_lower_bound(diamond, 0, 3)
+        assert lower <= exact_reliability(diamond, 0, 3) + 1e-12
+
+
+class TestBracket:
+    def test_bridge_graph_bracket(self):
+        g = UncertainGraph.from_edges(
+            [(0, 1, 0.5), (0, 2, 0.5), (1, 2, 0.5), (1, 3, 0.5), (2, 3, 0.5)]
+        )
+        bracket = reliability_bounds(g, 0, 3)
+        truth = exact_reliability(g, 0, 3)
+        assert bracket.contains(truth)
+        assert bracket.width < 0.5
+
+    def test_source_equals_target(self, diamond):
+        bracket = reliability_bounds(diamond, 1, 1)
+        assert bracket.lower == bracket.upper == 1.0
+
+    @given(graph=small_uncertain_graphs(max_nodes=5))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_bracket_always_contains_truth(self, graph):
+        nodes = sorted(graph.nodes())
+        s, t = nodes[0], nodes[-1]
+        bracket = reliability_bounds(graph, s, t)
+        truth = exact_reliability(graph, s, t)
+        assert bracket.contains(truth, slack=1e-9)
+        assert 0.0 <= bracket.lower <= bracket.upper <= 1.0 + 1e-12

@@ -1,0 +1,80 @@
+"""Tests for the convergence diagnostics (index of dispersion)."""
+
+import pytest
+
+from repro.graph import assign_uniform, erdos_renyi
+from repro.reliability import (
+    MonteCarloEstimator,
+    RecursiveStratifiedSampler,
+    estimator_bias_check,
+    exact_reliability,
+    index_of_dispersion,
+    required_samples,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = erdos_renyi(25, num_edges=50, seed=1)
+    return assign_uniform(g, 0.2, 0.8, seed=2)
+
+
+@pytest.fixture(scope="module")
+def queries(graph):
+    return [(0, 20), (3, 15), (5, 24)]
+
+
+def mc_factory(z, s):
+    return MonteCarloEstimator(z, seed=s)
+
+
+def rss_factory(z, s):
+    return RecursiveStratifiedSampler(z, seed=s)
+
+
+class TestIndexOfDispersion:
+    def test_decreases_with_samples(self, graph, queries):
+        rho_small = index_of_dispersion(mc_factory, graph, queries, 30, repeats=8)
+        rho_large = index_of_dispersion(mc_factory, graph, queries, 600, repeats=8)
+        assert rho_large < rho_small
+
+    def test_requires_two_repeats(self, graph, queries):
+        with pytest.raises(ValueError):
+            index_of_dispersion(mc_factory, graph, queries, 50, repeats=1)
+
+    def test_rss_disperses_no_worse(self, graph, queries):
+        """The Table 6/7 claim: RSS converges with fewer samples."""
+        z = 100
+        rho_mc = index_of_dispersion(mc_factory, graph, queries, z, repeats=12)
+        rho_rss = index_of_dispersion(rss_factory, graph, queries, z, repeats=12)
+        assert rho_rss <= rho_mc * 1.2  # allow sampling noise
+
+
+class TestRequiredSamples:
+    def test_returns_converged_size(self, graph, queries):
+        z, history = required_samples(
+            mc_factory, graph, queries,
+            candidate_sizes=(50, 200, 800, 3200),
+            rho_threshold=5e-3,
+            repeats=6,
+        )
+        assert z in history
+        assert history[z] < 5e-3 or z == 3200
+
+    def test_history_monotone_tendency(self, graph, queries):
+        _, history = required_samples(
+            mc_factory, graph, queries,
+            candidate_sizes=(50, 800),
+            rho_threshold=1e-9,  # force both to run
+            repeats=6,
+        )
+        assert history[800] < history[50]
+
+
+class TestBiasCheck:
+    def test_mc_unbiased_on_diamond(self, diamond):
+        truth = exact_reliability(diamond, 0, 3)
+        mean, bias = estimator_bias_check(
+            mc_factory, diamond, (0, 3), truth, num_samples=1500, repeats=10
+        )
+        assert bias < 0.02

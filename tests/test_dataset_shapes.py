@@ -1,0 +1,91 @@
+"""Qualitative Table-8 shape checks for the dataset stand-ins.
+
+The stand-ins are smaller than the paper's graphs, but the *relative*
+structural properties the evaluation leans on must hold: regular graphs
+have the longest shortest paths, small-world/DBLP-like graphs cluster
+heavily, the twitter-like graph is the sparsest real stand-in, and every
+probability model produces the right range.
+"""
+
+import pytest
+
+from repro import datasets
+from repro.graph import (
+    average_shortest_path_length,
+    clustering_coefficient,
+    probability_summary,
+    summarize,
+)
+
+N = 600
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    names = [
+        "lastfm", "as-topology", "dblp", "twitter",
+        "random-1", "regular-1", "smallworld-1", "scalefree-1",
+    ]
+    return {name: datasets.load(name, num_nodes=N, seed=0) for name in names}
+
+
+class TestStructuralShape:
+    def test_regular_has_longest_paths(self, graphs):
+        """Table 8: regular graphs' avg SPL ~11 vs ~4-5 for the rest."""
+        regular = average_shortest_path_length(graphs["regular-1"], num_sources=30)
+        smallworld = average_shortest_path_length(
+            graphs["smallworld-1"], num_sources=30
+        )
+        scalefree = average_shortest_path_length(
+            graphs["scalefree-1"], num_sources=30
+        )
+        assert regular > smallworld
+        assert regular > scalefree
+
+    def test_smallworld_clusters_more_than_random(self, graphs):
+        """Table 8: C.Coe. 0.55 (small-world) vs 0.11 (random)."""
+        assert clustering_coefficient(graphs["smallworld-1"]) > (
+            clustering_coefficient(graphs["random-1"]) + 0.1
+        )
+
+    def test_dblp_clusters_more_than_lastfm(self, graphs):
+        """Table 8: DBLP C.Coe. 0.63 vs LastFM 0.13."""
+        assert clustering_coefficient(graphs["dblp"]) > (
+            clustering_coefficient(graphs["lastfm"])
+        )
+
+    def test_twitter_is_sparsest_real_standin(self, graphs):
+        degree = {
+            name: 2 * graphs[name].num_edges / graphs[name].num_nodes
+            for name in ("lastfm", "dblp", "twitter")
+        }
+        assert degree["twitter"] <= min(degree["lastfm"], degree["dblp"]) + 0.5
+
+    def test_device_networks_directed(self, graphs):
+        assert graphs["as-topology"].directed
+        assert not graphs["dblp"].directed
+
+
+class TestProbabilityShape:
+    def test_synthetic_probabilities_in_range(self, graphs):
+        mean, _, quartiles = probability_summary(graphs["random-1"])
+        assert 0.2 < mean < 0.4          # uniform(0, 0.6] -> mean ~0.3
+        assert quartiles[2] <= 0.6
+
+    def test_lastfm_probabilities_inverse_degree(self, graphs):
+        mean, _, _ = probability_summary(graphs["lastfm"])
+        # Inverse-out-degree on a k~7 graph: mean ~1/7 to ~1/3.
+        assert 0.05 < mean < 0.45
+
+    def test_dblp_twitter_exponential_cdf_low(self, graphs):
+        for name in ("dblp", "twitter"):
+            mean, _, _ = probability_summary(graphs[name])
+            # 1 - exp(-t/20) with small t: the paper reports 0.11-0.14.
+            assert 0.05 < mean < 0.30
+
+    def test_summaries_render(self, graphs):
+        for name, graph in graphs.items():
+            summary = summarize(graph)
+            row = summary.row()
+            assert len(row) == 8
+            assert summary.num_nodes == graph.num_nodes

@@ -1,0 +1,26 @@
+"""Run the library's embedded doctest examples."""
+
+import doctest
+
+import repro.graph.uncertain_graph
+
+
+def test_uncertain_graph_doctests():
+    results = doctest.testmod(repro.graph.uncertain_graph, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 3  # the class example actually ran
+
+
+def test_readme_quickstart_snippet():
+    """The README quickstart must stay executable."""
+    from repro import ReliabilityMaximizer, UncertainGraph
+
+    g = UncertainGraph()
+    g.add_edge(0, 1, 0.8)
+    g.add_edge(1, 2, 0.4)
+    g.add_edge(2, 3, 0.7)
+
+    solver = ReliabilityMaximizer(r=20, l=20)
+    solution = solver.maximize(g, 0, 3, k=2, zeta=0.5)
+    assert len(solution.edges) == 2
+    assert solution.gain > 0

@@ -1,0 +1,112 @@
+"""Tests for the experiment harness (metrics, tables, drivers)."""
+
+import pytest
+
+from repro.graph import assign_fixed, path_graph
+from repro.experiments import (
+    MethodStats,
+    ResultTable,
+    SingleStProtocol,
+    compare_methods_multi,
+    compare_methods_single_st,
+    default_estimator_factory,
+    elimination_timings,
+    mean,
+    measure,
+)
+
+
+class TestMeasure:
+    def test_returns_value_and_time(self):
+        result = measure(sum, [1, 2, 3])
+        assert result.value == 6
+        assert result.seconds >= 0
+        assert result.peak_mb == 0.0
+
+    def test_memory_tracking(self):
+        result = measure(lambda: [0] * 500_000, track_memory=True)
+        assert result.peak_mb > 1.0
+
+    def test_exception_propagates(self):
+        with pytest.raises(ZeroDivisionError):
+            measure(lambda: 1 / 0)
+
+
+class TestResultTable:
+    def test_render_alignment(self):
+        table = ResultTable("T", ["Method", "Gain"])
+        table.add_row("be", 0.3333333)
+        table.add_row("hill-climbing", 0.1)
+        text = table.render()
+        assert "0.333" in text
+        assert "hill-climbing" in text
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[2:5]}) <= 2  # aligned
+
+    def test_notes(self):
+        table = ResultTable("T", ["A"])
+        table.add_note("paper reports 0.33")
+        assert "paper reports" in table.render()
+
+    def test_column_access(self):
+        table = ResultTable("T", ["Method", "Gain"])
+        table.add_row("be", 0.5)
+        assert table.column("Method") == ["be"]
+
+    def test_mean_helper(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert mean([]) == 0.0
+
+
+class TestMethodStats:
+    def test_aggregates(self):
+        stats = MethodStats(method="be", gains=[0.1, 0.3], seconds=[1.0, 3.0])
+        assert stats.mean_gain == pytest.approx(0.2)
+        assert stats.mean_seconds == pytest.approx(2.0)
+        assert stats.mean_peak_mb == 0.0
+
+
+@pytest.fixture(scope="module")
+def chain():
+    g = path_graph(6)
+    assign_fixed(g, 0.5)
+    return g
+
+
+class TestDrivers:
+    def test_compare_methods_single_st(self, chain):
+        protocol = SingleStProtocol(
+            k=2, r=4, l=5, evaluation_samples=400,
+            estimator_factory=default_estimator_factory(100),
+        )
+        stats = compare_methods_single_st(
+            chain, [(0, 5)], ["be", "mrp"], protocol
+        )
+        assert set(stats) == {"be", "mrp"}
+        assert stats["be"].mean_gain >= stats["mrp"].mean_gain - 0.05
+        assert all(s.mean_seconds > 0 for s in stats.values())
+
+    def test_elimination_timings(self, chain):
+        seconds, candidates = elimination_timings(
+            chain, [(0, 5)], default_estimator_factory(100), r=4
+        )
+        assert seconds > 0
+        assert candidates > 0
+
+    def test_compare_methods_multi(self, chain):
+        stats = compare_methods_multi(
+            chain, [0, 1], [4, 5], ["be", "eo"], "average",
+            k=2, r=4, l=5,
+            estimator_factory=default_estimator_factory(100),
+            evaluation_samples=300,
+        )
+        assert set(stats) == {"be", "eo"}
+        for s in stats.values():
+            assert len(s.gains) == 1
+
+    def test_compare_methods_multi_unknown(self, chain):
+        with pytest.raises(ValueError, match="unknown multi method"):
+            compare_methods_multi(
+                chain, [0], [5], ["nope"], "average", k=1, r=3, l=3,
+                estimator_factory=default_estimator_factory(50),
+            )

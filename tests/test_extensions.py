@@ -1,0 +1,153 @@
+"""Tests for the extension modules: probability-budget MRP maximization
+(the paper's stated future work) and the BFS-sharing index estimator."""
+
+import pytest
+
+from repro.graph import UncertainGraph, assign_fixed, path_graph
+from repro.reliability import BFSSharingIndex, MonteCarloEstimator, exact_reliability
+from repro.core import improve_mrp_with_probability_budget
+
+
+class TestProbabilityBudget:
+    def test_single_edge_gets_whole_budget(self, diamond):
+        solution = improve_mrp_with_probability_budget(
+            diamond, 0, 3, max_new_edges=1, total_probability=0.9
+        )
+        assert [(u, v) for u, v, _ in solution.edges] == [(0, 3)]
+        assert solution.edges[0][2] == pytest.approx(0.9)
+        assert solution.new_probability == pytest.approx(0.9)
+
+    def test_budget_split_evenly(self):
+        # Restrict candidates so the path must use two new edges
+        # (otherwise a direct 0-3 edge capped at p=1 would win).
+        g = UncertainGraph()
+        g.add_edge(1, 2, 0.9)
+        g.add_node(0)
+        g.add_node(3)
+        solution = improve_mrp_with_probability_budget(
+            g, 0, 3, max_new_edges=2, total_probability=1.2,
+            candidates=[(0, 1), (2, 3)],
+        )
+        assert len(solution.edges) == 2
+        for _, _, p in solution.edges:
+            assert p == pytest.approx(0.6)
+        assert solution.budget_spent == pytest.approx(1.2)
+        assert solution.new_probability == pytest.approx(0.6 * 0.9 * 0.6)
+
+    def test_prefers_fewer_edges_when_budget_small(self):
+        # With B=0.5 one direct edge (p=0.5) beats two 0.25 edges
+        # through an intermediate (0.25 * 0.25 < 0.5).
+        g = UncertainGraph()
+        g.add_node(0)
+        g.add_node(1)
+        g.add_node(2)
+        solution = improve_mrp_with_probability_budget(
+            g, 0, 2, max_new_edges=2, total_probability=0.5
+        )
+        assert len(solution.edges) == 1
+        assert solution.new_probability == pytest.approx(0.5)
+
+    def test_no_improvement_possible(self):
+        g = UncertainGraph.from_edges([(0, 1, 1.0)])
+        solution = improve_mrp_with_probability_budget(
+            g, 0, 1, max_new_edges=2, total_probability=0.4
+        )
+        assert solution.edges == []
+        assert solution.new_probability == pytest.approx(1.0)
+
+    def test_per_edge_probability_capped_at_one(self):
+        g = UncertainGraph()
+        g.add_node(0)
+        g.add_node(1)
+        solution = improve_mrp_with_probability_budget(
+            g, 0, 1, max_new_edges=1, total_probability=5.0
+        )
+        assert solution.edges[0][2] == pytest.approx(1.0)
+
+    def test_candidate_restriction(self, diamond):
+        solution = improve_mrp_with_probability_budget(
+            diamond, 0, 3, max_new_edges=1, total_probability=0.9,
+            candidates=[(1, 2)],
+        )
+        assert (0, 3) not in {(u, v) for u, v, _ in solution.edges}
+
+    def test_validation(self, diamond):
+        with pytest.raises(ValueError):
+            improve_mrp_with_probability_budget(diamond, 0, 3, 0, 0.5)
+        with pytest.raises(ValueError):
+            improve_mrp_with_probability_budget(diamond, 0, 3, 1, 0.0)
+
+    def test_more_budget_never_hurts(self, diamond):
+        small = improve_mrp_with_probability_budget(
+            diamond, 0, 3, max_new_edges=2, total_probability=0.4
+        )
+        large = improve_mrp_with_probability_budget(
+            diamond, 0, 3, max_new_edges=2, total_probability=1.0
+        )
+        assert large.new_probability >= small.new_probability - 1e-12
+
+
+class TestBFSSharingIndex:
+    def test_matches_exact(self, diamond):
+        index = BFSSharingIndex(diamond, num_samples=8000, seed=1)
+        truth = exact_reliability(diamond, 0, 3)
+        assert index.reliability(diamond, 0, 3) == pytest.approx(truth, abs=0.03)
+
+    def test_rejects_other_graphs(self, diamond):
+        index = BFSSharingIndex(diamond, num_samples=10, seed=1)
+        other = diamond.copy()
+        with pytest.raises(ValueError, match="indexed"):
+            index.reliability(other, 0, 3)
+
+    def test_repeat_queries_are_consistent(self, diamond):
+        index = BFSSharingIndex(diamond, num_samples=100, seed=1)
+        a = index.reliability(diamond, 0, 3)
+        b = index.reliability(diamond, 0, 3)
+        assert a == b
+
+    def test_overlay_edges(self, diamond):
+        index = BFSSharingIndex(diamond, num_samples=8000, seed=2)
+        truth = exact_reliability(diamond, 0, 3, [(0, 3, 0.9)])
+        estimate = index.reliability(diamond, 0, 3, [(0, 3, 0.9)])
+        assert estimate == pytest.approx(truth, abs=0.03)
+
+    def test_reachability_from(self, diamond):
+        index = BFSSharingIndex(diamond, num_samples=8000, seed=3)
+        reach = index.reachability_from(diamond, 0)
+        assert reach[0] == 1.0
+        truth = exact_reliability(diamond, 0, 3)
+        assert reach[3] == pytest.approx(truth, abs=0.03)
+
+    def test_pair_reliabilities_share_worlds(self):
+        g = path_graph(5)
+        assign_fixed(g, 0.6)
+        index = BFSSharingIndex(g, num_samples=6000, seed=4)
+        values = index.pair_reliabilities(g, [(0, 2), (0, 4), (1, 3)])
+        mc = MonteCarloEstimator(6000, seed=5)
+        for pair, value in values.items():
+            assert value == pytest.approx(
+                mc.reliability(g, *pair), abs=0.04
+            )
+
+    def test_index_faster_than_resampling_for_many_queries(self):
+        import time
+
+        g = path_graph(60)
+        assign_fixed(g, 0.7)
+        pairs = [(i, i + 10) for i in range(0, 50, 2)]
+        index = BFSSharingIndex(g, num_samples=300, seed=6)
+        start = time.perf_counter()
+        index.pair_reliabilities(g, pairs)
+        indexed = time.perf_counter() - start
+        mc = MonteCarloEstimator(300, seed=7)
+        start = time.perf_counter()
+        for pair in pairs:
+            mc.reliability(g, *pair)
+        resampled = time.perf_counter() - start
+        # Shared worlds amortize: the index answers the batch in
+        # comparable-or-better time despite computing full reach sets.
+        assert indexed < resampled * 3
+
+    def test_invalid_samples(self, diamond):
+        with pytest.raises(ValueError):
+            BFSSharingIndex(diamond, num_samples=0)

@@ -1,0 +1,114 @@
+"""Tests for the ReliabilityMaximizer facade."""
+
+import pytest
+
+from repro.graph import assign_fixed, fixed_new_edge_probability, path_graph
+from repro.reliability import ExactEstimator
+from repro.core import METHODS, ReliabilityMaximizer, Solution
+
+
+@pytest.fixture
+def chain():
+    g = path_graph(6)
+    assign_fixed(g, 0.5)
+    return g
+
+
+@pytest.fixture
+def solver():
+    return ReliabilityMaximizer(
+        estimator=ExactEstimator(),
+        evaluation_samples=2000,
+        r=4,
+        l=5,
+    )
+
+
+class TestMaximize:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_every_method_runs(self, solver, chain, method):
+        if method == "exact":
+            pytest.skip("covered separately with a bounded space")
+        solution = solver.maximize(chain, 0, 5, k=2, zeta=0.5, method=method)
+        assert isinstance(solution, Solution)
+        assert len(solution.edges) <= 2
+        assert 0.0 <= solution.base_reliability <= 1.0
+        assert 0.0 <= solution.new_reliability <= 1.0
+
+    def test_be_gain_positive_on_chain(self, solver, chain):
+        solution = solver.maximize(chain, 0, 5, k=2, zeta=0.5, method="be")
+        assert solution.gain > 0.1  # direct/2-hop shortcuts dwarf 0.5^5
+
+    def test_exact_method_with_small_space(self, chain):
+        solver = ReliabilityMaximizer(estimator=ExactEstimator(), r=3, l=5)
+        solution = solver.maximize(chain, 0, 5, k=1, zeta=0.5, method="exact")
+        assert len(solution.edges) == 1
+
+    def test_unknown_method(self, solver, chain):
+        with pytest.raises(ValueError, match="unknown method"):
+            solver.maximize(chain, 0, 5, k=2, method="magic")
+
+    def test_invalid_k(self, solver, chain):
+        with pytest.raises(ValueError):
+            solver.maximize(chain, 0, 5, k=0)
+
+    def test_candidate_space_reuse(self, solver, chain):
+        space = solver.candidates(
+            chain, 0, 5, fixed_new_edge_probability(0.5)
+        )
+        a = solver.maximize(
+            chain, 0, 5, k=2, method="be", candidate_space=space
+        )
+        b = solver.maximize(
+            chain, 0, 5, k=2, method="be", candidate_space=space
+        )
+        assert {(u, v) for u, v, _ in a.edges} == {(u, v) for u, v, _ in b.edges}
+
+    def test_no_elimination_uses_all_missing(self, chain):
+        solver = ReliabilityMaximizer(estimator=ExactEstimator(), r=2, l=5)
+        eliminated = solver.maximize(chain, 0, 5, k=1, method="be")
+        full = solver.maximize(chain, 0, 5, k=1, method="be", eliminate=False)
+        assert full.num_candidates >= eliminated.num_candidates
+
+    def test_h_constraint_respected(self):
+        g = path_graph(8)
+        assign_fixed(g, 0.5)
+        solver = ReliabilityMaximizer(estimator=ExactEstimator(), r=8, l=5, h=3)
+        solution = solver.maximize(g, 0, 7, k=2, zeta=0.9, method="be")
+        for u, v, _ in solution.edges:
+            assert abs(u - v) <= 3
+
+    def test_timings_recorded(self, solver, chain):
+        solution = solver.maximize(chain, 0, 5, k=2, method="be")
+        assert solution.selection_seconds > 0
+        assert solution.elimination_seconds >= 0
+
+    def test_observation4_direct_edge_selected(self, solver, chain):
+        """The direct s-t edge is in BE's solution when addable (Obs. 4)."""
+        solution = solver.maximize(chain, 0, 5, k=2, zeta=0.5, method="be")
+        assert (0, 5) in {(u, v) for u, v, _ in solution.edges}
+
+    def test_custom_new_edge_probabilities(self, solver, chain):
+        from repro.graph import uniform_new_edge_probability
+
+        model = uniform_new_edge_probability(0.3, 0.7, seed=5)
+        solution = solver.maximize(
+            chain, 0, 5, k=2, method="be", new_edge_prob=model
+        )
+        for u, v, p in solution.edges:
+            assert p == model(u, v)
+
+
+class TestSolutionDataclass:
+    def test_gain_property(self):
+        s = Solution(
+            method="be", edges=[], base_reliability=0.2, new_reliability=0.5
+        )
+        assert s.gain == pytest.approx(0.3)
+
+    def test_total_seconds(self):
+        s = Solution(
+            method="be", edges=[], base_reliability=0, new_reliability=0,
+            elimination_seconds=1.0, selection_seconds=2.0,
+        )
+        assert s.total_seconds == pytest.approx(3.0)

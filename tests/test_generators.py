@@ -1,0 +1,165 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    erdos_renyi,
+    grid_2d,
+    node_sampled_subgraph,
+    path_graph,
+    powerlaw_cluster,
+    random_regular,
+    watts_strogatz,
+)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(100, num_edges=250, seed=1)
+        assert g.num_nodes == 100
+        assert g.num_edges == 250
+
+    def test_gnp_variant(self):
+        g = erdos_renyi(60, p=0.1, seed=1)
+        assert g.num_nodes == 60
+        # Binomial(1770, 0.1): far away from 0 and from the max.
+        assert 100 < g.num_edges < 260
+
+    def test_deterministic(self):
+        a = erdos_renyi(50, num_edges=100, seed=42)
+        b = erdos_renyi(50, num_edges=100, seed=42)
+        assert a.edge_set() == b.edge_set()
+
+    def test_seed_changes_graph(self):
+        a = erdos_renyi(50, num_edges=100, seed=1)
+        b = erdos_renyi(50, num_edges=100, seed=2)
+        assert a.edge_set() != b.edge_set()
+
+    def test_requires_exactly_one_density_arg(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10)
+        with pytest.raises(ValueError):
+            erdos_renyi(10, num_edges=5, p=0.5)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(4, num_edges=100, seed=0)
+
+    def test_directed(self):
+        g = erdos_renyi(30, num_edges=80, seed=3, directed=True)
+        assert g.directed
+        assert g.num_edges == 80
+
+
+class TestRandomRegular:
+    def test_degrees_all_equal(self):
+        g = random_regular(40, 4, seed=5)
+        assert all(g.degree(u) == 4 for u in g.nodes())
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular(5, 3)
+
+    def test_degree_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular(4, 4)
+
+    def test_deterministic(self):
+        a = random_regular(30, 4, seed=9)
+        b = random_regular(30, 4, seed=9)
+        assert a.edge_set() == b.edge_set()
+
+
+class TestWattsStrogatz:
+    def test_size(self):
+        g = watts_strogatz(100, k=6, beta=0.3, seed=2)
+        assert g.num_nodes == 100
+        # Ring lattice gives n*k/2 edges; rewiring preserves the count
+        # approximately (collisions may drop a handful).
+        assert abs(g.num_edges - 300) <= 15
+
+    def test_no_rewiring_is_lattice(self):
+        g = watts_strogatz(20, k=4, beta=0.0, seed=0)
+        for u in range(20):
+            assert g.has_edge(u, (u + 1) % 20)
+            assert g.has_edge(u, (u + 2) % 20)
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(5, k=5)
+
+    def test_deterministic(self):
+        a = watts_strogatz(50, k=4, beta=0.5, seed=11)
+        b = watts_strogatz(50, k=4, beta=0.5, seed=11)
+        assert a.edge_set() == b.edge_set()
+
+
+class TestBarabasiAlbert:
+    def test_size(self):
+        g = barabasi_albert(200, m=3, seed=1)
+        assert g.num_nodes == 200
+        # seed clique C(4,2)=6 edges + 196 * 3
+        assert g.num_edges == 6 + 196 * 3
+
+    def test_hub_formation(self):
+        g = barabasi_albert(300, m=2, seed=1)
+        degrees = sorted((g.degree(u) for u in g.nodes()), reverse=True)
+        # Scale-free: the top hub should greatly exceed the median.
+        assert degrees[0] >= 5 * degrees[len(degrees) // 2]
+
+    def test_m_schedule(self):
+        g = barabasi_albert(101, m_schedule=[2, 3], seed=1)
+        # Alternating 2/3 averages 2.5 per new node.
+        grown = g.num_edges - 6  # minus seed clique (m_max=3 -> K4)
+        assert abs(grown - 2.5 * (101 - 4)) <= 25
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, m=0)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, m=5)
+
+
+class TestPowerlawCluster:
+    def test_size(self):
+        g = powerlaw_cluster(150, m=2, triad_probability=0.6, seed=4)
+        assert g.num_nodes == 150
+        assert g.num_edges == 3 + (150 - 3) * 2
+
+    def test_triads_raise_clustering(self):
+        from repro.graph import clustering_coefficient
+
+        flat = barabasi_albert(300, m=2, seed=7)
+        clustered = powerlaw_cluster(300, m=2, triad_probability=0.9, seed=7)
+        assert clustering_coefficient(clustered) > clustering_coefficient(flat)
+
+
+class TestGridAndPath:
+    def test_grid_edges(self):
+        g = grid_2d(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_diagonal(self):
+        g = grid_2d(2, 2, diagonal=True)
+        assert g.has_edge(0, 3)
+
+    def test_path_graph(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.hop_distances(0)[4] == 4
+
+
+class TestNodeSampledSubgraph:
+    def test_subsampling(self):
+        g = erdos_renyi(100, num_edges=300, seed=0)
+        sub = node_sampled_subgraph(g, 40, seed=1)
+        assert sub.num_nodes == 40
+        assert sub.num_edges <= g.num_edges
+
+    def test_oversampling_returns_copy(self):
+        g = erdos_renyi(10, num_edges=20, seed=0)
+        sub = node_sampled_subgraph(g, 100, seed=1)
+        assert sub.num_nodes == 10
+        assert sub is not g

@@ -1,0 +1,180 @@
+"""The paper's worked examples: Figure 2 (Lemma 1), Figure 3 / Table 2,
+Observation 4, and the MAX-k-COVER reduction gadget of Theorem 1.
+
+These tests pin the library's semantics to the exact numbers printed in
+the paper, using exact reliability computation.
+"""
+
+import itertools
+
+import pytest
+
+from repro.graph import UncertainGraph
+from repro.reliability import ExactEstimator, exact_reliability
+
+S, A, B, T = 0, 1, 2, 3
+
+
+def figure3_graph(alpha: float) -> UncertainGraph:
+    """Figure 3: edges AB and At with probability alpha; st impossible."""
+    g = UncertainGraph()
+    g.add_node(S)
+    g.add_edge(A, B, alpha)
+    g.add_edge(A, T, alpha)
+    return g
+
+
+class TestFigure2Lemma1:
+    """Non-submodularity / non-supermodularity counterexample."""
+
+    def build(self, extra):
+        g = UncertainGraph()
+        for node in (0, 1, 2):  # s, A, t
+            g.add_node(node)
+        for u, v in extra:
+            g.add_edge(u, v, 0.5)
+        return g
+
+    def test_submodularity_violated(self):
+        s, a, t = 0, 1, 2
+        x = [(s, t)]
+        y = [(s, t), (s, a)]
+        r_x = exact_reliability(self.build(x), s, t)
+        r_y = exact_reliability(self.build(y), s, t)
+        r_x_plus = exact_reliability(self.build(x + [(a, t)]), s, t)
+        r_y_plus = exact_reliability(self.build(y + [(a, t)]), s, t)
+        assert r_x == pytest.approx(0.5)
+        assert r_y == pytest.approx(0.5)
+        assert r_x_plus == pytest.approx(0.5)
+        assert r_y_plus == pytest.approx(0.625)
+        # f(X + x) - f(X) = 0 < 0.125 = f(Y + x) - f(Y): not submodular.
+        assert (r_x_plus - r_x) < (r_y_plus - r_y)
+
+    def test_supermodularity_violated(self):
+        s, a, t = 0, 1, 2
+        x = [(s, a)]
+        y = [(s, a), (s, t)]
+        r_x = exact_reliability(self.build(x), s, t)
+        r_y = exact_reliability(self.build(y), s, t)
+        r_x_plus = exact_reliability(self.build(x + [(a, t)]), s, t)
+        r_y_plus = exact_reliability(self.build(y + [(a, t)]), s, t)
+        assert r_x == pytest.approx(0.0)
+        assert r_y == pytest.approx(0.5)
+        assert r_x_plus == pytest.approx(0.25)
+        assert r_y_plus == pytest.approx(0.625)
+        # Increment drops from 0.25 to 0.125: not supermodular.
+        assert (r_x_plus - r_x) > (r_y_plus - r_y)
+
+
+class TestTable2Characterization:
+    """Reliability of the three k=2 solutions under (alpha, zeta)."""
+
+    CASES = [
+        # alpha, zeta, R({sA,sB}), R({sA,Bt}), R({sB,Bt})
+        (0.5, 0.7, 0.403, 0.473, 0.543),
+        (0.5, 0.3, 0.203, 0.173, 0.143),
+        (0.9, 0.7, 0.800, 0.674, 0.660),
+    ]
+
+    @staticmethod
+    def reliability_with(alpha, zeta, new_edges):
+        g = figure3_graph(alpha)
+        extra = [(u, v, zeta) for u, v in new_edges]
+        return exact_reliability(g, S, T, extra)
+
+    @pytest.mark.parametrize("alpha,zeta,r_ab,r_abt,r_bbt", CASES)
+    def test_row_values(self, alpha, zeta, r_ab, r_abt, r_bbt):
+        assert self.reliability_with(
+            alpha, zeta, [(S, A), (S, B)]
+        ) == pytest.approx(r_ab, abs=1e-3)
+        assert self.reliability_with(
+            alpha, zeta, [(S, A), (B, T)]
+        ) == pytest.approx(r_abt, abs=1e-3)
+        assert self.reliability_with(
+            alpha, zeta, [(S, B), (B, T)]
+        ) == pytest.approx(r_bbt, abs=1e-3)
+
+    def test_observation_1_optimum_varies_with_zeta(self):
+        # Same alpha, different zeta -> different optimal solution.
+        best_07 = self._best(0.5, 0.7)
+        best_03 = self._best(0.5, 0.3)
+        assert best_07 != best_03
+
+    def test_observation_2_optimum_varies_with_alpha(self):
+        best_05 = self._best(0.5, 0.7)
+        best_09 = self._best(0.9, 0.7)
+        assert best_05 != best_09
+
+    def test_observation_3_no_subset_structure(self):
+        # k=1 optimum is {sA}; k=2 optimum at (0.5, 0.7) is {sB, Bt}.
+        alpha, zeta = 0.5, 0.7
+        singles = {
+            frozenset([e]): self.reliability_with(alpha, zeta, [e])
+            for e in [(S, A), (S, B), (B, T)]
+        }
+        best_single = max(singles, key=singles.get)
+        assert best_single == frozenset([(S, A)])
+        assert self._best(alpha, zeta) == frozenset([(S, B), (B, T)])
+        assert not best_single <= self._best(alpha, zeta)
+
+    def _best(self, alpha, zeta):
+        options = [
+            frozenset([(S, A), (S, B)]),
+            frozenset([(S, A), (B, T)]),
+            frozenset([(S, B), (B, T)]),
+        ]
+        return max(
+            options,
+            key=lambda edges: self.reliability_with(alpha, zeta, list(edges)),
+        )
+
+    def test_k1_solution_is_sA(self):
+        # With k=1: R({sA}) = alpha * zeta beats alpha^2 * zeta and 0.
+        alpha, zeta = 0.5, 0.7
+        r_sa = self.reliability_with(alpha, zeta, [(S, A)])
+        r_sb = self.reliability_with(alpha, zeta, [(S, B)])
+        r_bt = self.reliability_with(alpha, zeta, [(B, T)])
+        assert r_sa == pytest.approx(alpha * zeta)
+        assert r_sb == pytest.approx(alpha * alpha * zeta)
+        assert r_bt == 0.0
+
+
+class TestObservation4:
+    """The direct st edge, when addable, belongs to the top-k optimum."""
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_direct_edge_always_in_optimum(self, k, diamond):
+        zeta = 0.5
+        candidates = [(u, v) for u, v in diamond.missing_edges()]
+        assert (0, 3) in candidates
+        best_set, best_val = None, -1.0
+        for subset in itertools.combinations(candidates, k):
+            extra = [(u, v, zeta) for u, v in subset]
+            val = exact_reliability(diamond, 0, 3, extra)
+            if val > best_val:
+                best_val, best_set = val, subset
+        assert (0, 3) in best_set
+
+
+class TestMaxKCoverGadget:
+    """Theorem 1's reduction: reliability = 1 - (1-p)^q for q covered."""
+
+    def test_coverage_formula(self):
+        # Sets S1={u1,u2}, S2={u2,u3}; p = 0.4; zeta = 1.
+        p = 0.4
+        g = UncertainGraph(directed=True)
+        s, s1, s2, u1, u2, u3, t = range(7)
+        g.add_node(s)
+        for set_node, members in [(s1, (u1, u2)), (s2, (u2, u3))]:
+            for u in members:
+                g.add_edge(set_node, u, 1.0)
+        for u in (u1, u2, u3):
+            g.add_edge(u, t, p)
+        # Choosing S1 alone covers q=2 elements.
+        r1 = exact_reliability(g, s, t, [(s, s1, 1.0)])
+        assert r1 == pytest.approx(1 - (1 - p) ** 2)
+        # Choosing both sets covers q=3.
+        r2 = exact_reliability(g, s, t, [(s, s1, 1.0), (s, s2, 1.0)])
+        assert r2 == pytest.approx(1 - (1 - p) ** 3)
+        # Monotone in coverage, exactly as the NP-hardness proof needs.
+        assert r2 > r1

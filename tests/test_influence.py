@@ -1,0 +1,119 @@
+"""Tests for the independent-cascade influence application."""
+
+import random
+
+import pytest
+
+from repro.graph import UncertainGraph, assign_fixed, path_graph
+from repro.reliability import exact_reliability
+from repro.influence import (
+    cascade_steps,
+    influence_spread,
+    maximize_targeted_influence,
+    simulate_cascade,
+)
+
+
+@pytest.fixture
+def funnel():
+    """Sources 0,1 feed into 2; 2 reaches targets 3,4."""
+    g = UncertainGraph(directed=True)
+    g.add_edge(0, 2, 0.8)
+    g.add_edge(1, 2, 0.8)
+    g.add_edge(2, 3, 0.5)
+    g.add_edge(2, 4, 0.5)
+    return g
+
+
+class TestCascade:
+    def test_seeds_always_active(self, funnel):
+        active = simulate_cascade(funnel, [0, 1], random.Random(0))
+        assert {0, 1} <= active
+
+    def test_certain_edges_propagate(self):
+        g = UncertainGraph(directed=True)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        active = simulate_cascade(g, [0], random.Random(0))
+        assert active == {0, 1, 2}
+
+    def test_zero_edges_block(self):
+        g = UncertainGraph(directed=True)
+        g.add_edge(0, 1, 0.0)
+        active = simulate_cascade(g, [0], random.Random(0))
+        assert active == {0}
+
+    def test_extra_edges_participate(self):
+        g = UncertainGraph(directed=True)
+        g.add_node(0)
+        g.add_node(1)
+        active = simulate_cascade(
+            g, [0], random.Random(0), extra_edges=[(0, 1, 1.0)]
+        )
+        assert active == {0, 1}
+
+    def test_cascade_steps_rounds(self):
+        g = path_graph(4)
+        assign_fixed(g, 1.0)
+        rounds = cascade_steps(g, [0], random.Random(0))
+        assert rounds == [{0}, {1}, {2}, {3}]
+
+    def test_missing_seed_ignored(self, funnel):
+        active = simulate_cascade(funnel, [99], random.Random(0))
+        assert active == set()
+
+
+class TestSpread:
+    def test_live_edge_equivalence_single_pair(self):
+        """Spread from {s} into {t} equals R(s, t) (Eq. 13 vs Eq. 2)."""
+        g = UncertainGraph.from_edges(
+            [(0, 1, 0.8), (1, 3, 0.5), (0, 2, 0.6), (2, 3, 0.7)]
+        )
+        truth = exact_reliability(g, 0, 3)
+        spread = influence_spread(g, [0], [3], num_samples=20000, seed=1)
+        assert spread == pytest.approx(truth, abs=0.02)
+
+    def test_untargeted_counts_everything(self, funnel):
+        total = influence_spread(funnel, [0], num_samples=2000, seed=2)
+        assert total >= 1.0  # at least the seed itself
+
+    def test_spread_additivity_over_targets(self, funnel):
+        both = influence_spread(funnel, [0], [3, 4], num_samples=20000, seed=3)
+        t3 = influence_spread(funnel, [0], [3], num_samples=20000, seed=3)
+        t4 = influence_spread(funnel, [0], [4], num_samples=20000, seed=3)
+        assert both == pytest.approx(t3 + t4, abs=0.05)
+
+    def test_invalid_samples(self, funnel):
+        with pytest.raises(ValueError):
+            influence_spread(funnel, [0], [3], num_samples=0)
+
+
+class TestTargetedIM:
+    def test_spread_improves(self):
+        g = path_graph(6)
+        assign_fixed(g, 0.3)
+        solution = maximize_targeted_influence(
+            g, [0], [4, 5], k=2, zeta=0.8, r=6, l=5, seed=1,
+            spread_samples=3000,
+        )
+        assert len(solution.edges) <= 2
+        assert solution.new_spread > solution.base_spread
+        assert solution.gain == pytest.approx(
+            solution.new_spread - solution.base_spread
+        )
+
+    def test_virtual_node_never_recommended(self):
+        g = path_graph(6)
+        assign_fixed(g, 0.3)
+        solution = maximize_targeted_influence(
+            g, [0, 1], [4, 5], k=2, zeta=0.8, r=6, l=5, seed=2,
+            spread_samples=500,
+        )
+        real_nodes = set(g.nodes())
+        for u, v, _ in solution.edges:
+            assert u in real_nodes and v in real_nodes
+
+    def test_invalid_k(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            maximize_targeted_influence(g, [0], [3], k=0)

@@ -1,0 +1,52 @@
+"""Cross-validation of the Dinic max-flow against scipy's solver."""
+
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import maximum_flow
+
+from repro.paths import DinicMaxFlow
+
+
+def _random_capacity_graph(rng, n, m):
+    edges = set()
+    while len(edges) < m:
+        u, v = rng.integers(0, n, size=2).tolist()
+        if u != v:
+            edges.add((u, v))
+    return [(u, v, int(rng.integers(1, 20))) for u, v in edges]
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_dinic_matches_scipy(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 12))
+    m = int(rng.integers(n, 3 * n))
+    edges = _random_capacity_graph(rng, n, m)
+
+    dinic = DinicMaxFlow()
+    dense = np.zeros((n, n), dtype=np.int64)
+    for u, v, cap in edges:
+        dinic.add_edge(u, v, float(cap), meta=(u, v))
+        dense[u, v] += cap
+    ours = dinic.max_flow(0, n - 1)
+    theirs = maximum_flow(csr_matrix(dense), 0, n - 1).flow_value
+    assert ours == pytest.approx(float(theirs))
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_min_cut_value_equals_flow(seed):
+    """Max-flow/min-cut duality: cut capacities must sum to the flow."""
+    rng = np.random.default_rng(100 + seed)
+    n = int(rng.integers(4, 10))
+    edges = _random_capacity_graph(rng, n, 2 * n)
+
+    dinic = DinicMaxFlow()
+    capacity = {}
+    for u, v, cap in edges:
+        dinic.add_edge(u, v, float(cap), meta=(u, v))
+        capacity[(u, v)] = capacity.get((u, v), 0) + cap
+    flow = dinic.max_flow(0, n - 1)
+    cut = dinic.min_cut_edges(0, n - 1)
+    cut_value = sum(capacity[edge] for edge in set(cut))
+    assert cut_value == pytest.approx(flow)

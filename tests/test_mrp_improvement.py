@@ -1,0 +1,84 @@
+"""Tests for Algorithm 3 (most reliable path improvement, Problem 2)."""
+
+import pytest
+
+from repro.graph import UncertainGraph, fixed_new_edge_probability, path_graph, assign_fixed
+from repro.core import improve_most_reliable_path
+from repro.paths import most_reliable_path
+
+
+class TestImprovement:
+    def test_direct_edge_wins_when_strong(self, diamond):
+        solution = improve_most_reliable_path(
+            diamond, 0, 3, k=1, new_edge_prob=fixed_new_edge_probability(0.9)
+        )
+        assert [(u, v) for u, v, _ in solution.edges] == [(0, 3)]
+        assert solution.old_probability == pytest.approx(0.42)
+        assert solution.new_probability == pytest.approx(0.9)
+        assert solution.path == [0, 3]
+        assert solution.improvement == pytest.approx(0.48)
+
+    def test_no_improvement_when_zeta_weak(self, diamond):
+        solution = improve_most_reliable_path(
+            diamond, 0, 3, k=2, new_edge_prob=fixed_new_edge_probability(0.05)
+        )
+        assert solution.edges == []
+        assert solution.new_probability == solution.old_probability
+
+    def test_multi_edge_shortcut(self):
+        # Long weak chain: two new 0.8 edges bridging through the middle
+        # beat the blue-only product.
+        g = path_graph(7)
+        assign_fixed(g, 0.5)
+        solution = improve_most_reliable_path(
+            g, 0, 6, k=2, new_edge_prob=fixed_new_edge_probability(0.8)
+        )
+        assert len(solution.edges) <= 2
+        assert solution.new_probability > 0.5 ** 6
+
+    def test_candidate_restriction(self, diamond):
+        solution = improve_most_reliable_path(
+            diamond, 0, 3, k=1,
+            new_edge_prob=fixed_new_edge_probability(0.9),
+            candidates=[(1, 2)],  # direct st not allowed
+        )
+        assert (0, 3) not in {(u, v) for u, v, _ in solution.edges}
+
+    def test_h_constraint_limits_universe(self):
+        g = path_graph(6)
+        assign_fixed(g, 0.5)
+        solution = improve_most_reliable_path(
+            g, 0, 5, k=1,
+            new_edge_prob=fixed_new_edge_probability(0.9),
+            h=2,
+        )
+        for u, v, _ in solution.edges:
+            assert abs(u - v) <= 2  # path graph: hops = index distance
+
+    def test_invalid_k(self, diamond):
+        with pytest.raises(ValueError):
+            improve_most_reliable_path(
+                diamond, 0, 3, k=0,
+                new_edge_prob=fixed_new_edge_probability(0.5),
+            )
+
+    def test_solution_is_optimal_for_k1(self, diamond):
+        """For k=1 Algorithm 3 must beat every single-edge alternative."""
+        zeta = 0.6
+        solution = improve_most_reliable_path(
+            diamond, 0, 3, k=1, new_edge_prob=fixed_new_edge_probability(zeta)
+        )
+        best_alternative = 0.0
+        for u, v in diamond.missing_edges():
+            _, prob = most_reliable_path(diamond, 0, 3, [(u, v, zeta)])
+            best_alternative = max(best_alternative, prob)
+        assert solution.new_probability == pytest.approx(best_alternative)
+
+    def test_improved_probability_matches_added_edges(self, diamond):
+        zeta = 0.7
+        solution = improve_most_reliable_path(
+            diamond, 0, 3, k=2, new_edge_prob=fixed_new_edge_probability(zeta)
+        )
+        if solution.edges:
+            _, prob = most_reliable_path(diamond, 0, 3, solution.edges)
+            assert prob == pytest.approx(solution.new_probability)

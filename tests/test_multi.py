@@ -1,0 +1,144 @@
+"""Tests for multiple-source-target maximization (Problem 4)."""
+
+import pytest
+
+from repro.graph import UncertainGraph, assign_fixed, path_graph
+from repro.reliability import ExactEstimator, MonteCarloEstimator
+from repro.core import MultiSolution, MultiSourceTargetMaximizer
+
+
+@pytest.fixture
+def two_lane_graph():
+    """Two parallel weak chains: sources {0, 10}, targets {3, 13}."""
+    g = UncertainGraph()
+    for base in (0, 10):
+        for i in range(3):
+            g.add_edge(base + i, base + i + 1, 0.4)
+    return g
+
+
+@pytest.fixture
+def solver():
+    return MultiSourceTargetMaximizer(
+        estimator=ExactEstimator(),
+        evaluation_samples=2000,
+        r=4,
+        l=5,
+        k1_fraction=0.5,
+    )
+
+
+class TestAggregates:
+    @pytest.mark.parametrize("aggregate", ["average", "minimum", "maximum"])
+    def test_runs_and_improves(self, solver, two_lane_graph, aggregate):
+        solution = solver.maximize(
+            two_lane_graph, [0, 10], [3, 13], k=2, zeta=0.8,
+            aggregate=aggregate,
+        )
+        assert isinstance(solution, MultiSolution)
+        assert len(solution.edges) <= 2
+        assert solution.new_value >= solution.base_value - 0.02
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("avg", "average"), ("min", "minimum"), ("max", "maximum"),
+    ])
+    def test_aliases(self, solver, two_lane_graph, alias, canonical):
+        solution = solver.maximize(
+            two_lane_graph, [0], [3], k=1, zeta=0.8, aggregate=alias
+        )
+        assert solution.aggregate == canonical
+
+    def test_unknown_aggregate(self, solver, two_lane_graph):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            solver.maximize(
+                two_lane_graph, [0], [3], k=1, aggregate="median"
+            )
+
+    def test_invalid_inputs(self, solver, two_lane_graph):
+        with pytest.raises(ValueError):
+            solver.maximize(two_lane_graph, [], [3], k=1)
+        with pytest.raises(ValueError):
+            solver.maximize(two_lane_graph, [0], [3], k=0)
+        with pytest.raises(ValueError, match="trivial"):
+            solver.maximize(two_lane_graph, [3], [3], k=1)
+
+
+class TestMinimumStrategy:
+    def test_weakest_pair_gets_attention(self, solver):
+        g = UncertainGraph()
+        # Pair (0, 2) is strong; pair (0, 12) is weak.
+        g.add_edge(0, 1, 0.9)
+        g.add_edge(1, 2, 0.9)
+        g.add_edge(0, 11, 0.1)
+        g.add_edge(11, 12, 0.1)
+        solution = solver.maximize(
+            g, [0], [2, 12], k=1, zeta=0.9, aggregate="minimum"
+        )
+        # The single new edge must serve the weak 0 -> 12 pair.
+        touched = {u for u, v, _ in solution.edges} | {
+            v for u, v, _ in solution.edges
+        }
+        assert touched & {11, 12}
+        assert solution.pair_new[(0, 12)] > solution.pair_base[(0, 12)]
+
+    def test_minimum_value_uses_weakest(self, solver, two_lane_graph):
+        solution = solver.maximize(
+            two_lane_graph, [0, 10], [3, 13], k=2, zeta=0.8,
+            aggregate="minimum",
+        )
+        assert solution.base_value == pytest.approx(
+            min(solution.pair_base.values())
+        )
+        assert solution.new_value == pytest.approx(
+            min(solution.pair_new.values())
+        )
+
+
+class TestMaximumStrategy:
+    def test_strongest_pair_boosted(self, solver):
+        g = UncertainGraph()
+        g.add_edge(0, 1, 0.7)
+        g.add_edge(1, 2, 0.7)
+        g.add_edge(10, 11, 0.1)
+        g.add_edge(11, 12, 0.1)
+        solution = solver.maximize(
+            g, [0, 10], [2, 12], k=1, zeta=0.9, aggregate="maximum"
+        )
+        touched = {u for u, v, _ in solution.edges} | {
+            v for u, v, _ in solution.edges
+        }
+        assert touched <= {0, 1, 2}
+
+
+class TestAverageStrategy:
+    def test_average_accounts_all_pairs(self, solver, two_lane_graph):
+        solution = solver.maximize(
+            two_lane_graph, [0, 10], [3, 13], k=4, zeta=0.8,
+            aggregate="average",
+        )
+        assert solution.base_value == pytest.approx(
+            sum(solution.pair_base.values()) / len(solution.pair_base)
+        )
+        assert len(solution.pair_base) == 4  # 2 x 2 pairs
+
+    def test_forbidden_nodes_excluded(self, solver, two_lane_graph):
+        solution = solver.maximize(
+            two_lane_graph, [0], [3], k=2, zeta=0.8,
+            aggregate="average", forbidden_nodes={1},
+        )
+        touched = {u for u, v, _ in solution.edges} | {
+            v for u, v, _ in solution.edges
+        }
+        assert 1 not in touched
+
+
+class TestCandidateSpace:
+    def test_union_of_sides(self, solver, two_lane_graph):
+        space = solver.candidate_space(
+            two_lane_graph, [0, 10], [3, 13],
+            lambda u, v: 0.5,
+        )
+        # Both lanes' nodes appear on each side.
+        assert any(n < 10 for n in space.source_side)
+        assert any(n >= 10 for n in space.source_side)
+        assert len(space.edges) > 0

@@ -1,0 +1,106 @@
+"""Tests for edge-probability assignment and new-edge models."""
+
+import pytest
+
+from repro.graph import (
+    UncertainGraph,
+    assign_distance_decay,
+    assign_exponential_counts,
+    assign_fixed,
+    assign_inverse_out_degree,
+    assign_snapshot_frequency,
+    assign_uniform,
+    erdos_renyi,
+    fixed_new_edge_probability,
+    normal_new_edge_probability,
+    uniform_new_edge_probability,
+)
+
+
+@pytest.fixture
+def base_graph():
+    return erdos_renyi(50, num_edges=120, seed=0)
+
+
+class TestAssignment:
+    def test_fixed(self, base_graph):
+        assign_fixed(base_graph, 0.33)
+        assert all(p == 0.33 for _, _, p in base_graph.edges())
+
+    def test_uniform_range(self, base_graph):
+        assign_uniform(base_graph, 0.0, 0.6, seed=1)
+        probs = [p for _, _, p in base_graph.edges()]
+        assert all(0.0 < p <= 0.6 for p in probs)
+        assert max(probs) > 0.4  # spread over the range
+
+    def test_uniform_deterministic(self, base_graph):
+        a = assign_uniform(base_graph.copy(), seed=5)
+        b = assign_uniform(base_graph.copy(), seed=5)
+        assert [e for e in a.edges()] == [e for e in b.edges()]
+
+    def test_inverse_out_degree(self):
+        g = UncertainGraph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 1.0)
+        assign_inverse_out_degree(g)
+        # Node 0 has out-degree 2 -> its edges get probability 1/2.
+        assert g.probability(0, 1) == pytest.approx(0.5)
+
+    def test_exponential_counts_range(self, base_graph):
+        assign_exponential_counts(base_graph, mu=20.0, mean_count=3.0, seed=2)
+        probs = [p for _, _, p in base_graph.edges()]
+        assert all(0.0 < p < 1.0 for p in probs)
+        # 1 - exp(-t/20) with small t stays low.
+        assert sum(probs) / len(probs) < 0.5
+
+    def test_exponential_explicit_counts(self):
+        g = UncertainGraph()
+        g.add_edge(0, 1, 1.0)
+        assign_exponential_counts(g, mu=20.0, counts={(0, 1): 20})
+        import math
+
+        assert g.probability(0, 1) == pytest.approx(1 - math.exp(-1))
+
+    def test_snapshot_frequency(self, base_graph):
+        assign_snapshot_frequency(base_graph, num_snapshots=100, seed=3)
+        probs = [p for _, _, p in base_graph.edges()]
+        assert all(0.0 < p <= 1.0 for p in probs)
+        # Frequencies are multiples of 1/100.
+        assert all(abs(p * 100 - round(p * 100)) < 1e-9 for p in probs)
+
+    def test_distance_decay_cutoff(self):
+        g = UncertainGraph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 1.0)
+        positions = {0: (0.0, 0.0), 1: (5.0, 0.0), 2: (100.0, 0.0)}
+        assign_distance_decay(g, positions, cutoff=20.0, noise=0.0, seed=0)
+        assert g.probability(0, 1) > 0.4
+        assert g.probability(0, 2) < 1e-6
+
+
+class TestNewEdgeModels:
+    def test_fixed_model(self):
+        model = fixed_new_edge_probability(0.5)
+        assert model(3, 9) == 0.5
+
+    def test_fixed_model_validates(self):
+        with pytest.raises(ValueError):
+            fixed_new_edge_probability(0.0)
+        with pytest.raises(ValueError):
+            fixed_new_edge_probability(1.5)
+
+    def test_uniform_model_deterministic_per_pair(self):
+        model = uniform_new_edge_probability(0.2, 0.6, seed=1)
+        assert model(3, 9) == model(3, 9)
+        assert 0.2 <= model(3, 9) <= 0.6
+
+    def test_uniform_model_varies_across_pairs(self):
+        model = uniform_new_edge_probability(0.0, 1.0, seed=1)
+        values = {model(u, v) for u in range(5) for v in range(5, 10)}
+        assert len(values) > 10
+
+    def test_normal_model_clipped(self):
+        model = normal_new_edge_probability(mean=0.5, std=0.038, seed=2)
+        values = [model(u, u + 1) for u in range(200)]
+        assert all(0.0 < v <= 1.0 for v in values)
+        assert abs(sum(values) / len(values) - 0.5) < 0.02

@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Invariants pinned here:
+
+* exact factoring == brute-force enumeration on arbitrary small graphs;
+* reliability is monotone under edge addition and under probability
+  increase (the foundation of the whole maximization problem);
+* the most reliable path's probability lower-bounds the reliability;
+* top-l paths are simple, descending, and consistent with Dijkstra;
+* edge-list IO round-trips arbitrary graphs;
+* selection never exceeds the budget and only uses offered candidates.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import UncertainGraph, fixed_new_edge_probability
+from repro.reliability import (
+    MonteCarloEstimator,
+    exact_reliability,
+    exact_reliability_by_enumeration,
+)
+from repro.paths import most_reliable_path, top_l_most_reliable_paths
+from repro.core import improve_most_reliable_path
+
+from .conftest import small_uncertain_graphs
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(graph=small_uncertain_graphs(max_nodes=5, directed=True))
+@settings(max_examples=60, **COMMON)
+def test_factoring_matches_enumeration(graph):
+    nodes = sorted(graph.nodes())
+    s, t = nodes[0], nodes[-1]
+    assert exact_reliability(graph, s, t) == (
+        exact_reliability_by_enumeration(graph, s, t)
+    ) or abs(
+        exact_reliability(graph, s, t)
+        - exact_reliability_by_enumeration(graph, s, t)
+    ) < 1e-9
+
+
+@given(
+    graph=small_uncertain_graphs(max_nodes=5),
+    p=st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=40, **COMMON)
+def test_reliability_monotone_under_edge_addition(graph, p):
+    nodes = sorted(graph.nodes())
+    s, t = nodes[0], nodes[-1]
+    missing = [e for e in graph.missing_edges()]
+    base = exact_reliability(graph, s, t)
+    for u, v in missing[:3]:
+        augmented = exact_reliability(graph, s, t, [(u, v, p)])
+        assert augmented >= base - 1e-12
+
+
+@given(graph=small_uncertain_graphs(max_nodes=5))
+@settings(max_examples=40, **COMMON)
+def test_reliability_monotone_under_probability_increase(graph):
+    nodes = sorted(graph.nodes())
+    s, t = nodes[0], nodes[-1]
+    base = exact_reliability(graph, s, t)
+    boosted = graph.copy()
+    for u, v, p in list(boosted.edges()):
+        boosted.set_probability(u, v, min(1.0, p * 1.3))
+    assert exact_reliability(boosted, s, t) >= base - 1e-12
+
+
+@given(graph=small_uncertain_graphs(max_nodes=5))
+@settings(max_examples=40, **COMMON)
+def test_reliability_within_unit_interval(graph):
+    nodes = sorted(graph.nodes())
+    s, t = nodes[0], nodes[-1]
+    value = exact_reliability(graph, s, t)
+    assert 0.0 <= value <= 1.0 + 1e-12
+
+
+@given(graph=small_uncertain_graphs(max_nodes=5))
+@settings(max_examples=40, **COMMON)
+def test_mrp_lower_bounds_reliability(graph):
+    nodes = sorted(graph.nodes())
+    s, t = nodes[0], nodes[-1]
+    _, prob = most_reliable_path(graph, s, t)
+    reliability = exact_reliability(graph, s, t)
+    assert prob <= reliability + 1e-9
+
+
+@given(graph=small_uncertain_graphs(max_nodes=6))
+@settings(max_examples=40, **COMMON)
+def test_top_l_paths_descending_and_simple(graph):
+    nodes = sorted(graph.nodes())
+    s, t = nodes[0], nodes[-1]
+    paths = top_l_most_reliable_paths(graph, s, t, 8)
+    probs = [pr for _, pr in paths]
+    assert probs == sorted(probs, reverse=True)
+    for path, prob in paths:
+        assert len(path) == len(set(path))
+        assert 0.0 < prob <= 1.0
+    if paths:
+        _, best = most_reliable_path(graph, s, t)
+        assert paths[0][1] == best or abs(paths[0][1] - best) < 1e-12
+
+
+@given(graph=small_uncertain_graphs(max_nodes=6, directed=True))
+@settings(max_examples=30, **COMMON)
+def test_io_roundtrip(graph, tmp_path_factory):
+    from repro.graph import read_edge_list, write_edge_list
+
+    path = tmp_path_factory.mktemp("io") / "g.edges"
+    write_edge_list(graph, path)
+    loaded = read_edge_list(path)
+    assert loaded.directed == graph.directed
+    assert loaded.edge_set() == graph.edge_set()
+    assert loaded.num_nodes == graph.num_nodes
+    for u, v, p in graph.edges():
+        assert math.isclose(loaded.probability(u, v), p, rel_tol=1e-9)
+
+
+@given(
+    graph=small_uncertain_graphs(max_nodes=5),
+    k=st.integers(min_value=1, max_value=3),
+    zeta=st.floats(min_value=0.1, max_value=0.95),
+)
+@settings(max_examples=30, **COMMON)
+def test_mrp_improvement_budget_and_optimality(graph, k, zeta):
+    nodes = sorted(graph.nodes())
+    s, t = nodes[0], nodes[-1]
+    solution = improve_most_reliable_path(
+        graph, s, t, k, fixed_new_edge_probability(zeta)
+    )
+    assert len(solution.edges) <= k
+    assert solution.new_probability >= solution.old_probability - 1e-12
+    # Every chosen edge must be a genuinely missing pair.
+    for u, v, p in solution.edges:
+        assert not graph.has_edge(u, v)
+        assert p == zeta
+
+
+@given(graph=small_uncertain_graphs(max_nodes=5))
+@settings(max_examples=20, **COMMON)
+def test_sampler_within_tolerance_of_exact(graph):
+    nodes = sorted(graph.nodes())
+    s, t = nodes[0], nodes[-1]
+    truth = exact_reliability(graph, s, t)
+    estimate = MonteCarloEstimator(3000, seed=7).reliability(graph, s, t)
+    assert abs(estimate - truth) < 0.06

@@ -1,0 +1,146 @@
+"""Tests for query workloads and dataset builders."""
+
+import math
+
+import pytest
+
+from repro import datasets
+from repro.datasets import intel_lab
+from repro.graph import UncertainGraph, path_graph
+from repro.queries import (
+    pairs_at_exact_distance,
+    sample_multi_sets,
+    sample_st_pair,
+    sample_st_pairs,
+)
+
+
+@pytest.fixture(scope="module")
+def lastfm():
+    return datasets.load("lastfm", num_nodes=300, seed=1)
+
+
+class TestQueries:
+    def test_hop_range_respected(self, lastfm):
+        pairs = sample_st_pairs(lastfm, 10, seed=2)
+        for s, t in pairs:
+            d = lastfm.hop_distances(s, max_hops=5).get(t)
+            assert d is not None and 3 <= d <= 5
+
+    def test_deterministic(self, lastfm):
+        assert sample_st_pairs(lastfm, 5, seed=3) == sample_st_pairs(
+            lastfm, 5, seed=3
+        )
+
+    def test_distinct_pairs(self, lastfm):
+        pairs = sample_st_pairs(lastfm, 20, seed=4)
+        assert len(set(pairs)) == 20
+
+    def test_exact_distance(self, lastfm):
+        pairs = pairs_at_exact_distance(lastfm, 4, 5, seed=5)
+        for s, t in pairs:
+            assert lastfm.hop_distances(s, max_hops=4).get(t) == 4
+
+    def test_too_small_graph_raises(self):
+        g = UncertainGraph()
+        g.add_node(0)
+        import random
+
+        with pytest.raises(ValueError):
+            sample_st_pair(g, random.Random(0))
+
+    def test_impossible_distance_raises(self):
+        g = path_graph(3)
+        with pytest.raises(RuntimeError):
+            pairs_at_exact_distance(g, 10, 1, seed=0)
+
+    def test_multi_sets_disjoint(self, lastfm):
+        sources, targets = sample_multi_sets(lastfm, 5, seed=6)
+        assert len(sources) == 5 and len(targets) == 5
+        assert not set(sources) & set(targets)
+
+    def test_multi_sets_deterministic(self, lastfm):
+        assert sample_multi_sets(lastfm, 3, seed=7) == sample_multi_sets(
+            lastfm, 3, seed=7
+        )
+
+
+class TestRegistry:
+    def test_all_names_build(self):
+        for name in datasets.names():
+            graph = datasets.load(name, num_nodes=120, seed=0)
+            assert graph.num_nodes > 0
+            assert graph.num_edges > 0
+            for _, _, p in graph.edges():
+                assert 0.0 < p <= 1.0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            datasets.load("facebook")
+
+    def test_cache_shares_instances(self):
+        a = datasets.load("dblp", num_nodes=150, seed=0)
+        b = datasets.load("dblp", num_nodes=150, seed=0)
+        assert a is b
+
+    def test_copy_flag(self):
+        a = datasets.load("dblp", num_nodes=150, seed=0)
+        b = datasets.load("dblp", num_nodes=150, seed=0, copy=True)
+        assert a is not b
+        assert a.edge_set() == b.edge_set()
+
+    def test_real_and_synthetic_listed(self):
+        assert set(datasets.REAL_DATASETS) <= set(datasets.names())
+        assert set(datasets.SYNTHETIC_DATASETS) <= set(datasets.names())
+
+    def test_directedness_matches_table8(self):
+        assert datasets.load("intel-lab").directed
+        assert datasets.load("as-topology", num_nodes=150).directed
+        assert not datasets.load("lastfm", num_nodes=150).directed
+        assert not datasets.load("twitter", num_nodes=150).directed
+
+
+class TestIntelLab:
+    def test_54_sensors(self):
+        graph = intel_lab.build()
+        assert graph.num_nodes == 54
+        assert graph.directed
+
+    def test_positions_inside_lab(self):
+        for x, y in intel_lab.sensor_positions().values():
+            assert -2 <= x <= intel_lab.LAB_WIDTH + 2
+            assert -2 <= y <= intel_lab.LAB_HEIGHT + 2
+
+    def test_links_respect_cutoff(self):
+        graph = intel_lab.build()
+        positions = intel_lab.sensor_positions()
+        for u, v, p in graph.edges():
+            (x1, y1), (x2, y2) = positions[u], positions[v]
+            assert math.hypot(x1 - x2, y1 - y2) <= intel_lab.LINK_CUTOFF
+            assert p >= intel_lab.MIN_PROBABILITY
+
+    def test_candidate_links_within_15m(self):
+        graph = intel_lab.build()
+        positions = intel_lab.sensor_positions()
+        for u, v in intel_lab.candidate_links(graph, positions):
+            (x1, y1), (x2, y2) = positions[u], positions[v]
+            assert math.hypot(x1 - x2, y1 - y2) <= intel_lab.NEW_LINK_CUTOFF
+            assert not graph.has_edge(u, v)
+
+    def test_average_probability_near_paper(self):
+        graph = intel_lab.build()
+        avg = intel_lab.average_link_probability(graph)
+        # Paper reports 0.33 for links with p >= 0.1.
+        assert 0.2 <= avg <= 0.5
+
+    def test_connected_with_weak_cross_lab_pairs(self):
+        """The case study needs a connected net with improvable pairs."""
+        graph = intel_lab.build()
+        assert len(graph.connected_components()) == 1
+        from repro.reliability import MonteCarloEstimator
+
+        estimator = MonteCarloEstimator(400, seed=1)
+        reach = estimator.reachability_from(graph, 15)
+        # At least one cross-lab sensor is hard to reach: room to improve.
+        far_values = [reach.get(v, 0.0) for v in range(38, 47)]
+        assert min(far_values) < 0.9

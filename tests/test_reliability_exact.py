@@ -1,0 +1,128 @@
+"""Tests for exact reliability (factoring + enumeration)."""
+
+import pytest
+
+from repro.graph import UncertainGraph, path_graph, assign_fixed
+from repro.reliability import (
+    ExactEstimator,
+    exact_reliability,
+    exact_reliability_by_enumeration,
+)
+
+
+class TestHandComputedCases:
+    def test_single_edge(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.3)])
+        assert exact_reliability(g, 0, 1) == pytest.approx(0.3)
+
+    def test_series(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.5), (1, 2, 0.4)])
+        assert exact_reliability(g, 0, 2) == pytest.approx(0.2)
+
+    def test_parallel_paths(self):
+        # Two disjoint 2-hop routes: R = 1 - (1 - 0.25)(1 - 0.25).
+        g = UncertainGraph.from_edges(
+            [(0, 1, 0.5), (1, 3, 0.5), (0, 2, 0.5), (2, 3, 0.5)]
+        )
+        assert exact_reliability(g, 0, 3) == pytest.approx(1 - 0.75 * 0.75)
+
+    def test_diamond(self, diamond):
+        expected = 1 - (1 - 0.8 * 0.5) * (1 - 0.6 * 0.7)
+        assert exact_reliability(diamond, 0, 3) == pytest.approx(expected)
+
+    def test_source_equals_target(self, diamond):
+        assert exact_reliability(diamond, 2, 2) == 1.0
+
+    def test_disconnected(self):
+        g = UncertainGraph()
+        g.add_edge(0, 1, 0.9)
+        g.add_node(5)
+        assert exact_reliability(g, 0, 5) == 0.0
+
+    def test_node_not_in_graph(self, diamond):
+        assert exact_reliability(diamond, 0, 99) == 0.0
+
+    def test_certain_path_short_circuits(self):
+        g = UncertainGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 0.5)])
+        assert exact_reliability(g, 0, 2) == 1.0
+
+    def test_zero_probability_edge_ignored(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.0)])
+        assert exact_reliability(g, 0, 1) == 0.0
+
+    def test_directed_respects_orientation(self):
+        g = UncertainGraph(directed=True)
+        g.add_edge(0, 1, 0.5)
+        assert exact_reliability(g, 0, 1) == pytest.approx(0.5)
+        assert exact_reliability(g, 1, 0) == 0.0
+
+    def test_bridge_graph(self):
+        # Classic Wheatstone bridge with all p = 0.5: R = 0.5.
+        g = UncertainGraph.from_edges(
+            [(0, 1, 0.5), (0, 2, 0.5), (1, 2, 0.5), (1, 3, 0.5), (2, 3, 0.5)]
+        )
+        assert exact_reliability(g, 0, 3) == pytest.approx(0.5)
+
+
+class TestExtraEdges:
+    def test_overlay_edge_included(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.5)])
+        g.add_node(2)
+        assert exact_reliability(g, 0, 2, [(1, 2, 0.5)]) == pytest.approx(0.25)
+
+    def test_overlay_does_not_mutate(self, diamond):
+        before = diamond.num_edges
+        exact_reliability(diamond, 0, 3, [(0, 3, 0.9)])
+        assert diamond.num_edges == before
+
+    def test_direct_overlay_edge(self, diamond):
+        base = exact_reliability(diamond, 0, 3)
+        with_direct = exact_reliability(diamond, 0, 3, [(0, 3, 0.9)])
+        assert with_direct == pytest.approx(1 - (1 - base) * (1 - 0.9))
+
+
+class TestFactoringMatchesEnumeration:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_small_graphs(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        g = UncertainGraph(directed=bool(seed % 2))
+        n = rng.randint(3, 6)
+        for _ in range(rng.randint(2, 10)):
+            u, v = rng.sample(range(n), 2)
+            g.add_edge(u, v, round(rng.uniform(0.1, 0.95), 2))
+        s, t = 0, n - 1
+        g.add_node(s)
+        g.add_node(t)
+        assert exact_reliability(g, s, t) == pytest.approx(
+            exact_reliability_by_enumeration(g, s, t), abs=1e-12
+        )
+
+    def test_max_edges_guard(self):
+        g = path_graph(80)
+        assign_fixed(g, 0.5)
+        with pytest.raises(ValueError, match="factoring"):
+            exact_reliability(g, 0, 79, max_edges=10)
+
+
+class TestExactEstimator:
+    def test_reliability_protocol(self, diamond):
+        estimator = ExactEstimator()
+        assert estimator.reliability(diamond, 0, 3) == pytest.approx(
+            exact_reliability(diamond, 0, 3)
+        )
+
+    def test_reachability_from(self, diamond):
+        estimator = ExactEstimator()
+        reach = estimator.reachability_from(diamond, 0)
+        assert reach[0] == 1.0
+        # Direct edge 0.8 plus the 0-2-3-1 detour can only help.
+        assert reach[1] >= 0.8
+        assert set(reach) == {0, 1, 2, 3}
+
+    def test_reachability_to_undirected(self, diamond):
+        estimator = ExactEstimator()
+        reach = estimator.reachability_to(diamond, 3)
+        assert reach[3] == 1.0
+        assert 0 in reach

@@ -1,0 +1,50 @@
+"""Tests for the benchmark results report collector."""
+
+import os
+
+from repro.experiments import build_report, collect_result_tables, write_report
+
+
+def _make_results(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "table09_real.txt").write_text("Table 9\n=======\nrow")
+    (results / "figure08_im.txt").write_text("Figure 8\n========\nrow")
+    (results / "ablation_x.txt").write_text("Ablation\n========\nrow")
+    (results / "notes.json").write_text("{}")  # ignored
+    return str(results)
+
+
+def test_collect_filters_and_keys(tmp_path):
+    results = _make_results(tmp_path)
+    tables = collect_result_tables(results)
+    assert set(tables) == {"table09_real", "figure08_im", "ablation_x"}
+
+
+def test_report_orders_tables_before_figures(tmp_path):
+    results = _make_results(tmp_path)
+    report = build_report(results)
+    assert report.index("table09 real") < report.index("figure08 im")
+    assert report.index("figure08 im") < report.index("ablation x")
+    assert report.count("```") == 6
+
+
+def test_empty_results_dir(tmp_path):
+    report = build_report(str(tmp_path / "missing"))
+    assert "No result tables found" in report
+
+
+def test_write_report(tmp_path):
+    results = _make_results(tmp_path)
+    out = tmp_path / "report.md"
+    content = write_report(results, str(out), title="My run")
+    assert out.read_text() == content
+    assert content.startswith("# My run")
+
+
+def test_real_results_dir_if_present():
+    results_dir = os.path.join("benchmarks", "results")
+    if not os.path.isdir(results_dir):
+        return
+    report = build_report(results_dir)
+    assert "Table" in report or "No result tables" in report

@@ -1,0 +1,140 @@
+"""Tests for Algorithm 4 (search-space elimination) and path pruning."""
+
+import pytest
+
+from repro.graph import UncertainGraph, fixed_new_edge_probability, path_graph, assign_fixed
+from repro.reliability import ExactEstimator, MonteCarloEstimator
+from repro.core import (
+    candidate_edges_between,
+    eliminate_search_space,
+    select_top_l_paths,
+    top_r_nodes,
+)
+
+
+@pytest.fixture
+def chain():
+    g = path_graph(8)
+    assign_fixed(g, 0.6)
+    return g
+
+
+class TestTopRNodes:
+    def test_orders_by_probability(self):
+        reach = {1: 0.2, 2: 0.9, 3: 0.5}
+        assert top_r_nodes(reach, 2, must_include=2) == [2, 3]
+
+    def test_anchor_forced_in(self):
+        reach = {1: 0.9, 2: 0.8, 3: 0.7}
+        chosen = top_r_nodes(reach, 2, must_include=3)
+        assert 3 in chosen and len(chosen) == 2
+
+    def test_ties_break_deterministically(self):
+        reach = {5: 0.5, 1: 0.5, 3: 0.5}
+        assert top_r_nodes(reach, 2, must_include=1) == [1, 3]
+
+
+class TestCandidateEdges:
+    def test_excludes_existing_and_self(self, chain):
+        edges = candidate_edges_between(
+            chain, [0, 1], [1, 2], fixed_new_edge_probability(0.5)
+        )
+        pairs = {(u, v) for u, v, _ in edges}
+        assert (0, 1) not in pairs  # existing
+        assert (1, 1) not in pairs
+        assert (0, 2) in pairs
+
+    def test_h_constraint(self, chain):
+        edges = candidate_edges_between(
+            chain, [0], [2, 7], fixed_new_edge_probability(0.5), h=3
+        )
+        pairs = {(u, v) for u, v, _ in edges}
+        assert (0, 2) in pairs
+        assert (0, 7) not in pairs  # 7 hops away
+
+    def test_forbidden_nodes(self, chain):
+        edges = candidate_edges_between(
+            chain, [0, 3], [5], fixed_new_edge_probability(0.5),
+            forbidden_nodes={3},
+        )
+        assert all(u != 3 and v != 3 for u, v, _ in edges)
+
+    def test_undirected_deduplication(self):
+        g = UncertainGraph()
+        for u in range(3):
+            g.add_node(u)
+        edges = candidate_edges_between(
+            g, [0, 1], [0, 1], fixed_new_edge_probability(0.5)
+        )
+        assert len(edges) == 1  # (0, 1) only once
+
+    def test_probability_model_applied(self, chain):
+        model = fixed_new_edge_probability(0.37)
+        edges = candidate_edges_between(chain, [0], [5], model)
+        assert edges[0][2] == 0.37
+
+
+class TestEliminateSearchSpace:
+    def test_relevant_nodes_selected(self, chain):
+        space = eliminate_search_space(
+            chain, 0, 7, r=3,
+            new_edge_prob=fixed_new_edge_probability(0.5),
+            estimator=ExactEstimator(),
+        )
+        # Top-3 from node 0 on a 0.6-chain: nodes 0, 1, 2.
+        assert space.source_side == [0, 1, 2]
+        assert space.target_side == [7, 6, 5]
+
+    def test_candidates_bridge_the_sides(self, chain):
+        space = eliminate_search_space(
+            chain, 0, 7, r=2,
+            new_edge_prob=fixed_new_edge_probability(0.5),
+            estimator=ExactEstimator(),
+        )
+        pairs = {(u, v) for u, v, _ in space.edges}
+        assert pairs == {(0, 7), (0, 6), (1, 7), (1, 6)}
+
+    def test_timing_recorded(self, chain):
+        space = eliminate_search_space(
+            chain, 0, 7, r=2,
+            new_edge_prob=fixed_new_edge_probability(0.5),
+            estimator=MonteCarloEstimator(50, seed=0),
+        )
+        assert space.elapsed_seconds > 0.0
+
+    def test_search_space_shrinks_with_r(self, chain):
+        small = eliminate_search_space(
+            chain, 0, 7, r=2,
+            new_edge_prob=fixed_new_edge_probability(0.5),
+            estimator=ExactEstimator(),
+        )
+        large = eliminate_search_space(
+            chain, 0, 7, r=5,
+            new_edge_prob=fixed_new_edge_probability(0.5),
+            estimator=ExactEstimator(),
+        )
+        assert len(small.edges) < len(large.edges)
+
+
+class TestSelectTopLPaths:
+    def test_candidates_on_no_path_dropped(self, chain):
+        candidates = [(0, 7, 0.5), (1, 6, 0.01)]  # second is hopeless
+        path_set = select_top_l_paths(chain, 0, 7, l=1, candidates=candidates)
+        surviving = {(u, v) for u, v, _ in path_set.surviving_candidates}
+        assert surviving == {(0, 7)}
+
+    def test_paths_annotated(self, chain):
+        path_set = select_top_l_paths(
+            chain, 0, 7, l=2, candidates=[(0, 7, 0.5)]
+        )
+        direct = next(p for p in path_set.paths if p.nodes == [0, 7])
+        assert direct.candidate_edges == frozenset({(0, 7)})
+        assert direct.existing_edges == ()
+        blue = next(p for p in path_set.paths if len(p.nodes) == 8)
+        assert blue.candidate_edges == frozenset()
+        assert len(blue.existing_edges) == 7
+
+    def test_empty_candidates(self, chain):
+        path_set = select_top_l_paths(chain, 0, 7, l=3, candidates=[])
+        assert path_set.surviving_candidates == []
+        assert len(path_set.paths) == 1

@@ -1,0 +1,144 @@
+"""Tests for IP (Algorithm 5) and BE (Algorithm 6) edge selection.
+
+Includes the paper's run-through Example 2/3 (Figure 4): with candidates
+{sB, sC, Bt}, individual path selection picks {sB, Bt} while batch
+selection finds the better {sC, Bt}.
+"""
+
+import pytest
+
+from repro.graph import UncertainGraph
+from repro.reliability import ExactEstimator, exact_reliability
+from repro.core import (
+    batch_selection,
+    build_path_batches,
+    individual_path_selection,
+    select_top_l_paths,
+)
+
+S, B, C, T = 0, 1, 2, 3
+
+
+@pytest.fixture
+def figure4_graph():
+    """Figure 4(c)'s essentials: existing CB = 0.9, Ct = 0.3 (directed)."""
+    g = UncertainGraph(directed=True)
+    g.add_node(S)
+    g.add_edge(C, B, 0.9)
+    g.add_edge(C, T, 0.3)
+    return g
+
+
+@pytest.fixture
+def figure4_candidates():
+    """Candidates {sB, sC, Bt}, each with zeta = 0.5."""
+    return [(S, B, 0.5), (S, C, 0.5), (B, T, 0.5)]
+
+
+def figure4_paths(graph, candidates, l=3):
+    return select_top_l_paths(graph, S, T, l=l, candidates=candidates)
+
+
+class TestExample2PathOrder:
+    def test_top3_paths_in_paper_order(self, figure4_graph, figure4_candidates):
+        path_set = figure4_paths(figure4_graph, figure4_candidates)
+        nodes = [p.nodes for p in path_set.paths]
+        probs = [p.probability for p in path_set.paths]
+        assert nodes == [[S, B, T], [S, C, B, T], [S, C, T]]
+        assert probs[0] == pytest.approx(0.25)    # sBt
+        assert probs[1] == pytest.approx(0.225)   # sCBt
+        assert probs[2] == pytest.approx(0.15)    # sCt
+
+
+class TestExample3Selection:
+    def test_ip_picks_sB_Bt(self, figure4_graph, figure4_candidates):
+        path_set = figure4_paths(figure4_graph, figure4_candidates)
+        edges = individual_path_selection(
+            figure4_graph, S, T, 2, path_set, ExactEstimator()
+        )
+        assert {(u, v) for u, v, _ in edges} == {(S, B), (B, T)}
+
+    def test_be_picks_sC_Bt(self, figure4_graph, figure4_candidates):
+        path_set = figure4_paths(figure4_graph, figure4_candidates)
+        edges = batch_selection(
+            figure4_graph, S, T, 2, path_set, ExactEstimator()
+        )
+        assert {(u, v) for u, v, _ in edges} == {(S, C), (B, T)}
+
+    def test_be_solution_value_matches_paper(self, figure4_graph):
+        # Subgraph induced by {sCBt, sCt}: R = 0.5 * (1 - 0.7 * 0.55).
+        value = exact_reliability(
+            figure4_graph, S, T, [(S, C, 0.5), (B, T, 0.5)]
+        )
+        assert value == pytest.approx(0.3075)
+
+    def test_be_beats_ip_here(self, figure4_graph, figure4_candidates):
+        path_set = figure4_paths(figure4_graph, figure4_candidates)
+        ip = individual_path_selection(
+            figure4_graph, S, T, 2, path_set, ExactEstimator()
+        )
+        be = batch_selection(
+            figure4_graph, S, T, 2, path_set, ExactEstimator()
+        )
+        r_ip = exact_reliability(figure4_graph, S, T, ip)
+        r_be = exact_reliability(figure4_graph, S, T, be)
+        assert r_be > r_ip
+
+
+class TestBudgetsAndEdgeCases:
+    def test_budget_respected(self, figure4_graph, figure4_candidates):
+        path_set = figure4_paths(figure4_graph, figure4_candidates)
+        for k in (1, 2, 3):
+            for select in (individual_path_selection, batch_selection):
+                edges = select(
+                    figure4_graph, S, T, k, path_set, ExactEstimator()
+                )
+                assert len(edges) <= k
+
+    def test_invalid_k(self, figure4_graph, figure4_candidates):
+        path_set = figure4_paths(figure4_graph, figure4_candidates)
+        with pytest.raises(ValueError):
+            individual_path_selection(
+                figure4_graph, S, T, 0, path_set, ExactEstimator()
+            )
+        with pytest.raises(ValueError):
+            batch_selection(figure4_graph, S, T, 0, path_set, ExactEstimator())
+
+    def test_no_candidate_paths(self, diamond):
+        path_set = select_top_l_paths(diamond, 0, 3, l=3, candidates=[])
+        assert individual_path_selection(
+            diamond, 0, 3, 2, path_set, ExactEstimator()
+        ) == []
+        assert batch_selection(
+            diamond, 0, 3, 2, path_set, ExactEstimator()
+        ) == []
+
+    def test_k1_selects_single_best_batch(self, figure4_graph, figure4_candidates):
+        path_set = figure4_paths(figure4_graph, figure4_candidates)
+        edges = batch_selection(
+            figure4_graph, S, T, 1, path_set, ExactEstimator()
+        )
+        # Only the 1-edge batch {sC} fits: it activates path sCt.
+        assert {(u, v) for u, v, _ in edges} == {(S, C)}
+
+    def test_batches_grouped_by_label(self, figure4_graph, figure4_candidates):
+        path_set = figure4_paths(figure4_graph, figure4_candidates)
+        batches = build_path_batches(path_set.paths)
+        labels = set(batches)
+        assert frozenset({(S, B), (B, T)}) in labels
+        assert frozenset({(S, C), (B, T)}) in labels
+        assert frozenset({(S, C)}) in labels
+
+    def test_shared_label_paths_batched_together(self):
+        g = UncertainGraph(directed=True)
+        g.add_node(S)
+        # Two parallel mid sections sharing the same candidate edges.
+        g.add_edge(10, 11, 0.9)
+        g.add_edge(10, 12, 0.8)
+        g.add_edge(11, T, 0.9)
+        g.add_edge(12, T, 0.8)
+        candidates = [(S, 10, 0.5)]
+        path_set = select_top_l_paths(g, S, T, l=5, candidates=candidates)
+        batches = build_path_batches(path_set.paths)
+        label = frozenset({(S, 10)})
+        assert len(batches[label]) == 2

@@ -1,0 +1,107 @@
+"""Tests for graph statistics (Table 8 columns) and edge-list IO."""
+
+import math
+
+import pytest
+
+from repro.graph import (
+    UncertainGraph,
+    approximate_diameter,
+    average_shortest_path_length,
+    clustering_coefficient,
+    path_graph,
+    probability_summary,
+    read_edge_list,
+    summarize,
+    write_edge_list,
+)
+
+
+class TestStats:
+    def test_probability_summary(self):
+        g = UncertainGraph()
+        g.add_edge(0, 1, 0.2)
+        g.add_edge(1, 2, 0.4)
+        g.add_edge(2, 3, 0.6)
+        mean, std, quartiles = probability_summary(g)
+        assert mean == pytest.approx(0.4)
+        assert quartiles[1] == pytest.approx(0.4)
+
+    def test_probability_summary_empty(self):
+        g = UncertainGraph()
+        mean, std, quartiles = probability_summary(g)
+        assert mean == 0.0 and std == 0.0
+
+    def test_average_shortest_path_on_path_graph(self):
+        g = path_graph(5)
+        # Exact mean over all ordered reachable pairs of P5 is 2.0.
+        assert average_shortest_path_length(g, num_sources=5) == pytest.approx(2.0)
+
+    def test_diameter_path_graph(self):
+        g = path_graph(10)
+        assert approximate_diameter(g) == 9
+
+    def test_clustering_triangle(self):
+        g = UncertainGraph()
+        g.add_edge(0, 1, 0.5)
+        g.add_edge(1, 2, 0.5)
+        g.add_edge(0, 2, 0.5)
+        assert clustering_coefficient(g) == pytest.approx(1.0)
+
+    def test_clustering_star_is_zero(self):
+        g = UncertainGraph()
+        for leaf in range(1, 5):
+            g.add_edge(0, leaf, 0.5)
+        assert clustering_coefficient(g) == 0.0
+
+    def test_summarize_row(self):
+        g = path_graph(4)
+        summary = summarize(g)
+        assert summary.num_nodes == 4
+        assert summary.num_edges == 3
+        assert summary.longest_shortest_path == 3
+        row = summary.row()
+        assert row[1] == "4"
+        assert "Undirected" in row
+
+
+class TestIO:
+    def test_roundtrip_undirected(self, tmp_path, diamond):
+        path = tmp_path / "g.edges"
+        write_edge_list(diamond, path)
+        loaded = read_edge_list(path)
+        assert loaded.directed == diamond.directed
+        assert loaded.edge_set() == diamond.edge_set()
+        for u, v, p in diamond.edges():
+            assert loaded.probability(u, v) == pytest.approx(p)
+
+    def test_roundtrip_directed(self, tmp_path, directed_diamond):
+        path = tmp_path / "g.edges"
+        directed_diamond.name = "dd"
+        write_edge_list(directed_diamond, path)
+        loaded = read_edge_list(path)
+        assert loaded.directed
+        assert loaded.name == "dd"
+        assert loaded.edge_set() == directed_diamond.edge_set()
+
+    def test_roundtrip_isolated_nodes(self, tmp_path):
+        g = UncertainGraph()
+        g.add_edge(0, 1, 0.5)
+        g.add_node(9)
+        path = tmp_path / "g.edges"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded.has_node(9)
+        assert loaded.num_nodes == 3
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_edge_list(path)
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# a comment\n\n0 1 0.25\n")
+        loaded = read_edge_list(path)
+        assert loaded.probability(0, 1) == 0.25
