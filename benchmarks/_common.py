@@ -10,7 +10,7 @@ written to ``benchmarks/results/<name>.txt`` so a full
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro import datasets
 from repro.experiments import ResultTable

@@ -7,7 +7,6 @@
 * random-selection floor — everything must beat random edges.
 """
 
-import pytest
 
 from repro.core import (
     ReliabilityMaximizer,

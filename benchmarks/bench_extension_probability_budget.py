@@ -8,7 +8,6 @@ small budgets concentrate on one strong edge, large budgets spread over
 multi-edge shortcuts when that shortens the -log p path.
 """
 
-import pytest
 
 from repro.core import ReliabilityMaximizer, improve_mrp_with_probability_budget
 from repro.graph import fixed_new_edge_probability

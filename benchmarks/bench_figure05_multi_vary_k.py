@@ -7,7 +7,6 @@ while Min/Max (k1-installment loops) are less k-sensitive.
 
 import time
 
-import pytest
 
 from repro.core import MultiSourceTargetMaximizer
 from repro.reliability import RecursiveStratifiedSampler

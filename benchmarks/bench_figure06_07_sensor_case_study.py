@@ -13,7 +13,6 @@ match regions rather than exact devices; the *mechanism* — the solver
 bridges the weakly-connected region to a dense one — is asserted.
 """
 
-import pytest
 
 from repro.datasets import intel_lab
 from repro.graph import fixed_new_edge_probability

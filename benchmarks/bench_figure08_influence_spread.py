@@ -6,7 +6,6 @@ method lifts the expected influence spread far more than Eigen-
 Optimization (EO) at every budget (+326 influenced juniors at k=100).
 """
 
-import pytest
 
 from repro.baselines import eigenvalue_selection
 from repro.graph import fixed_new_edge_probability

@@ -8,7 +8,6 @@ finishes (the quadratic blow-up is the point the table makes — its
 *shape* survives scaling).
 """
 
-import pytest
 
 from repro.experiments import (
     ResultTable,

@@ -8,7 +8,6 @@ centrality/eigenvalue baselines (they now operate on a query-relevant
 subspace).
 """
 
-import pytest
 
 from repro.experiments import (
     ResultTable,

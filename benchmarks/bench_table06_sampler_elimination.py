@@ -9,7 +9,6 @@ and cuts elimination time by 50-90%.
 
 import time
 
-import pytest
 
 from repro.graph import fixed_new_edge_probability
 from repro.reliability import (

@@ -6,7 +6,6 @@ paper reports up to 40% savings for RSS even though selection operates
 on small path-induced subgraphs.
 """
 
-import pytest
 
 from repro.experiments import (
     ResultTable,

@@ -7,7 +7,6 @@ always lowest, HC is an order of magnitude slower, memory is similar
 with MRP slightly lighter.
 """
 
-import pytest
 
 from repro.experiments import (
     ResultTable,
@@ -17,9 +16,7 @@ from repro.experiments import (
 )
 
 from _common import (
-    BENCH_K,
     BENCH_L,
-    BENCH_R,
     BENCH_ZETA,
     load,
     method_label,

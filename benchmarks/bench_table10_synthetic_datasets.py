@@ -7,7 +7,6 @@ original paths leave the most room) and run fastest; random graphs are
 slowest.
 """
 
-import pytest
 
 from repro.experiments import (
     ResultTable,

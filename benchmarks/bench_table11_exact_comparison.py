@@ -10,7 +10,6 @@ faster.
 
 import time
 
-import pytest
 
 from repro.datasets import intel_lab
 from repro.graph import fixed_new_edge_probability

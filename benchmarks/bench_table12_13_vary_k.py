@@ -6,7 +6,6 @@ only use so many new edges); BE stays on top at every k; HC's time grows
 linearly in k while the path-based methods barely notice.
 """
 
-import pytest
 
 from repro.experiments import (
     ResultTable,

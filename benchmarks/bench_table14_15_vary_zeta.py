@@ -6,7 +6,6 @@ the optimal edge set flips (Observation 1); running time is insensitive
 to zeta.
 """
 
-import pytest
 
 from repro.experiments import (
     ResultTable,

@@ -7,7 +7,6 @@ most reliable path machinery just consumes them — and results track the
 distribution's mean.
 """
 
-import pytest
 
 from repro.graph import (
     normal_new_edge_probability,

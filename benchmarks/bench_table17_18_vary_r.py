@@ -6,7 +6,6 @@ around r=80-100 (here, scaled graphs saturate earlier); Time 1 grows
 sharply with r while Time 2 for the path-based methods barely moves.
 """
 
-import pytest
 
 from repro.experiments import (
     ResultTable,

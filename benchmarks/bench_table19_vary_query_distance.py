@@ -6,7 +6,6 @@ have little left to improve, distant pairs are hard to bridge under the
 distance constraint — and running time falls off at the extremes.
 """
 
-import pytest
 
 from repro.experiments import (
     ResultTable,

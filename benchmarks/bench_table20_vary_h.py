@@ -5,7 +5,6 @@ larger h admits more (and remoter) candidate links, so the gain grows
 with h — but so does the running time; h=3 is the practical default.
 """
 
-import pytest
 
 from repro.experiments import (
     ResultTable,

@@ -5,7 +5,6 @@ scaled graphs saturate earlier); running time is linear in l for both IP
 and BE.
 """
 
-import pytest
 
 from repro.experiments import (
     ResultTable,

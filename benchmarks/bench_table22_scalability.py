@@ -6,7 +6,6 @@ graph size (the pipeline only ever touches the query-relevant region
 plus an O(r^2 + l) selection problem).
 """
 
-import pytest
 
 from repro.experiments import (
     ResultTable,

@@ -7,7 +7,6 @@ on Min/Max; IMA is closest to BE under Avg (its objective is a variant of
 average reliability); HC is the slowest by far.
 """
 
-import pytest
 
 from repro.experiments import (
     ResultTable,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..graph import UncertainGraph, fixed_new_edge_probability
 from ..reliability import (
@@ -152,6 +152,27 @@ class ReliabilityMaximizer:
         )
         return estimator.reliability(
             graph, source, target, list(extra_edges) if extra_edges else None
+        )
+
+    def reliability_many(
+        self,
+        graph: UncertainGraph,
+        pairs: Sequence[Tuple[int, int]],
+        extra_edges: Optional[Sequence[ProbEdge]] = None,
+    ) -> List[float]:
+        """Batched paired-seed evaluation of many s-t pairs.
+
+        Returns reliabilities aligned with ``pairs``.  All pairs are
+        answered against one compiled plan and one shared world batch
+        (see :mod:`repro.engine`), so scoring thousands of pairs costs
+        roughly one single-pair evaluation plus a cheap per-pair reduce
+        — the entry point multi-source/selection loops should use.
+        """
+        estimator = MonteCarloEstimator(
+            self.evaluation_samples, seed=self.evaluation_seed
+        )
+        return estimator.reliability_many(
+            graph, list(pairs), list(extra_edges) if extra_edges else None
         )
 
     # ------------------------------------------------------------------

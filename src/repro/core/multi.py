@@ -117,13 +117,20 @@ class MultiSourceTargetMaximizer:
         pairs: Sequence[Pair],
         extra_edges: Optional[Sequence[ProbEdge]] = None,
     ) -> Dict[Pair, float]:
-        """Paired-seed evaluation of every pair's reliability."""
+        """Paired-seed evaluation of every pair's reliability.
+
+        Goes through the batched ``reliability_many`` entry point, so
+        one compiled plan and one shared world batch are amortized
+        across the whole ``S x T`` workload.
+        """
+        pairs = list(pairs)
         estimator = MonteCarloEstimator(
             self.evaluation_samples, seed=self.evaluation_seed
         )
-        return estimator.pair_reliabilities(
-            graph, list(pairs), list(extra_edges) if extra_edges else None
+        values = estimator.reliability_many(
+            graph, pairs, list(extra_edges) if extra_edges else None
         )
+        return dict(zip(pairs, values))
 
     def candidate_space(
         self,

@@ -1,0 +1,52 @@
+"""Vectorized batch possible-world sampling engine.
+
+The engine is the repo's shared Monte Carlo hot path: a cached CSR-style
+compilation of :class:`~repro.graph.UncertainGraph` (:mod:`.csr`), a
+bit-packed batch world-sampling + BFS kernel that advances all ``Z``
+samples per sweep (:mod:`.kernel`), and a high-level
+:class:`VectorizedSamplingEngine` the reliability estimators delegate to
+(:mod:`.batch`).  See ROADMAP.md ("Vectorized sampling engine") for the
+architecture narrative.
+"""
+
+from .csr import (
+    QueryPlan,
+    build_query_plan,
+    canonical_key,
+    compile_plan,
+    extend_with_overlay,
+)
+from .kernel import (
+    WorldBatch,
+    batch_reach,
+    hit_fraction,
+    num_words,
+    pack_bool_matrix,
+    popcount,
+    sample_worlds,
+    valid_sample_mask,
+)
+from .batch import (
+    VectorizedSamplingEngine,
+    pair_hit_fractions,
+    reach_counts_dict,
+)
+
+__all__ = [
+    "QueryPlan",
+    "build_query_plan",
+    "canonical_key",
+    "compile_plan",
+    "extend_with_overlay",
+    "WorldBatch",
+    "batch_reach",
+    "hit_fraction",
+    "num_words",
+    "pack_bool_matrix",
+    "popcount",
+    "sample_worlds",
+    "valid_sample_mask",
+    "VectorizedSamplingEngine",
+    "pair_hit_fractions",
+    "reach_counts_dict",
+]

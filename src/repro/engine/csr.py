@@ -1,0 +1,252 @@
+"""Compiled CSR-style adjacency for the vectorized sampling engine.
+
+The engine never traverses the dict-of-dicts :class:`UncertainGraph`
+directly.  Instead it compiles the graph once into flat numpy arrays —
+one canonical *edge* table (probabilities, one coin per edge) and one
+*arc* table (directed traversal entries, two per undirected edge) sorted
+by destination so a whole BFS sweep is a gather + ``bitwise_or.reduceat``
+scatter.  The compilation is cached on the graph instance and keyed on
+:attr:`UncertainGraph.version`, so selection loops that evaluate
+thousands of candidate overlays against the same base graph compile
+exactly once.
+
+Candidate-edge overlays never mutate the base compilation: an
+:func:`extend_with_overlay` call produces a merged :class:`QueryPlan`
+that appends overlay edges (and any overlay-only endpoints) behind the
+base arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import UncertainGraph
+
+ProbEdge = Tuple[int, int, float]
+EdgeKey = Tuple[int, int]
+
+_CACHE_ATTR = "_engine_csr_cache"
+
+
+class QueryPlan:
+    """Flat arrays the batch kernel consumes.
+
+    Attributes
+    ----------
+    num_nodes:
+        Total node count, including overlay-only endpoints.
+    probs:
+        ``(num_edges,)`` float64 — one existence probability per
+        canonical edge (undirected edges appear once).
+    arc_src / arc_eid:
+        ``(num_arcs,)`` — source node index and edge id of every
+        traversal arc, **sorted by destination index**.
+    dst_unique / dst_starts:
+        Unique destination indices and the start offset of each
+        destination's contiguous arc segment (``reduceat`` boundaries).
+    node_ids / index_of:
+        Bidirectional node id <-> dense index mapping.
+    edge_index:
+        Canonical ``(u, v)`` node-id key -> tuple of edge ids carrying
+        that key (used by stratified sampling to force edge states;
+        base and overlay edges with the same endpoints share a key).
+    """
+
+    __slots__ = (
+        "directed",
+        "num_nodes",
+        "num_edges",
+        "probs",
+        "arc_src",
+        "arc_dst",
+        "arc_eid",
+        "dst_unique",
+        "dst_starts",
+        "node_ids",
+        "index_of",
+        "edge_index",
+    )
+
+    def __init__(
+        self,
+        directed: bool,
+        num_nodes: int,
+        probs: np.ndarray,
+        arc_src: np.ndarray,
+        arc_dst: np.ndarray,
+        arc_eid: np.ndarray,
+        node_ids: List[int],
+        index_of: Dict[int, int],
+        edge_index: Dict[EdgeKey, Tuple[int, ...]],
+    ) -> None:
+        self.directed = directed
+        self.num_nodes = num_nodes
+        self.num_edges = int(probs.shape[0])
+        self.probs = probs
+        self.node_ids = node_ids
+        self.index_of = index_of
+        self.edge_index = edge_index
+        order = np.argsort(arc_dst, kind="stable")
+        self.arc_dst = np.ascontiguousarray(arc_dst[order])
+        self.arc_src = np.ascontiguousarray(arc_src[order])
+        self.arc_eid = np.ascontiguousarray(arc_eid[order])
+        arc_dst = self.arc_dst
+        if arc_dst.size:
+            self.dst_unique, self.dst_starts = np.unique(
+                arc_dst, return_index=True
+            )
+        else:
+            self.dst_unique = np.empty(0, dtype=np.int64)
+            self.dst_starts = np.empty(0, dtype=np.int64)
+
+    def node_index(self, node: int) -> Optional[int]:
+        """Dense index of ``node`` or ``None`` when absent."""
+        return self.index_of.get(node)
+
+
+def canonical_key(directed: bool, u: int, v: int) -> EdgeKey:
+    """Stable edge key: ``(min, max)`` for undirected graphs."""
+    if not directed and v < u:
+        return (v, u)
+    return (u, v)
+
+
+def _compile(graph: UncertainGraph) -> QueryPlan:
+    node_ids = list(graph.nodes())
+    index_of = {u: i for i, u in enumerate(node_ids)}
+    directed = graph.directed
+
+    num_edges = graph.num_edges
+    probs = np.empty(num_edges, dtype=np.float64)
+    num_arcs = num_edges if directed else 2 * num_edges
+    arc_src = np.empty(num_arcs, dtype=np.int64)
+    arc_dst = np.empty(num_arcs, dtype=np.int64)
+    arc_eid = np.empty(num_arcs, dtype=np.int64)
+    edge_index: Dict[EdgeKey, Tuple[int, ...]] = {}
+
+    pos = 0
+    for eid, (u, v, p) in enumerate(graph.edges()):
+        probs[eid] = p
+        key = canonical_key(directed, u, v)
+        edge_index[key] = edge_index.get(key, ()) + (eid,)
+        ui, vi = index_of[u], index_of[v]
+        arc_src[pos] = ui
+        arc_dst[pos] = vi
+        arc_eid[pos] = eid
+        pos += 1
+        if not directed:
+            arc_src[pos] = vi
+            arc_dst[pos] = ui
+            arc_eid[pos] = eid
+            pos += 1
+
+    return QueryPlan(
+        directed=directed,
+        num_nodes=len(node_ids),
+        probs=probs,
+        arc_src=arc_src[:pos],
+        arc_dst=arc_dst[:pos],
+        arc_eid=arc_eid[:pos],
+        node_ids=node_ids,
+        index_of=index_of,
+        edge_index=edge_index,
+    )
+
+
+def compile_plan(graph: UncertainGraph) -> QueryPlan:
+    """Compiled base plan for ``graph``, cached per graph version.
+
+    The cache lives on the graph instance (``graph._engine_csr_cache``)
+    and is invalidated by :attr:`UncertainGraph.version`, which bumps on
+    every mutation.  Holding a returned plan across graph mutations is
+    safe — plans are immutable snapshots.
+    """
+    cached = getattr(graph, _CACHE_ATTR, None)
+    if cached is not None and cached[0] == graph.version:
+        return cached[1]
+    plan = _compile(graph)
+    setattr(graph, _CACHE_ATTR, (graph.version, plan))
+    return plan
+
+
+def extend_with_overlay(
+    base: QueryPlan,
+    extra_edges: Iterable[ProbEdge],
+) -> QueryPlan:
+    """Merged plan: base graph plus overlay ``(u, v, p)`` edges.
+
+    Overlay edges are appended with fresh edge ids (coins independent of
+    base edges); endpoints unknown to the base graph get new dense
+    indices so overlays may route through nodes the graph has never
+    seen, matching the legacy scalar traversal semantics.
+    """
+    extra = list(extra_edges)
+    if not extra:
+        return base
+
+    index_of = dict(base.index_of)
+    node_ids = list(base.node_ids)
+
+    def intern(node: int) -> int:
+        idx = index_of.get(node)
+        if idx is None:
+            idx = len(node_ids)
+            index_of[node] = idx
+            node_ids.append(node)
+        return idx
+
+    directed = base.directed
+    n_extra = len(extra)
+    probs = np.empty(n_extra, dtype=np.float64)
+    num_arcs = n_extra if directed else 2 * n_extra
+    arc_src = np.empty(num_arcs, dtype=np.int64)
+    arc_dst = np.empty(num_arcs, dtype=np.int64)
+    arc_eid = np.empty(num_arcs, dtype=np.int64)
+    edge_index = dict(base.edge_index)
+
+    pos = 0
+    for offset, (u, v, p) in enumerate(extra):
+        eid = base.num_edges + offset
+        probs[offset] = p
+        key = canonical_key(directed, u, v)
+        edge_index[key] = edge_index.get(key, ()) + (eid,)
+        ui, vi = intern(u), intern(v)
+        arc_src[pos] = ui
+        arc_dst[pos] = vi
+        arc_eid[pos] = eid
+        pos += 1
+        if not directed:
+            arc_src[pos] = vi
+            arc_dst[pos] = ui
+            arc_eid[pos] = eid
+            pos += 1
+
+    # Re-sorting the concatenated arc table costs O(A log A) once per
+    # overlay, amortized over Z samples inside the kernel.
+    merged_src = np.concatenate([base.arc_src, arc_src[:pos]])
+    merged_eid = np.concatenate([base.arc_eid, arc_eid[:pos]])
+    merged_dst = np.concatenate([base.arc_dst, arc_dst[:pos]])
+    return QueryPlan(
+        directed=directed,
+        num_nodes=len(node_ids),
+        probs=np.concatenate([base.probs, probs]),
+        arc_src=merged_src,
+        arc_dst=merged_dst,
+        arc_eid=merged_eid,
+        node_ids=node_ids,
+        index_of=index_of,
+        edge_index=edge_index,
+    )
+
+
+def build_query_plan(
+    graph: UncertainGraph,
+    extra_edges: Optional[Sequence[ProbEdge]] = None,
+) -> QueryPlan:
+    """One-call helper: cached base compile, optionally overlay-merged."""
+    plan = compile_plan(graph)
+    if extra_edges:
+        plan = extend_with_overlay(plan, extra_edges)
+    return plan

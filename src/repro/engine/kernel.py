@@ -1,0 +1,198 @@
+"""Batch possible-world kernel: coin flips and BFS for all samples at once.
+
+World states are bit-packed: a batch of ``Z`` sampled worlds is an
+``(num_edges, W)`` uint64 matrix (``W = ceil(Z / 64)`` words) whose bit
+``i`` of row ``e`` says whether edge ``e`` exists in world ``i``.  The
+reachability sweep keeps an ``(num_nodes, W)`` reached-bitmask and, per
+sweep, propagates every arc for every world simultaneously::
+
+    contrib = reached[arc_src] & alive[arc_eid]        # (A, W) gather
+    reached[dst] |= bitwise_or.reduceat(contrib, ...)  # segmented scatter
+
+so one pass over the arc table advances the BFS frontier of all ``Z``
+samples.  The sweep repeats until fixpoint (at most ``diameter`` times).
+
+When ``Z`` is not a multiple of 64 the trailing pad bits are kept zero in
+every coin row, so pad-worlds have no edges and never reach anything
+beyond the BFS sources; source rows are seeded with the valid-bit mask,
+which keeps every popcount exact without masking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .csr import QueryPlan
+
+WORD_BITS = 64
+
+#: Edge-row block size for coin generation, sized so the temporary
+#: float64 random matrix stays around ~32 MB regardless of Z.
+_COIN_BLOCK_FLOATS = 4_000_000
+
+
+def num_words(num_samples: int) -> int:
+    """Words needed to hold one bit per sample."""
+    return (num_samples + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bool_matrix(bools: np.ndarray, num_samples: int) -> np.ndarray:
+    """Pack a ``(rows, Z)`` bool matrix into ``(rows, W)`` uint64 words.
+
+    Bit ``i`` of word ``w`` in a row is sample ``w * 64 + i``; pad bits
+    past ``Z`` are zero.
+    """
+    rows = bools.shape[0]
+    width = num_words(num_samples) * WORD_BITS
+    if bools.shape[1] != width:
+        padded = np.zeros((rows, width), dtype=bool)
+        padded[:, :num_samples] = bools[:, :num_samples]
+        bools = padded
+    packed = np.packbits(
+        np.ascontiguousarray(bools), axis=1, bitorder="little"
+    )
+    words = packed.view(np.uint64)
+    if words.dtype.byteorder == ">" or (
+        words.dtype.byteorder == "=" and np.little_endian is False
+    ):  # pragma: no cover - big-endian hosts only
+        words = words.byteswap()
+    return words
+
+
+def valid_sample_mask(num_samples: int) -> np.ndarray:
+    """``(W,)`` word row with exactly the first ``Z`` bits set."""
+    return pack_bool_matrix(
+        np.ones((1, num_samples), dtype=bool), num_samples
+    )[0]
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-element set-bit count (numpy>=2 fast path, SWAR fallback)."""
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(words)
+    x = words.astype(np.uint64, copy=True)  # pragma: no cover - numpy<2
+    m1 = np.uint64(0x5555555555555555)
+    m2 = np.uint64(0x3333333333333333)
+    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    h01 = np.uint64(0x0101010101010101)
+    x = x - ((x >> np.uint64(1)) & m1)
+    x = (x & m2) + ((x >> np.uint64(2)) & m2)
+    x = (x + (x >> np.uint64(4))) & m4
+    return (x * h01) >> np.uint64(56)
+
+
+@dataclass
+class WorldBatch:
+    """``Z`` sampled possible worlds over one query plan's edge table."""
+
+    alive: np.ndarray  # (num_edges, W) uint64 edge-existence bits
+    num_samples: int
+    valid: np.ndarray  # (W,) word row with the first Z bits set
+
+    @property
+    def num_words(self) -> int:
+        return int(self.valid.shape[0])
+
+
+def sample_worlds(
+    plan: QueryPlan,
+    num_samples: int,
+    rng: np.random.Generator,
+    forced_true: Iterable[int] = (),
+    forced_false: Iterable[int] = (),
+) -> WorldBatch:
+    """Flip coins for every edge in every sample at once.
+
+    ``forced_true`` / ``forced_false`` pin edge ids to a fixed state in
+    all samples — the stratified sampler's conditioning mechanism.
+    Probability-1 edges are always present, probability-0 never.
+    """
+    num_edges = plan.num_edges
+    words = num_words(num_samples)
+    valid = valid_sample_mask(num_samples)
+    alive = np.empty((num_edges, words), dtype=np.uint64)
+    # float32 coins halve generation cost; the 2^-24 threshold bias is
+    # orders of magnitude below Monte Carlo noise.  random() < 1.0 still
+    # always holds (certain edges stay certain) and < 0.0 never does.
+    probs = plan.probs.astype(np.float32)
+    block = max(1, _COIN_BLOCK_FLOATS // max(num_samples, 1))
+    for start in range(0, num_edges, block):
+        stop = min(start + block, num_edges)
+        coins = rng.random((stop - start, num_samples), dtype=np.float32)
+        alive[start:stop] = pack_bool_matrix(
+            coins < probs[start:stop, None], num_samples
+        )
+    forced_true = list(forced_true)
+    forced_false = list(forced_false)
+    if forced_true:
+        alive[forced_true] = valid
+    if forced_false:
+        alive[forced_false] = 0
+    return WorldBatch(alive=alive, num_samples=num_samples, valid=valid)
+
+
+def batch_reach(
+    plan: QueryPlan,
+    batch: WorldBatch,
+    source_indices: Sequence[int],
+    target_index: Optional[int] = None,
+) -> np.ndarray:
+    """Reached-bitmask ``(num_nodes, W)`` from the given source indices.
+
+    Every BFS sweep advances all ``Z`` worlds one frontier step; the loop
+    runs until no world's reached set grows (bounded by the diameter).
+    Sweeps are frontier-restricted: only arcs whose source row changed
+    in the previous sweep are gathered, and because the arc table is
+    destination-sorted any subset of it stays destination-sorted, so
+    the segmented ``reduceat`` scatter works unchanged on the subset.
+
+    Passing several sources computes reachability *from the source set*
+    in each world — exactly the union semantics multi-source queries
+    need.  With ``target_index`` the sweep stops as soon as the target
+    row saturates against the valid mask (all worlds reached it).
+    """
+    sources = list(source_indices)
+    reached = np.zeros((plan.num_nodes, batch.num_words), dtype=np.uint64)
+    reached[sources] = batch.valid
+    if plan.arc_src.size == 0:
+        return reached
+
+    arc_src = plan.arc_src
+    arc_dst = plan.arc_dst
+    arc_eid = plan.arc_eid
+    alive = batch.alive
+    frontier = np.zeros(plan.num_nodes, dtype=bool)
+    frontier[sources] = True
+    while True:
+        active = np.flatnonzero(frontier[arc_src])
+        if active.size == 0:
+            break
+        contrib = reached[arc_src[active]] & alive[arc_eid[active]]
+        sub_dst = arc_dst[active]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sub_dst[1:] != sub_dst[:-1]))
+        )
+        agg = np.bitwise_or.reduceat(contrib, starts, axis=0)
+        touched = sub_dst[starts]
+        current = reached[touched]
+        updated = current | agg
+        changed = np.any(updated != current, axis=1)
+        frontier[:] = False
+        if not changed.any():
+            break
+        changed_nodes = touched[changed]
+        reached[changed_nodes] = updated[changed]
+        frontier[changed_nodes] = True
+        if target_index is not None and np.array_equal(
+            reached[target_index], batch.valid
+        ):
+            break
+    return reached
+
+
+def hit_fraction(row: np.ndarray, num_samples: int) -> float:
+    """Fraction of worlds whose bit is set in a reached-matrix row."""
+    return int(popcount(row).sum()) / num_samples

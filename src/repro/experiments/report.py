@@ -8,7 +8,7 @@ one markdown document (the raw material for EXPERIMENTS.md updates).
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 #: Display order: paper tables first, figures, then extras.
 _SECTION_ORDER = ("table", "figure", "ablation", "extension")

@@ -50,6 +50,7 @@ class UncertainGraph:
         self._succ: Dict[int, Dict[int, float]] = {}
         self._pred: Dict[int, Dict[int, float]] = {}
         self._num_edges = 0
+        self._version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -72,6 +73,7 @@ class UncertainGraph:
         if u not in self._succ:
             self._succ[u] = {}
             self._pred[u] = {}
+            self._version += 1
 
     def add_edge(self, u: int, v: int, p: float) -> None:
         """Add edge ``(u, v)`` with probability ``p``.
@@ -93,6 +95,7 @@ class UncertainGraph:
             self._pred[u][v] = p
         if is_new:
             self._num_edges += 1
+        self._version += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove edge ``(u, v)``; raises ``KeyError`` when absent."""
@@ -104,6 +107,7 @@ class UncertainGraph:
             del self._succ[v][u]
             del self._pred[u][v]
         self._num_edges -= 1
+        self._version += 1
 
     def set_probability(self, u: int, v: int, p: float) -> None:
         """Update the probability of an existing edge."""
@@ -114,6 +118,16 @@ class UncertainGraph:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumps on any node/edge change.
+
+        Compiled representations (e.g. the vectorized engine's CSR
+        cache, see :mod:`repro.engine`) key their per-graph caches on
+        this counter so they recompile exactly when the graph changes.
+        """
+        return self._version
+
     @property
     def num_nodes(self) -> int:
         """Number of nodes."""

@@ -7,19 +7,45 @@ traversing the stored worlds.  Amortized over a query workload (e.g. the
 multi-source-target loops, which re-evaluate hundreds of pairs on the
 same graph) this is far cheaper than re-sampling per query.
 
+With the vectorized engine (default) the ``Z`` worlds are stored as one
+bit-packed ``(num_edges, Z/64)`` matrix and every query is a batch BFS
+over all worlds at once; without numpy the index falls back to one
+adjacency dict per world.
+
 Overlay (``extra_edges``) support: stored worlds cover only the indexed
 graph; overlay edges are Bernoulli-sampled per (query, world) with a
-deterministic per-index seed, so marginals match plain Monte Carlo.
+deterministic per-index seed, so marginals match plain Monte Carlo and
+repeated queries see identical overlay states.
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..graph import UncertainGraph
 from .estimator import Overlay, ReliabilityEstimator, build_overlay
+
+try:
+    import numpy as np
+
+    from ..engine import (
+        WorldBatch,
+        batch_reach,
+        compile_plan,
+        extend_with_overlay,
+        hit_fraction,
+        pack_bool_matrix,
+        pair_hit_fractions,
+        reach_counts_dict,
+        sample_worlds,
+    )
+except ImportError:  # pragma: no cover - numpy-less fallback
+    np = None  # type: ignore[assignment]
+
+#: Mixing constant separating overlay-coin seeds from world-coin seeds.
+_OVERLAY_SALT = 0x9E3779B9
 
 
 class BFSSharingIndex(ReliabilityEstimator):
@@ -34,6 +60,10 @@ class BFSSharingIndex(ReliabilityEstimator):
         Number of stored possible worlds ``Z``.
     seed:
         Sampling seed; also derives per-query overlay coin seeds.
+    vectorized:
+        ``True`` stores worlds bit-packed and answers with the batch
+        kernel, ``False`` keeps the per-world adjacency dicts, ``None``
+        auto-selects the engine when numpy is importable.
     """
 
     name = "bfs-sharing"
@@ -43,16 +73,31 @@ class BFSSharingIndex(ReliabilityEstimator):
         graph: UncertainGraph,
         num_samples: int = 500,
         seed: int = 0,
+        vectorized: Optional[bool] = None,
     ) -> None:
         if num_samples < 1:
             raise ValueError("num_samples must be positive")
+        if vectorized is None:
+            vectorized = np is not None
+        elif vectorized and np is None:
+            raise RuntimeError("vectorized=True requires numpy")
         self.graph = graph
         self.num_samples = num_samples
         self.seed = seed
+        self.vectorized = vectorized
         self._worlds: List[Dict[int, List[int]]] = []
+        self._plan = None
+        self._batch: Optional["WorldBatch"] = None
         self._build()
 
     def _build(self) -> None:
+        if self.vectorized:
+            # Snapshot: the compiled plan and sampled bits are immutable,
+            # so later graph mutations can't leak into the index.
+            self._plan = compile_plan(self.graph)
+            rng = np.random.default_rng(self.seed)
+            self._batch = sample_worlds(self._plan, self.num_samples, rng)
+            return
         rng = random.Random(self.seed)
         rand = rng.random
         edges = list(self.graph.edges())
@@ -84,6 +129,16 @@ class BFSSharingIndex(ReliabilityEstimator):
             return 1.0
         if source not in graph:
             return 0.0
+        if self.vectorized:
+            plan, batch = self._query_batch(extra_edges)
+            src = plan.node_index(source)
+            dst = plan.node_index(target)
+            if src is None or dst is None:
+                # Node added to the graph after the snapshot was built:
+                # it is isolated in every stored world.
+                return 0.0
+            reached = batch_reach(plan, batch, [src], target_index=dst)
+            return hit_fraction(reached[dst], self.num_samples)
         overlay = build_overlay(graph, extra_edges)
         hits = 0
         for index, world in enumerate(self._worlds):
@@ -100,6 +155,15 @@ class BFSSharingIndex(ReliabilityEstimator):
         self._check(graph)
         if source not in graph:
             return {}
+        if self.vectorized:
+            plan, batch = self._query_batch(extra_edges)
+            src = plan.node_index(source)
+            if src is None:
+                return {source: 1.0}
+            reached = batch_reach(plan, batch, [src])
+            return reach_counts_dict(
+                plan, reached, self.num_samples, [source]
+            )
         overlay = build_overlay(graph, extra_edges)
         counts: Dict[int, int] = {}
         for index, world in enumerate(self._worlds):
@@ -117,6 +181,11 @@ class BFSSharingIndex(ReliabilityEstimator):
     ) -> Dict[Tuple[int, int], float]:
         """Worlds are shared across all pairs — the index's sweet spot."""
         self._check(graph)
+        if self.vectorized:
+            if not pairs:
+                return {}
+            plan, batch = self._query_batch(extra_edges)
+            return pair_hit_fractions(plan, batch, pairs, self.num_samples)
         overlay = build_overlay(graph, extra_edges)
         counts = {pair: 0 for pair in pairs}
         by_source: Dict[int, List[Tuple[int, int]]] = {}
@@ -131,6 +200,46 @@ class BFSSharingIndex(ReliabilityEstimator):
         return {pair: c / self.num_samples for pair, c in counts.items()}
 
     # ------------------------------------------------------------------
+    # vectorized internals
+    # ------------------------------------------------------------------
+    def _query_batch(self, extra_edges: Overlay):
+        """Stored worlds, extended with deterministic overlay coins."""
+        extra = list(extra_edges) if extra_edges else None
+        if not extra:
+            return self._plan, self._batch
+        plan = extend_with_overlay(self._plan, extra)
+        rows = np.empty(
+            (len(extra), self._batch.num_words), dtype=np.uint64
+        )
+        for offset, (u, v, p) in enumerate(extra):
+            rows[offset] = self._overlay_coin_row(u, v, p)
+        alive = np.vstack([self._batch.alive, rows])
+        batch = WorldBatch(
+            alive=alive,
+            num_samples=self.num_samples,
+            valid=self._batch.valid,
+        )
+        return plan, batch
+
+    def _overlay_coin_row(self, u: int, v: int, p: float) -> "np.ndarray":
+        """Deterministic Bernoulli(p) bits per world for one overlay edge.
+
+        Keyed by the canonical edge so every query sees the same overlay
+        edge states (consistency across a pair workload's sources),
+        while states stay independent across worlds.  Tuples of ints
+        hash deterministically across processes, so the derived seed is
+        stable.
+        """
+        key = (u, v) if u <= v else (v, u)
+        derived = hash((self.seed, _OVERLAY_SALT, key)) & 0x7FFFFFFF
+        coins = np.random.default_rng(derived).random(self.num_samples)
+        return pack_bool_matrix(
+            (coins < p)[None, :], self.num_samples
+        )[0]
+
+    # ------------------------------------------------------------------
+    # scalar internals (fallback path)
+    # ------------------------------------------------------------------
     def _check(self, graph: UncertainGraph) -> None:
         if graph is not self.graph:
             raise ValueError(
@@ -139,18 +248,10 @@ class BFSSharingIndex(ReliabilityEstimator):
             )
 
     def _overlay_coin(self, world_index: int, u: int, v: int, p: float) -> bool:
-        """Deterministic Bernoulli(p) per (world, overlay edge).
-
-        Keyed by world and canonical edge so every query sees the same
-        overlay edge state inside one world (consistency across the
-        sources of a pair workload), while states stay independent
-        across worlds.
-        """
+        """Deterministic Bernoulli(p) per (world, overlay edge)."""
         if p >= 1.0:
             return True
         key = (u, v) if u <= v else (v, u)
-        # Tuples of ints hash deterministically across processes, so the
-        # derived seed is stable; Random() itself needs an int.
         seed = hash((self.seed, world_index, key)) & 0x7FFFFFFF
         return random.Random(seed).random() < p
 

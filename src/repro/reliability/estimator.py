@@ -107,6 +107,24 @@ class ReliabilityEstimator(ABC):
             for s, t in pairs
         }
 
+    def reliability_many(
+        self,
+        graph: UncertainGraph,
+        pairs: Sequence[Tuple[int, int]],
+        extra_edges: Overlay = None,
+    ) -> List[float]:
+        """Reliability of many s-t pairs, aligned with ``pairs`` order.
+
+        The batched entry point selection and multi-source loops should
+        prefer: vectorized estimators answer every pair against one
+        compiled plan and one shared world batch, amortizing the setup
+        cost over thousands of queries.  The default implementation
+        delegates to :meth:`pair_reliabilities`.
+        """
+        pairs = list(pairs)
+        values = self.pair_reliabilities(graph, pairs, extra_edges)
+        return [values[(s, t)] for s, t in pairs]
+
     def multi_source_reachability(
         self,
         graph: UncertainGraph,

@@ -17,10 +17,16 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..graph import UncertainGraph
 from .estimator import Overlay, ReliabilityEstimator, build_overlay
+
+try:
+    from ..engine import VectorizedSamplingEngine, build_query_plan
+except ImportError:  # pragma: no cover - numpy-less fallback
+    VectorizedSamplingEngine = None  # type: ignore[assignment,misc]
+    build_query_plan = None  # type: ignore[assignment]
 
 EdgeKey = Tuple[int, int]
 
@@ -60,6 +66,16 @@ class RecursiveStratifiedSampler(ReliabilityEstimator):
         Recursion guard; deeper strata fall back to MC.
     seed:
         PRNG seed.
+    vectorized:
+        ``True`` runs the Monte Carlo leaves of the stratification tree
+        on the batch engine (stratum recursion itself stays scalar —
+        it is structure discovery, not sampling), ``False`` forces the
+        legacy per-sample BFS, ``None`` auto-selects.
+
+    Notes
+    -----
+    Not thread-safe: beyond the PRNG, the estimator briefly stores the
+    active query's compiled plan while the recursion runs.
     """
 
     name = "rss"
@@ -71,16 +87,26 @@ class RecursiveStratifiedSampler(ReliabilityEstimator):
         mc_threshold: int = 40,
         max_depth: int = 8,
         seed: int = 0,
+        vectorized: Optional[bool] = None,
     ) -> None:
         if num_samples < 1:
             raise ValueError("num_samples must be positive")
         if num_stratify_edges < 1:
             raise ValueError("num_stratify_edges must be positive")
+        if vectorized is None:
+            vectorized = VectorizedSamplingEngine is not None
+        elif vectorized and VectorizedSamplingEngine is None:
+            raise RuntimeError("vectorized=True requires numpy")
         self.num_samples = num_samples
         self.num_stratify_edges = num_stratify_edges
         self.mc_threshold = mc_threshold
         self.max_depth = max_depth
+        self.vectorized = vectorized
         self._rng = random.Random(seed)
+        self._engine = (
+            VectorizedSamplingEngine(seed) if vectorized else None
+        )
+        self._active_plan = None
 
     # ------------------------------------------------------------------
     def reliability(
@@ -94,8 +120,15 @@ class RecursiveStratifiedSampler(ReliabilityEstimator):
             return 1.0
         if source not in graph or target not in graph:
             return 0.0
-        adj = _Adjacency(graph, build_overlay(graph, extra_edges))
-        return self._estimate(adj, source, target, {}, self.num_samples, 0)
+        extra = list(extra_edges) if extra_edges else None
+        adj = _Adjacency(graph, build_overlay(graph, extra))
+        self._active_plan = (
+            build_query_plan(graph, extra) if self._engine else None
+        )
+        try:
+            return self._estimate(adj, source, target, {}, self.num_samples, 0)
+        finally:
+            self._active_plan = None
 
     def reachability_from(
         self,
@@ -105,9 +138,18 @@ class RecursiveStratifiedSampler(ReliabilityEstimator):
     ) -> Dict[int, float]:
         if source not in graph:
             return {}
-        adj = _Adjacency(graph, build_overlay(graph, extra_edges))
+        extra = list(extra_edges) if extra_edges else None
+        adj = _Adjacency(graph, build_overlay(graph, extra))
+        self._active_plan = (
+            build_query_plan(graph, extra) if self._engine else None
+        )
         counts: Dict[int, float] = {}
-        self._estimate_vector(adj, source, {}, self.num_samples, 0, 1.0, counts)
+        try:
+            self._estimate_vector(
+                adj, source, {}, self.num_samples, 0, 1.0, counts
+            )
+        finally:
+            self._active_plan = None
         counts[source] = 1.0
         return counts
 
@@ -295,6 +337,10 @@ class RecursiveStratifiedSampler(ReliabilityEstimator):
         forced: Dict[EdgeKey, bool],
         num_samples: int,
     ) -> float:
+        if self._engine is not None and self._active_plan is not None:
+            return self._engine.stratified_reliability(
+                self._active_plan, source, target, forced, num_samples
+            )
         rand = self._rng.random
         hits = 0
         for _ in range(num_samples):
@@ -328,6 +374,13 @@ class RecursiveStratifiedSampler(ReliabilityEstimator):
         weight: float,
         out: Dict[int, float],
     ) -> None:
+        if self._engine is not None and self._active_plan is not None:
+            counts = self._engine.stratified_reach_counts(
+                self._active_plan, source, forced, num_samples
+            )
+            for node, fraction in counts.items():
+                out[node] = out.get(node, 0.0) + weight * fraction
+            return
         rand = self._rng.random
         unit = weight / num_samples
         for _ in range(num_samples):

@@ -147,8 +147,6 @@ class TestCentrality:
 
 class TestEigen:
     def test_leading_eigen_star(self):
-        import math
-
         g = UncertainGraph()
         for leaf in range(1, 5):
             g.add_edge(0, leaf, 1.0)

@@ -1,0 +1,318 @@
+"""Parity tests: the vectorized engine vs the legacy scalar samplers.
+
+Vectorized and scalar paths consume different PRNG streams, so parity is
+asserted within Monte Carlo tolerance at large Z (and against exact
+values where the fixture graphs permit), never bit-for-bit.
+"""
+
+import pytest
+
+from repro.engine import (
+    VectorizedSamplingEngine,
+    build_query_plan,
+    compile_plan,
+    extend_with_overlay,
+    num_words,
+    pack_bool_matrix,
+    popcount,
+    valid_sample_mask,
+)
+from repro.graph import UncertainGraph, assign_uniform, erdos_renyi
+from repro.reliability import (
+    BFSSharingIndex,
+    MonteCarloEstimator,
+    RecursiveStratifiedSampler,
+    exact_reliability,
+)
+
+import numpy as np
+
+
+@pytest.fixture
+def medium_graph():
+    g = erdos_renyi(30, num_edges=60, seed=3)
+    return assign_uniform(g, 0.1, 0.9, seed=4)
+
+
+class TestKernelPrimitives:
+    def test_num_words(self):
+        assert num_words(1) == 1
+        assert num_words(64) == 1
+        assert num_words(65) == 2
+        assert num_words(1000) == 16
+
+    def test_pack_roundtrip_via_popcount(self):
+        rng = np.random.default_rng(0)
+        for z in (1, 7, 64, 100, 129):
+            bools = rng.random((5, z)) < 0.5
+            words = pack_bool_matrix(bools, z)
+            assert words.shape == (5, num_words(z))
+            counts = popcount(words).sum(axis=1)
+            assert counts.tolist() == bools.sum(axis=1).tolist()
+
+    def test_valid_mask_counts_z_bits(self):
+        for z in (1, 63, 64, 65, 1000):
+            assert int(popcount(valid_sample_mask(z)).sum()) == z
+
+    def test_pad_bits_are_zero(self):
+        words = pack_bool_matrix(np.ones((1, 70), dtype=bool), 70)
+        assert int(popcount(words).sum()) == 70
+
+
+class TestCSRCompilation:
+    def test_cache_hit_until_mutation(self, diamond):
+        first = compile_plan(diamond)
+        assert compile_plan(diamond) is first
+        diamond.add_edge(1, 2, 0.5)
+        second = compile_plan(diamond)
+        assert second is not first
+        assert second.num_edges == first.num_edges + 1
+
+    def test_version_bumps_on_mutations(self, diamond):
+        v = diamond.version
+        diamond.add_node(99)
+        assert diamond.version > v
+        v = diamond.version
+        diamond.set_probability(0, 1, 0.9)
+        assert diamond.version > v
+        v = diamond.version
+        diamond.remove_edge(0, 1)
+        assert diamond.version > v
+
+    def test_undirected_edges_share_one_coin_id(self, diamond):
+        plan = compile_plan(diamond)
+        assert plan.num_edges == 4
+        assert plan.arc_src.shape[0] == 8  # two arcs per undirected edge
+        assert plan.edge_index[(0, 1)] == (0,)
+
+    def test_overlay_extends_without_touching_base(self, diamond):
+        base = compile_plan(diamond)
+        merged = extend_with_overlay(base, [(0, 3, 0.5), (3, 77, 0.2)])
+        assert base.num_edges == 4
+        assert merged.num_edges == 6
+        assert merged.num_nodes == base.num_nodes + 1  # node 77 interned
+        assert merged.node_index(77) is not None
+        assert base.node_index(77) is None
+        # base stays cached and untouched
+        assert compile_plan(diamond) is base
+
+    def test_empty_overlay_returns_base(self, diamond):
+        base = compile_plan(diamond)
+        assert build_query_plan(diamond, None) is base
+        assert build_query_plan(diamond, []) is base
+
+
+class TestEngineAgainstExact:
+    def test_diamond(self, diamond):
+        truth = exact_reliability(diamond, 0, 3)
+        est = VectorizedSamplingEngine(seed=1).reliability(diamond, 0, 3, 8000)
+        assert est == pytest.approx(truth, abs=0.03)
+
+    def test_directed(self, directed_diamond):
+        truth = exact_reliability(directed_diamond, 0, 3)
+        eng = VectorizedSamplingEngine(seed=2)
+        assert eng.reliability(directed_diamond, 0, 3, 8000) == pytest.approx(
+            truth, abs=0.03
+        )
+        assert eng.reliability(directed_diamond, 3, 0, 2000) == 0.0
+
+    def test_deterministic_given_seed(self, medium_graph):
+        a = VectorizedSamplingEngine(seed=7).reliability(medium_graph, 0, 29, 300)
+        b = VectorizedSamplingEngine(seed=7).reliability(medium_graph, 0, 29, 300)
+        assert a == b
+
+    def test_z_not_word_aligned(self, diamond):
+        truth = exact_reliability(diamond, 0, 3)
+        est = VectorizedSamplingEngine(seed=3).reliability(diamond, 0, 3, 7001)
+        assert est == pytest.approx(truth, abs=0.03)
+
+
+class TestScalarParity:
+    """Vectorized estimates agree with the legacy scalar path."""
+
+    def test_mc_single_pair(self, medium_graph):
+        vec = MonteCarloEstimator(6000, seed=1, vectorized=True)
+        scalar = MonteCarloEstimator(6000, seed=1, vectorized=False)
+        assert vec.reliability(medium_graph, 0, 29) == pytest.approx(
+            scalar.reliability(medium_graph, 0, 29), abs=0.04
+        )
+
+    def test_mc_reachability_vector(self, diamond):
+        vec = MonteCarloEstimator(8000, seed=2).reachability_from(diamond, 0)
+        scalar = MonteCarloEstimator(
+            8000, seed=2, vectorized=False
+        ).reachability_from(diamond, 0)
+        assert set(vec) == set(scalar)
+        for node, value in scalar.items():
+            assert vec[node] == pytest.approx(value, abs=0.04)
+
+    def test_mc_reliability_many(self, medium_graph):
+        pairs = [(0, 10), (0, 20), (5, 25), (7, 7)]
+        vec = MonteCarloEstimator(6000, seed=3).reliability_many(
+            medium_graph, pairs
+        )
+        scalar = MonteCarloEstimator(
+            6000, seed=4, vectorized=False
+        ).reliability_many(medium_graph, pairs)
+        assert len(vec) == len(pairs)
+        assert vec[3] == scalar[3] == 1.0  # s == t
+        for a, b in zip(vec, scalar):
+            assert a == pytest.approx(b, abs=0.05)
+
+    def test_mc_multi_source(self, diamond):
+        vec = MonteCarloEstimator(8000, seed=5).multi_source_reachability(
+            diamond, [0, 3]
+        )
+        scalar = MonteCarloEstimator(
+            8000, seed=6, vectorized=False
+        ).multi_source_reachability(diamond, [0, 3])
+        assert vec[0] == vec[3] == 1.0
+        for node, value in scalar.items():
+            assert vec[node] == pytest.approx(value, abs=0.04)
+
+    def test_rss_parity(self, medium_graph):
+        truth = MonteCarloEstimator(20000, seed=99).reliability(
+            medium_graph, 0, 29
+        )
+        vec = RecursiveStratifiedSampler(1000, seed=1, vectorized=True)
+        scalar = RecursiveStratifiedSampler(1000, seed=1, vectorized=False)
+        assert vec.reliability(medium_graph, 0, 29) == pytest.approx(
+            truth, abs=0.05
+        )
+        assert vec.reliability(medium_graph, 0, 29) == pytest.approx(
+            scalar.reliability(medium_graph, 0, 29), abs=0.05
+        )
+
+    def test_rss_reachability_parity(self, diamond):
+        vec = RecursiveStratifiedSampler(
+            2000, seed=2, vectorized=True
+        ).reachability_from(diamond, 0)
+        for node in (1, 2, 3):
+            truth = exact_reliability(diamond, 0, node)
+            assert vec[node] == pytest.approx(truth, abs=0.05)
+
+    def test_bfs_sharing_parity(self, diamond):
+        truth = exact_reliability(diamond, 0, 3)
+        vec = BFSSharingIndex(diamond, num_samples=8000, seed=1)
+        scalar = BFSSharingIndex(
+            diamond, num_samples=8000, seed=1, vectorized=False
+        )
+        assert vec.reliability(diamond, 0, 3) == pytest.approx(truth, abs=0.03)
+        assert vec.reliability(diamond, 0, 3) == pytest.approx(
+            scalar.reliability(diamond, 0, 3), abs=0.04
+        )
+
+    def test_bfs_sharing_node_added_after_build(self, diamond):
+        # Nodes added after the snapshot are isolated in every stored
+        # world; both paths must degrade gracefully, not crash.
+        vec = BFSSharingIndex(diamond, num_samples=100, seed=3)
+        scalar = BFSSharingIndex(
+            diamond, num_samples=100, seed=3, vectorized=False
+        )
+        diamond.add_node(7)
+        for index in (vec, scalar):
+            assert index.reliability(diamond, 7, 3) == 0.0
+            assert index.reliability(diamond, 0, 7) == 0.0
+            assert index.reachability_from(diamond, 7) == {7: 1.0}
+            assert index.pair_reliabilities(diamond, [(7, 3), (0, 7)]) == {
+                (7, 3): 0.0,
+                (0, 7): 0.0,
+            }
+
+    def test_bfs_sharing_overlay_deterministic(self, diamond):
+        index = BFSSharingIndex(diamond, num_samples=2000, seed=2)
+        overlay = [(0, 3, 0.5)]
+        first = index.reliability(diamond, 0, 3, overlay)
+        assert index.reliability(diamond, 0, 3, overlay) == first
+        base = index.reliability(diamond, 0, 3)
+        expected = base + (1 - base) * 0.5
+        assert first == pytest.approx(expected, abs=0.04)
+
+
+class TestOverlayAndEdgeCases:
+    @pytest.fixture
+    def engine(self):
+        return VectorizedSamplingEngine(seed=11)
+
+    def test_overlay_edge_counted(self, engine):
+        g = UncertainGraph()
+        g.add_node(0)
+        g.add_node(1)
+        est = engine.reliability(g, 0, 1, 8000, [(0, 1, 0.4)])
+        assert est == pytest.approx(0.4, abs=0.03)
+
+    def test_overlay_undirected_semantics(self, engine):
+        g = UncertainGraph()
+        g.add_node(0)
+        g.add_node(1)
+        g.add_node(2)
+        # Overlay edge (1, 0) must also carry 0 -> 1 traffic.
+        est = engine.reliability(g, 0, 2, 8000, [(1, 0, 0.8), (1, 2, 0.8)])
+        assert est == pytest.approx(0.64, abs=0.03)
+
+    def test_overlay_through_unknown_node(self, engine):
+        g = UncertainGraph()
+        g.add_node(0)
+        g.add_node(1)
+        # Node 99 exists only in the overlay but may relay traffic.
+        est = engine.reliability(g, 0, 1, 8000, [(0, 99, 0.8), (99, 1, 0.8)])
+        assert est == pytest.approx(0.64, abs=0.03)
+
+    def test_source_equals_target(self, engine, diamond):
+        assert engine.reliability(diamond, 1, 1, 10) == 1.0
+
+    def test_missing_nodes(self, engine, diamond):
+        assert engine.reliability(diamond, 0, 42, 10) == 0.0
+        assert engine.reliability(diamond, 42, 0, 10) == 0.0
+
+    def test_disconnected(self, engine):
+        g = UncertainGraph()
+        g.add_edge(0, 1, 0.9)
+        g.add_edge(2, 3, 0.9)
+        assert engine.reliability(g, 0, 3, 500) == 0.0
+
+    def test_certain_and_impossible_edges(self, engine):
+        certain = UncertainGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        assert engine.reliability(certain, 0, 2, 50) == 1.0
+        impossible = UncertainGraph.from_edges([(0, 1, 0.0)])
+        assert engine.reliability(impossible, 0, 1, 200) == 0.0
+
+    def test_edgeless_graph(self, engine):
+        g = UncertainGraph()
+        g.add_node(0)
+        g.add_node(1)
+        assert engine.reliability(g, 0, 1, 100) == 0.0
+        assert engine.reachability_from(g, 0, 100) == {0: 1.0}
+
+    def test_reachability_missing_source(self, engine, diamond):
+        assert engine.reachability_from(diamond, 42, 10) == {}
+
+    def test_reliability_many_empty(self, engine, diamond):
+        assert engine.reliability_many(diamond, [], 10) == []
+
+    def test_reliability_many_with_overlay(self, engine, diamond):
+        pairs = [(0, 3), (1, 2)]
+        with_edge = engine.reliability_many(diamond, pairs, 8000, [(0, 3, 1.0)])
+        assert with_edge[0] == 1.0  # certain overlay edge closes the pair
+        without = engine.reliability_many(diamond, pairs, 8000)
+        assert without[0] == pytest.approx(
+            exact_reliability(diamond, 0, 3), abs=0.03
+        )
+
+
+class TestEstimatorFlagPlumbing:
+    def test_vectorized_flag_exposed(self):
+        assert MonteCarloEstimator(10).vectorized is True
+        assert MonteCarloEstimator(10, vectorized=False).vectorized is False
+        assert RecursiveStratifiedSampler(10, vectorized=False).vectorized is False
+
+    def test_facade_reliability_many(self, diamond):
+        from repro.core.facade import ReliabilityMaximizer
+
+        solver = ReliabilityMaximizer(evaluation_samples=6000)
+        pairs = [(0, 3), (0, 1)]
+        values = solver.reliability_many(diamond, pairs)
+        assert len(values) == 2
+        assert values[0] == pytest.approx(
+            exact_reliability(diamond, 0, 3), abs=0.03
+        )

@@ -10,7 +10,7 @@ import itertools
 import pytest
 
 from repro.graph import UncertainGraph
-from repro.reliability import ExactEstimator, exact_reliability
+from repro.reliability import exact_reliability
 
 S, A, B, T = 0, 1, 2, 3
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graph import UncertainGraph, fixed_new_edge_probability, path_graph, assign_fixed
+from repro.graph import fixed_new_edge_probability, path_graph, assign_fixed
 from repro.core import improve_most_reliable_path
 from repro.paths import most_reliable_path
 

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.graph import UncertainGraph, assign_fixed, path_graph
-from repro.reliability import ExactEstimator, MonteCarloEstimator
+from repro.graph import UncertainGraph
+from repro.reliability import ExactEstimator
 from repro.core import MultiSolution, MultiSourceTargetMaximizer
 
 

@@ -1,6 +1,5 @@
 """Tests for path algorithms: Dijkstra MRP, Yen top-l, layered search."""
 
-import itertools
 import math
 
 import pytest

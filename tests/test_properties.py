@@ -16,7 +16,7 @@ import math
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.graph import UncertainGraph, fixed_new_edge_probability
+from repro.graph import fixed_new_edge_probability
 from repro.reliability import (
     MonteCarloEstimator,
     exact_reliability,
@@ -25,7 +25,7 @@ from repro.reliability import (
 from repro.paths import most_reliable_path, top_l_most_reliable_paths
 from repro.core import improve_most_reliable_path
 
-from .conftest import small_uncertain_graphs
+from conftest import small_uncertain_graphs
 
 COMMON = dict(
     deadline=None,

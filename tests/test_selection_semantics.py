@@ -1,7 +1,5 @@
 """Deeper semantics tests for the batch-selection machinery."""
 
-import pytest
-
 from repro.graph import UncertainGraph
 from repro.reliability import ExactEstimator
 from repro.core import (

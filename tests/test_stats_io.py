@@ -1,6 +1,5 @@
 """Tests for graph statistics (Table 8 columns) and edge-list IO."""
 
-import math
 
 import pytest
 
