@@ -9,11 +9,13 @@ Usage::
 
     python benchmarks/bench_engine_vectorized.py          # full run, asserts >= 5x
     python benchmarks/bench_engine_vectorized.py --smoke  # quick CI gate + parity check
+    python benchmarks/bench_engine_vectorized.py --json out.json  # dump timings
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -49,7 +51,7 @@ def time_estimator(estimator, graph, pairs) -> float:
     return time.perf_counter() - start
 
 
-def run(smoke: bool) -> int:
+def run(smoke: bool, json_path: str | None = None) -> int:
     if smoke:
         num_nodes, num_edges, z, repeats = 200, 600, 256, 2
         required_speedup = 1.0  # smoke only gates "runs and agrees"
@@ -98,6 +100,21 @@ def run(smoke: bool) -> int:
         graph, s, t
     )
     print(f"parity check R({s},{t}): vectorized={a:.4f} scalar={b:.4f}")
+    if json_path:
+        report = {
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "num_samples": z,
+            "num_queries": len(pairs),
+            "scalar_seconds": scalar_s,
+            "vectorized_seconds": vector_s,
+            "speedup": speedup,
+            "required_speedup": required_speedup,
+            "reliability_many_seconds": many_s,
+            "reliability_many_pairs": len(many_pairs),
+        }
+        Path(json_path).write_text(json.dumps(report, indent=2))
+        print(f"wrote {json_path}")
     if abs(a - b) > 0.08:
         print("FAIL: vectorized and scalar estimates diverge")
         return 1
@@ -115,8 +132,12 @@ def main() -> int:
         action="store_true",
         help="small graph / small Z quick check for CI",
     )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the timing report as JSON",
+    )
     args = parser.parse_args()
-    return run(smoke=args.smoke)
+    return run(smoke=args.smoke, json_path=args.json)
 
 
 if __name__ == "__main__":

@@ -7,6 +7,7 @@ distance constraint — and running time falls off at the extremes.
 """
 
 
+from repro.api import Session, Workload
 from repro.experiments import (
     ResultTable,
     SingleStProtocol,
@@ -14,7 +15,6 @@ from repro.experiments import (
     default_estimator_factory,
 )
 from repro.queries import pairs_at_exact_distance
-from repro.reliability import MonteCarloEstimator
 
 from _common import save_table
 from repro import datasets
@@ -29,13 +29,15 @@ def run():
         "Table 19: varying query distance d (as-topology-like, k=5)",
         ["d", "Base reliability", "BE gain", "BE time (s)"],
     )
-    evaluator = MonteCarloEstimator(600, seed=99)
+    # One session scores the base reliability of every d's workload:
+    # all queries across all distances share one compiled plan and one
+    # (Z=600, seed=99) world batch.
+    eval_session = Session(graph, seed=99)
     per_d = {}
     for d in D_VALUES:
         queries = pairs_at_exact_distance(graph, d, 2, seed=47)
-        base = sum(
-            evaluator.reliability(graph, s, t) for s, t in queries
-        ) / len(queries)
+        results = eval_session.run(Workload.reliability(queries, samples=600))
+        base = sum(r.values[0] for r in results) / len(queries)
         protocol = SingleStProtocol(
             k=5, zeta=0.5, r=15, l=15, evaluation_samples=500,
             estimator_factory=default_estimator_factory(120),

@@ -1,13 +1,13 @@
-"""Quickstart: budgeted reliability maximization in 30 lines.
+"""Quickstart: sessions, workloads, and budgeted maximization.
 
-Builds a small uncertain graph, asks for the best k=2 shortcut edges
-between a source and a target, and prints the before/after reliability.
+Builds a small uncertain graph, answers a batch of reliability queries
+through one session (one compiled plan, one shared world batch), then
+asks for the best k=2 shortcut edges between a source and a target.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import ReliabilityMaximizer, UncertainGraph
-from repro.reliability import MonteCarloEstimator
+from repro import MaximizeQuery, ReliabilityQuery, Session, UncertainGraph, Workload
 
 
 def main() -> None:
@@ -21,14 +21,27 @@ def main() -> None:
     graph.add_edge(5, 3, 0.6)
 
     source, target = 0, 3
-    base = MonteCarloEstimator(5000, seed=1).reliability(graph, source, target)
+    session = Session(graph, seed=1, r=6, l=10, evaluation_samples=5000)
+
+    # A workload of queries, all answered inside the same sampled
+    # worlds: the multi-target query costs one extra BFS sweep, nothing
+    # more.
+    workload = Workload([
+        ReliabilityQuery(source, target=target, samples=5000),
+        ReliabilityQuery(source, targets=(2, 5), samples=5000),
+    ])
+    direct, fanout = session.run(workload)
     print(f"graph: {graph}")
-    print(f"reliability R({source}, {target}) before: {base:.3f}")
+    print(f"reliability R({source}, {target}) before: {direct.value:.3f}")
+    print(f"fan-out from {source}: "
+          f"{ {t: round(v, 3) for t, v in fanout.by_target.items()} }")
+    print(f"  [{direct.provenance.describe()}]")
 
     # Ask for the best k=2 new edges, each materializing with zeta=0.5.
-    solver = ReliabilityMaximizer(r=6, l=10, evaluation_samples=5000)
-    solution = solver.maximize(graph, source, target, k=2, zeta=0.5)
-
+    result = session.maximize(
+        MaximizeQuery(source, target, k=2, zeta=0.5, method="be")
+    )
+    solution = result.solution
     print(f"selected shortcut edges: "
           f"{[(u, v) for u, v, _ in solution.edges]}")
     print(f"reliability after: {solution.new_reliability:.3f} "

@@ -7,16 +7,24 @@ maximize s-t reliability.
 
 Quickstart
 ----------
->>> from repro import UncertainGraph, ReliabilityMaximizer
+>>> from repro import UncertainGraph, Session, MaximizeQuery
 >>> g = UncertainGraph()
 >>> g.add_edge(0, 1, 0.8); g.add_edge(1, 2, 0.5); g.add_edge(2, 3, 0.7)
->>> solver = ReliabilityMaximizer(r=10, l=10)
->>> solution = solver.maximize(g, 0, 3, k=1, zeta=0.5)
->>> len(solution.edges)
+>>> session = Session(g, r=10, l=10)
+>>> result = session.maximize(MaximizeQuery(0, 3, k=1, zeta=0.5))
+>>> len(result.edges)
 1
+>>> round(session.reliability(0, target=3, samples=4000).value, 1)
+0.3
+
+(The legacy ``ReliabilityMaximizer`` facade still works as a thin shim
+over a per-call session.)
 
 Subpackages
 -----------
+``repro.api``
+    Declarative query/session layer: ``Session``, ``Workload``,
+    ``ReliabilityQuery``/``MaximizeQuery``, structured results.
 ``repro.graph``
     Uncertain-graph substrate, generators, probability models.
 ``repro.reliability``
@@ -54,7 +62,9 @@ from .core import (
     improve_most_reliable_path,
 )
 from .influence import influence_spread, maximize_targeted_influence
-from . import baselines, datasets, experiments, graph, influence, paths, queries, reliability
+from .reliability import make_estimator
+from .api import MaximizeQuery, ReliabilityQuery, Session, Workload
+from . import api, baselines, datasets, experiments, graph, influence, paths, queries, reliability
 
 __version__ = "1.0.0"
 
@@ -76,6 +86,12 @@ __all__ = [
     "improve_most_reliable_path",
     "influence_spread",
     "maximize_targeted_influence",
+    "make_estimator",
+    "MaximizeQuery",
+    "ReliabilityQuery",
+    "Session",
+    "Workload",
+    "api",
     "baselines",
     "datasets",
     "experiments",

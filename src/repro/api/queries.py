@@ -1,0 +1,177 @@
+"""Declarative query objects.
+
+A query describes *what* to compute — endpoints, estimator, budget —
+without touching a graph.  The :class:`~repro.api.session.Session`
+decides *how*: which queries share a compiled plan, which share a
+sampled world batch, and which must run on their own.
+
+Two query kinds cover the paper's pipeline:
+
+* :class:`ReliabilityQuery` — estimate ``R(s, t)`` (or ``R(s, t_i)`` for
+  several targets at once; a multi-target query costs one BFS sweep on
+  the engine because reachability from ``s`` answers every target).
+* :class:`MaximizeQuery` — Problem 1: add ``k`` new ``zeta``-probability
+  edges to maximize ``R(s, t)`` with any of the paper's methods.
+
+A :class:`Workload` is an ordered bag of queries over one graph —
+the unit of batching the session optimizes across.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..reliability import ReliabilityEstimator, estimator_spec
+
+Pair = Tuple[int, int]
+
+
+def _normalize_targets(
+    target: Optional[int],
+    targets: Optional[Sequence[int]],
+) -> Tuple[int, ...]:
+    if (target is None) == (targets is None):
+        raise ValueError("provide exactly one of target= or targets=")
+    if target is not None:
+        return (target,)
+    normalized = tuple(targets)
+    if not normalized:
+        raise ValueError("targets must be non-empty")
+    return normalized
+
+
+@dataclass(frozen=True)
+class ReliabilityQuery:
+    """Estimate the reliability of ``source`` -> target(s).
+
+    Parameters
+    ----------
+    source:
+        Source node id.
+    target / targets:
+        One target node id, or several (mutually exclusive).  All
+        targets of one query are answered inside the same sampled
+        worlds, so the estimates are mutually consistent.
+    estimator:
+        Registry name (``"mc"``, ``"rss"``, ``"lazy"``, ``"adaptive"``,
+        or anything registered via ``register_estimator``).
+    samples:
+        Sample budget Z (the cap for adaptive estimators).
+    seed:
+        Per-query seed override; ``None`` inherits the session seed.
+        Queries with equal ``(estimator, samples, seed)`` share sampled
+        worlds when the estimator's registry entry allows it.
+    """
+
+    source: int
+    target: Optional[int] = None
+    targets: Optional[Tuple[int, ...]] = None
+    estimator: str = "mc"
+    samples: int = 1000
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        normalized = _normalize_targets(self.target, self.targets)
+        object.__setattr__(self, "targets", normalized)
+        if self.samples < 1:
+            raise ValueError("samples must be positive")
+        estimator_spec(self.estimator)  # fail fast on unknown names
+
+    @property
+    def pairs(self) -> List[Pair]:
+        """The (source, target) pairs this query asks about."""
+        return [(self.source, t) for t in self.targets]
+
+
+@dataclass(frozen=True)
+class MaximizeQuery:
+    """Problem 1: add ``k`` new edges maximizing ``R(source, target)``.
+
+    ``estimator``/``samples``/``seed`` configure the sampler used inside
+    the selection loop; ``None`` values inherit the session's defaults
+    (overriding ``samples``/``seed`` requires a registry-built default —
+    a custom estimator *instance* on the session cannot be rebuilt and
+    the overrides are ignored with a warning).
+    ``new_edge_prob``, ``candidate_space`` and ``eliminate`` mirror the
+    advanced knobs of the legacy facade (sharing one Algorithm 4 run
+    across methods, reproducing the no-elimination tables).
+    """
+
+    source: int
+    target: int
+    k: int = 5
+    zeta: float = 0.5
+    method: str = "be"
+    estimator: Optional[Union[str, ReliabilityEstimator]] = None
+    samples: Optional[int] = None
+    seed: Optional[int] = None
+    new_edge_prob: Optional[object] = field(default=None, compare=False)
+    candidate_space: Optional[object] = field(default=None, compare=False)
+    eliminate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be positive")
+        if isinstance(self.estimator, str):
+            estimator_spec(self.estimator)  # fail fast on unknown names
+
+
+Query = Union[ReliabilityQuery, MaximizeQuery]
+
+
+class Workload:
+    """An ordered collection of queries answered against one graph.
+
+    The session executes a workload as a unit: one compiled plan for
+    every query, and one shared world batch per ``(samples, seed)``
+    group of world-sharing estimators.  Order of results always matches
+    order of queries.
+    """
+
+    def __init__(self, queries: Iterable[Query] = ()) -> None:
+        self.queries: List[Query] = list(queries)
+        for q in self.queries:
+            self._check(q)
+
+    @staticmethod
+    def _check(query: Query) -> None:
+        if not isinstance(query, (ReliabilityQuery, MaximizeQuery)):
+            raise TypeError(
+                f"expected ReliabilityQuery or MaximizeQuery, got {query!r}"
+            )
+
+    def add(self, query: Query) -> "Workload":
+        """Append a query; returns self for chaining."""
+        self._check(query)
+        self.queries.append(query)
+        return self
+
+    @classmethod
+    def reliability(
+        cls,
+        pairs: Sequence[Pair],
+        estimator: str = "mc",
+        samples: int = 1000,
+        seed: Optional[int] = None,
+    ) -> "Workload":
+        """Workload of single-target reliability queries over ``pairs``."""
+        return cls(
+            ReliabilityQuery(
+                s, target=t, estimator=estimator, samples=samples, seed=seed
+            )
+            for s, t in pairs
+        )
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kinds = {}
+        for q in self.queries:
+            kinds[type(q).__name__] = kinds.get(type(q).__name__, 0) + 1
+        inner = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
+        return f"Workload({inner})"

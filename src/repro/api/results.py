@@ -1,0 +1,139 @@
+"""Structured results with provenance.
+
+Every query answered by a :class:`~repro.api.session.Session` comes back
+as a result object carrying not just the value but *how* it was
+computed: estimator, sample count, seed, engine-vs-scalar backend,
+whether the worlds were shared from the session cache, and the
+compile/sample/solve timings.  The CLI and the experiments harness
+render these directly instead of re-deriving the context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from .queries import MaximizeQuery, Pair, ReliabilityQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.facade import Solution
+
+
+@dataclass
+class Timings:
+    """Wall-clock breakdown of one query's execution.
+
+    ``compile_seconds`` and ``sample_seconds`` are 0.0 when the plan or
+    world batch came from the session cache — the point of batching is
+    that most queries in a workload pay nothing for either.
+    """
+
+    compile_seconds: float = 0.0
+    sample_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compile_seconds + self.sample_seconds + self.solve_seconds
+
+
+@dataclass
+class Provenance:
+    """How an estimate was produced."""
+
+    estimator: str
+    samples: int
+    seed: int
+    backend: str  # "engine" (vectorized) or "scalar"
+    shared_worlds: bool = False
+    timings: Timings = field(default_factory=Timings)
+
+    def describe(self) -> str:
+        """One-line human-readable provenance summary."""
+        shared = ", shared worlds" if self.shared_worlds else ""
+        return (
+            f"{self.estimator}, Z={self.samples}, seed={self.seed}, "
+            f"{self.backend}{shared}, {self.timings.total_seconds * 1000:.1f} ms"
+        )
+
+
+@dataclass
+class ReliabilityResult:
+    """Answer to one :class:`ReliabilityQuery`."""
+
+    query: ReliabilityQuery
+    values: Tuple[float, ...]  # aligned with query.targets
+    provenance: Provenance
+
+    @property
+    def value(self) -> float:
+        """The estimate of a single-target query."""
+        if len(self.values) != 1:
+            raise ValueError(
+                "multi-target query: use .values / .by_target instead"
+            )
+        return self.values[0]
+
+    @property
+    def by_target(self) -> Dict[int, float]:
+        """Target node id -> estimated reliability."""
+        return dict(zip(self.query.targets, self.values))
+
+    @property
+    def pairs(self) -> List[Tuple[Pair, float]]:
+        """((source, target), value) in query order."""
+        return list(zip(self.query.pairs, self.values))
+
+
+@dataclass
+class MaximizeResult:
+    """Answer to one :class:`MaximizeQuery`.
+
+    Wraps the legacy :class:`~repro.core.facade.Solution` (kept as the
+    stable value object the selection machinery produces) and adds the
+    session-level provenance of the sampler that drove selection.
+    """
+
+    query: MaximizeQuery
+    solution: "Solution"
+    provenance: Provenance
+
+    # Convenience pass-throughs so renderers only need the result.
+    @property
+    def edges(self):
+        return self.solution.edges
+
+    @property
+    def gain(self) -> float:
+        return self.solution.gain
+
+    @property
+    def base_reliability(self) -> float:
+        return self.solution.base_reliability
+
+    @property
+    def new_reliability(self) -> float:
+        return self.solution.new_reliability
+
+
+def results_table(results: Sequence[ReliabilityResult], title: str = "Reliability workload"):
+    """Render reliability results as an experiments-harness table.
+
+    Returns a :class:`repro.experiments.ResultTable` with one row per
+    (source, target) pair, including provenance columns — what the CLI
+    and notebook workflows print.
+    """
+    from ..experiments.harness import ResultTable  # local: avoid cycle
+
+    table = ResultTable(
+        title,
+        ["s", "t", "R(s,t)", "estimator", "Z", "backend", "shared"],
+    )
+    for result in results:
+        prov = result.provenance
+        for (s, t), value in result.pairs:
+            table.add_row(
+                s, t, value, prov.estimator, prov.samples,
+                prov.backend, "yes" if prov.shared_worlds else "no",
+            )
+    return table

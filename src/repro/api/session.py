@@ -1,0 +1,395 @@
+"""The session: one compiled plan, shared worlds, batched execution.
+
+A :class:`Session` binds a graph to the execution state every query over
+that graph wants to share:
+
+* the **compiled CSR plan** (:mod:`repro.engine.csr`) — paid once per
+  graph version, reused by every query;
+* a **world-batch cache** keyed ``(graph.version, Z, seed)`` — queries
+  whose estimator admits shared worlds (see
+  :mod:`repro.reliability.registry`) and whose ``(Z, seed)`` align are
+  all answered inside the *same* sampled worlds, so an N-query workload
+  pays one coin-flip pass instead of N;
+* a **seeded RNG discipline** — a batch for ``(Z, seed)`` is always the
+  worlds a fresh engine with that seed would sample, so session-batched
+  results are bit-for-bit identical to one-off vectorized calls.
+
+Mutating the graph bumps ``UncertainGraph.version``; the session notices
+on the next query and evicts both the plan reference and every cached
+world batch, so results never reflect a stale graph.
+
+The session is also the facade for reliability *maximization*: it owns
+the solver configuration (``r``, ``l``, ``h``, selection estimator,
+paired evaluation sampler) and executes :class:`MaximizeQuery` objects
+via :mod:`repro.api.maximize`.  The legacy
+:class:`~repro.core.facade.ReliabilityMaximizer` is a thin shim over a
+per-call session.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..graph import UncertainGraph
+from ..reliability import (
+    ReliabilityEstimator,
+    estimator_spec,
+    make_estimator,
+)
+from .queries import MaximizeQuery, Pair, Query, ReliabilityQuery, Workload
+from .results import (
+    MaximizeResult,
+    Provenance,
+    ReliabilityResult,
+    Timings,
+)
+
+try:
+    import numpy as np
+
+    from ..engine import compile_plan, pair_hit_fractions, sample_worlds
+    _HAVE_ENGINE = True
+except ImportError:  # pragma: no cover - numpy-less fallback
+    np = None  # type: ignore[assignment]
+    compile_plan = pair_hit_fractions = sample_worlds = None  # type: ignore
+    _HAVE_ENGINE = False
+
+Result = Union[ReliabilityResult, MaximizeResult]
+
+#: Paired-evaluation defaults shared with the legacy facade.
+DEFAULT_EVALUATION_SAMPLES = 1000
+DEFAULT_EVALUATION_SEED = 9_999
+
+
+class Session:
+    """Batched query execution over one uncertain graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph every query in this session runs against.
+    seed:
+        Session seed: the default for queries that do not set their own,
+        and the seed of the default selection estimator.
+    estimator:
+        Selection-loop sampler for :class:`MaximizeQuery` execution — a
+        registry name or an estimator instance (default: ``"rss"`` at
+        ``selection_samples``, the paper's converged configuration).
+    selection_samples:
+        Sample budget of the default selection estimator.
+    evaluation_samples / evaluation_seed:
+        Paired Monte Carlo evaluation of solutions: every method's gain
+        is measured in the same worlds (fixed seed).
+    r, l, h:
+        Search-space parameters (Algorithm 4 / top-l paths / hop bound).
+    max_cached_batches:
+        Bound on the world-batch cache: at most this many distinct
+        ``(Z, seed)`` batches are kept (FIFO eviction), so long-lived
+        sessions serving heterogeneous workloads stay bounded in
+        memory.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        seed: int = 0,
+        estimator: Optional[Union[str, ReliabilityEstimator]] = None,
+        selection_samples: int = 250,
+        evaluation_samples: int = DEFAULT_EVALUATION_SAMPLES,
+        evaluation_seed: int = DEFAULT_EVALUATION_SEED,
+        r: int = 100,
+        l: int = 30,
+        h: Optional[int] = None,
+        max_cached_batches: int = 8,
+    ) -> None:
+        if max_cached_batches < 1:
+            raise ValueError("max_cached_batches must be positive")
+        self.graph = graph
+        self.seed = seed
+        self.selection_samples = selection_samples
+        self.evaluation_samples = evaluation_samples
+        self.evaluation_seed = evaluation_seed
+        self.r = r
+        self.l = l
+        self.h = h
+        self.max_cached_batches = max_cached_batches
+        # Registry name of the default selection estimator, when known:
+        # maximize queries overriding samples/seed rebuild through it.
+        self.estimator_name: Optional[str] = None
+        if estimator is None:
+            self.estimator_name = "rss"
+            estimator = make_estimator("rss", selection_samples, seed=seed)
+        elif isinstance(estimator, str):
+            self.estimator_name = estimator_spec(estimator).name
+            estimator = make_estimator(estimator, selection_samples, seed=seed)
+        self.estimator: ReliabilityEstimator = estimator
+
+        self._version: Optional[int] = None
+        self._plan = None
+        self._worlds: Dict[Tuple[int, int], Tuple[object, float]] = {}
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+    @property
+    def engine_enabled(self) -> bool:
+        """Whether the vectorized engine backs this session."""
+        return _HAVE_ENGINE
+
+    def invalidate(self) -> None:
+        """Drop the compiled plan and every cached world batch."""
+        self._version = None
+        self._plan = None
+        self._worlds.clear()
+
+    def _sync_version(self) -> None:
+        if self._version != self.graph.version:
+            self.invalidate()
+            self._version = self.graph.version
+
+    def plan(self) -> Tuple[object, float]:
+        """``(compiled plan, compile_seconds)`` for the current graph.
+
+        ``compile_seconds`` is 0.0 on a cache hit — only the query that
+        first touches a graph version pays the compilation.
+        """
+        if not _HAVE_ENGINE:
+            raise RuntimeError("the vectorized engine requires numpy")
+        self._sync_version()
+        if self._plan is not None:
+            return self._plan, 0.0
+        start = time.perf_counter()
+        self._plan = compile_plan(self.graph)
+        return self._plan, time.perf_counter() - start
+
+    def world_batch(self, samples: int, seed: int):
+        """``(batch, sample_seconds, was_cached)`` for ``(Z, seed)``.
+
+        The batch is sampled with a *fresh* generator seeded ``seed``,
+        so it is exactly the batch a one-off vectorized estimator with
+        that seed would draw — the property the parity tests pin down.
+        """
+        plan, _ = self.plan()
+        key = (samples, seed)
+        cached = self._worlds.get(key)
+        if cached is not None:
+            return cached[0], 0.0, True
+        start = time.perf_counter()
+        batch = sample_worlds(plan, samples, np.random.default_rng(seed))
+        elapsed = time.perf_counter() - start
+        while len(self._worlds) >= self.max_cached_batches:
+            # FIFO eviction keeps long-lived heterogeneous sessions
+            # bounded; dict preserves insertion order.
+            self._worlds.pop(next(iter(self._worlds)))
+        self._worlds[key] = (batch, elapsed)
+        return batch, elapsed, False
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, workload: Union[Workload, Sequence[Query]]) -> List[Result]:
+        """Execute a workload; results align with query order.
+
+        Reliability queries are grouped by ``(estimator, Z, seed)``:
+        world-sharing groups are answered against one cached batch with
+        one batch-BFS per distinct source; other estimators run
+        per-query with a fresh, deterministically-seeded sampler.
+        Maximize queries run in submission order and share the session's
+        compiled plan and paired-evaluation worlds.
+        """
+        if not isinstance(workload, Workload):
+            workload = Workload(workload)
+        self._sync_version()
+        results: List[Optional[Result]] = [None] * len(workload)
+
+        groups: Dict[Tuple[str, int, int], List[Tuple[int, ReliabilityQuery]]] = {}
+        for index, query in enumerate(workload):
+            if isinstance(query, MaximizeQuery):
+                results[index] = self.maximize(query)
+                continue
+            seed = query.seed if query.seed is not None else self.seed
+            spec = estimator_spec(query.estimator)
+            groups.setdefault((spec.name, query.samples, seed), []).append(
+                (index, query)
+            )
+
+        for (name, samples, seed), members in groups.items():
+            spec = estimator_spec(name)
+            if _HAVE_ENGINE and spec.shares_worlds:
+                self._run_shared(name, samples, seed, members, results)
+            else:
+                if not spec.fixed_samples and len(members) > 1:
+                    warnings.warn(
+                        f"estimator {name!r} chooses Z adaptively and cannot "
+                        f"share a fixed-Z world batch; running "
+                        f"{len(members)} queries individually",
+                        stacklevel=2,
+                    )
+                self._run_individual(name, samples, seed, members, results)
+        return results  # type: ignore[return-value]
+
+    def _run_shared(
+        self,
+        name: str,
+        samples: int,
+        seed: int,
+        members: List[Tuple[int, ReliabilityQuery]],
+        results: List[Optional[Result]],
+    ) -> None:
+        """Answer a world-sharing group against one cached batch.
+
+        All pairs of all member queries go through one
+        ``pair_hit_fractions`` call, which runs one batch BFS per
+        distinct *source* — multi-target queries and repeated sources
+        are free.  Timings on each result are the group's batched
+        totals, not per-query costs.
+        """
+        plan, compile_s = self.plan()
+        batch, sample_s, cached = self.world_batch(samples, seed)
+        all_pairs: List[Pair] = []
+        for _, query in members:
+            all_pairs.extend(query.pairs)
+        start = time.perf_counter()
+        values = pair_hit_fractions(plan, batch, all_pairs, samples)
+        solve_s = time.perf_counter() - start
+        timings = Timings(
+            compile_seconds=compile_s,
+            sample_seconds=sample_s,
+            solve_seconds=solve_s,
+        )
+        for index, query in members:
+            results[index] = ReliabilityResult(
+                query=query,
+                values=tuple(values[pair] for pair in query.pairs),
+                provenance=Provenance(
+                    estimator=name,
+                    samples=samples,
+                    seed=seed,
+                    backend="engine",
+                    shared_worlds=cached or len(members) > 1,
+                    timings=timings,
+                ),
+            )
+
+    def _run_individual(
+        self,
+        name: str,
+        samples: int,
+        seed: int,
+        members: List[Tuple[int, ReliabilityQuery]],
+        results: List[Optional[Result]],
+    ) -> None:
+        """Per-query path: fresh deterministic sampler per query.
+
+        Each query gets its own estimator seeded ``seed``, so results
+        equal a one-off call with the same configuration regardless of
+        the query's position in the workload.
+        """
+        for index, query in members:
+            estimator = make_estimator(name, samples, seed=seed)
+            backend = (
+                "engine" if getattr(estimator, "vectorized", False) else "scalar"
+            )
+            start = time.perf_counter()
+            values = tuple(
+                estimator.reliability(self.graph, s, t)
+                for s, t in query.pairs
+            )
+            solve_s = time.perf_counter() - start
+            results[index] = ReliabilityResult(
+                query=query,
+                values=values,
+                provenance=Provenance(
+                    estimator=name,
+                    samples=samples,
+                    seed=seed,
+                    backend=backend,
+                    shared_worlds=False,
+                    timings=Timings(solve_seconds=solve_s),
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # convenience entry points
+    # ------------------------------------------------------------------
+    def reliability(
+        self,
+        source: int,
+        target: Optional[int] = None,
+        targets: Optional[Sequence[int]] = None,
+        estimator: str = "mc",
+        samples: int = 1000,
+        seed: Optional[int] = None,
+    ) -> ReliabilityResult:
+        """One-call reliability estimate through the session caches."""
+        query = ReliabilityQuery(
+            source,
+            target=target,
+            targets=tuple(targets) if targets is not None else None,
+            estimator=estimator,
+            samples=samples,
+            seed=seed,
+        )
+        return self.run(Workload([query]))[0]
+
+    def maximize(self, query: MaximizeQuery) -> MaximizeResult:
+        """Execute one maximize query (see :mod:`repro.api.maximize`)."""
+        from .maximize import execute_maximize  # local: keep import light
+
+        self._sync_version()
+        return execute_maximize(self, query)
+
+    # ------------------------------------------------------------------
+    # paired evaluation (used by maximize execution)
+    # ------------------------------------------------------------------
+    def evaluate_pairs(
+        self,
+        pairs: Sequence[Pair],
+        extra_edges=None,
+        samples: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> List[float]:
+        """Paired-seed MC evaluation of pairs, batched where possible.
+
+        Without an overlay the pairs are answered from the session's
+        shared evaluation batch; with candidate ``extra_edges`` a fresh
+        paired estimator runs over the merged plan.  Both produce the
+        exact values a standalone ``MonteCarloEstimator`` with the same
+        ``(Z, seed)`` would, so gains stay comparable across methods,
+        sessions and the legacy facade.
+        """
+        samples = samples if samples is not None else self.evaluation_samples
+        seed = seed if seed is not None else self.evaluation_seed
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        if _HAVE_ENGINE and not extra_edges:
+            # pair_hit_fractions implements the same unknown-endpoint /
+            # s==t semantics as the scalar estimators, so every
+            # overlay-free evaluation reuses the session's cached batch.
+            self._sync_version()
+            plan, _ = self.plan()
+            batch, _, _ = self.world_batch(samples, seed)
+            values = pair_hit_fractions(plan, batch, pairs, samples)
+            return [values[pair] for pair in pairs]
+        estimator = make_estimator("mc", samples, seed=seed)
+        return estimator.reliability_many(
+            self.graph, pairs, list(extra_edges) if extra_edges else None
+        )
+
+    def evaluate(
+        self,
+        source: int,
+        target: int,
+        extra_edges=None,
+        samples: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> float:
+        """Reliability of one pair under the paired evaluation sampler."""
+        if source == target:
+            return 1.0
+        return self.evaluate_pairs(
+            [(source, target)], extra_edges, samples=samples, seed=seed
+        )[0]

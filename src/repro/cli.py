@@ -23,36 +23,16 @@ import sys
 from typing import Optional, Sequence
 
 from . import datasets
+from .api import MaximizeQuery, ReliabilityQuery, Session, Workload
 from .graph import UncertainGraph, read_edge_list, summarize
-from .reliability import (
-    AdaptiveMonteCarlo,
-    LazyPropagationEstimator,
-    MonteCarloEstimator,
-    RecursiveStratifiedSampler,
-    reliability_bounds,
-)
-from .core import METHODS, ReliabilityMaximizer, improve_most_reliable_path
+from .reliability import estimator_names, make_estimator, reliability_bounds
+from .core import METHODS, improve_most_reliable_path
 from .graph import fixed_new_edge_probability
-
-ESTIMATORS = ("mc", "rss", "lazy", "adaptive")
-
 
 def _load_graph(args: argparse.Namespace) -> UncertainGraph:
     if args.file:
         return read_edge_list(args.file)
     return datasets.load(args.dataset, num_nodes=args.nodes, seed=args.seed)
-
-
-def _make_estimator(name: str, samples: int, seed: int):
-    if name == "mc":
-        return MonteCarloEstimator(samples, seed=seed)
-    if name == "rss":
-        return RecursiveStratifiedSampler(samples, seed=seed)
-    if name == "lazy":
-        return LazyPropagationEstimator(samples, seed=seed)
-    if name == "adaptive":
-        return AdaptiveMonteCarlo(max_samples=samples, seed=seed)
-    raise ValueError(f"unknown estimator {name!r}")
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -92,43 +72,61 @@ def cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def cmd_reliability(args: argparse.Namespace) -> int:
-    """Estimate s-t reliability, optionally with certified bounds."""
+    """Estimate s-t reliability through a session workload.
+
+    With several ``--target`` nodes, every estimate is answered inside
+    the same sampled worlds (one compiled plan, one batch BFS).
+    """
     graph = _load_graph(args)
-    estimator = _make_estimator(args.estimator, args.samples, args.seed)
-    value = estimator.reliability(graph, args.source, args.target)
-    print(f"R({args.source}, {args.target}) ≈ {value:.4f}  "
-          f"[{args.estimator}, Z={args.samples}]")
+    session = Session(graph, seed=args.seed)
+    query = ReliabilityQuery(
+        args.source,
+        targets=tuple(args.target),
+        estimator=args.estimator,
+        samples=args.samples,
+    )
+    [result] = session.run(Workload([query]))
+    for (s, t), value in result.pairs:
+        print(f"R({s}, {t}) ≈ {value:.4f}  "
+              f"[{result.provenance.estimator}, Z={result.provenance.samples}]")
+    if args.verbose:
+        print(f"provenance: {result.provenance.describe()}")
     if args.bounds:
-        bracket = reliability_bounds(graph, args.source, args.target)
-        print(f"certified bounds: [{bracket.lower:.4f}, {bracket.upper:.4f}]")
-        if not bracket.contains(value, slack=0.05):
-            print("warning: estimate outside certified bounds "
-                  "(increase --samples)", file=sys.stderr)
+        for (s, t), value in result.pairs:
+            bracket = reliability_bounds(graph, s, t)
+            print(f"certified bounds: "
+                  f"[{bracket.lower:.4f}, {bracket.upper:.4f}]")
+            if not bracket.contains(value, slack=0.05):
+                print("warning: estimate outside certified bounds "
+                      "(increase --samples)", file=sys.stderr)
     return 0
 
 
 def cmd_maximize(args: argparse.Namespace) -> int:
     """Run budgeted reliability maximization and print the solution."""
     graph = _load_graph(args)
-    estimator = _make_estimator(args.estimator, args.samples, args.seed)
-    solver = ReliabilityMaximizer(
-        estimator=estimator,
+    session = Session(
+        graph,
+        seed=args.seed,
+        estimator=make_estimator(args.estimator, args.samples, seed=args.seed),
+        evaluation_samples=args.evaluation_samples,
         r=args.r,
         l=args.l,
         h=args.h,
-        evaluation_samples=args.evaluation_samples,
-        seed=args.seed,
     )
-    solution = solver.maximize(
-        graph, args.source, args.target, args.k,
+    result = session.maximize(MaximizeQuery(
+        args.source, args.target, k=args.k,
         zeta=args.zeta, method=args.method,
-    )
+    ))
+    solution = result.solution
     print(f"method:      {solution.method}")
     print(f"candidates:  {solution.num_candidates}")
     print(f"reliability: {solution.base_reliability:.4f} -> "
           f"{solution.new_reliability:.4f}  (gain {solution.gain:+.4f})")
     print(f"time:        elimination {solution.elimination_seconds:.2f}s, "
           f"selection {solution.selection_seconds:.2f}s")
+    print(f"sampler:     {result.provenance.estimator} "
+          f"[{result.provenance.backend}]")
     for u, v, p in solution.edges:
         print(f"  + edge {u} -> {v}  (p={p:.3f})")
     if not solution.edges:
@@ -177,12 +175,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_graph_arguments(p_rel)
     p_rel.add_argument("--source", type=int, required=True)
-    p_rel.add_argument("--target", type=int, required=True)
-    p_rel.add_argument("--estimator", choices=ESTIMATORS, default="mc")
+    p_rel.add_argument(
+        "--target", type=int, required=True, nargs="+",
+        help="target node(s); several targets share one world batch",
+    )
+    p_rel.add_argument("--estimator", choices=estimator_names(), default="mc")
     p_rel.add_argument("--samples", type=int, default=1000)
     p_rel.add_argument(
         "--bounds", action="store_true",
         help="also print certified lower/upper bounds",
+    )
+    p_rel.add_argument(
+        "--verbose", action="store_true",
+        help="also print result provenance (backend, timings)",
     )
     p_rel.set_defaults(func=cmd_reliability)
 
@@ -195,7 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_max.add_argument("-k", type=int, default=5, help="edge budget")
     p_max.add_argument("--zeta", type=float, default=0.5)
     p_max.add_argument("--method", choices=METHODS, default="be")
-    p_max.add_argument("--estimator", choices=ESTIMATORS, default="rss")
+    p_max.add_argument("--estimator", choices=estimator_names(), default="rss")
     p_max.add_argument("--samples", type=int, default=250)
     p_max.add_argument("--evaluation-samples", type=int, default=1000)
     p_max.add_argument("-r", type=int, default=100,

@@ -1,4 +1,17 @@
-"""High-level API for single-source-target reliability maximization.
+"""Legacy high-level API for single-source-target reliability maximization.
+
+.. deprecated::
+    :class:`ReliabilityMaximizer` is kept as a thin back-compat shim.
+    New code should use the declarative session API instead::
+
+        from repro.api import Session, MaximizeQuery
+        session = Session(graph, r=100, l=30)
+        result = session.maximize(MaximizeQuery(s, t, k=10, zeta=0.5))
+        result.solution.edges, result.gain
+
+    A session amortizes one CSR compilation and shared evaluation
+    worlds across a whole workload; the facade builds a fresh session
+    per call and therefore pays those costs every time.
 
 :class:`ReliabilityMaximizer` wires together search-space elimination
 (Algorithm 4), top-l path pruning, and any of the paper's selection
@@ -13,36 +26,16 @@ methods behind one call:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
-from ..graph import UncertainGraph, fixed_new_edge_probability
-from ..reliability import (
-    MonteCarloEstimator,
-    RecursiveStratifiedSampler,
-    ReliabilityEstimator,
-)
-from ..baselines import (
-    all_missing_edges,
-    betweenness_centrality_selection,
-    degree_centrality_selection,
-    eigenvalue_selection,
-    exact_solution,
-    hill_climbing,
-    individual_top_k,
-    random_selection,
-)
+from ..graph import UncertainGraph
+from ..reliability import ReliabilityEstimator, make_estimator
 from ..baselines.common import NewEdgeProbability, ProbEdge
-from .search_space import (
-    CandidateSpace,
-    eliminate_search_space,
-    select_top_l_paths,
-)
-from .selection import batch_selection, individual_path_selection
-from .mrp_improvement import improve_most_reliable_path
+from .search_space import CandidateSpace, eliminate_search_space
 
-#: Methods accepted by :meth:`ReliabilityMaximizer.maximize`.
+#: Methods accepted by :meth:`ReliabilityMaximizer.maximize` and
+#: :class:`repro.api.MaximizeQuery`.
 METHODS = (
     "be",           # path-batch edge selection (the paper's method)
     "ip",           # individual path-based edge selection
@@ -83,6 +76,11 @@ class Solution:
 class ReliabilityMaximizer:
     """End-to-end solver for Problem 1 (single source-target).
 
+    .. deprecated::
+        Thin shim over :class:`repro.api.Session` — see the module
+        docstring for the replacement.  Each ``maximize`` call builds a
+        one-shot session, so nothing is shared across calls.
+
     Parameters
     ----------
     estimator:
@@ -108,15 +106,28 @@ class ReliabilityMaximizer:
         h: Optional[int] = None,
         seed: int = 0,
     ) -> None:
-        self.estimator = estimator or RecursiveStratifiedSampler(
-            num_samples=250, seed=seed
-        )
+        self.estimator = estimator or make_estimator("rss", 250, seed=seed)
         self.evaluation_samples = evaluation_samples
         self.evaluation_seed = evaluation_seed
         self.r = r
         self.l = l
         self.h = h
         self.seed = seed
+
+    def _session(self, graph: UncertainGraph):
+        """A one-shot session configured like this solver."""
+        from ..api import Session  # local: facade is imported by repro.core
+
+        return Session(
+            graph,
+            seed=self.seed,
+            estimator=self.estimator,
+            evaluation_samples=self.evaluation_samples,
+            evaluation_seed=self.evaluation_seed,
+            r=self.r,
+            l=self.l,
+            h=self.h,
+        )
 
     # ------------------------------------------------------------------
     def candidates(
@@ -146,9 +157,13 @@ class ReliabilityMaximizer:
         target: int,
         extra_edges: Optional[Sequence[ProbEdge]] = None,
     ) -> float:
-        """Reliability under the paired evaluation sampler."""
-        estimator = MonteCarloEstimator(
-            self.evaluation_samples, seed=self.evaluation_seed
+        """Reliability under the paired evaluation sampler.
+
+        .. deprecated:: use :meth:`repro.api.Session.evaluate`, which
+           batches evaluations through the session world cache.
+        """
+        estimator = make_estimator(
+            "mc", self.evaluation_samples, seed=self.evaluation_seed
         )
         return estimator.reliability(
             graph, source, target, list(extra_edges) if extra_edges else None
@@ -162,18 +177,13 @@ class ReliabilityMaximizer:
     ) -> List[float]:
         """Batched paired-seed evaluation of many s-t pairs.
 
+        .. deprecated:: use :meth:`repro.api.Session.evaluate_pairs`.
+
         Returns reliabilities aligned with ``pairs``.  All pairs are
         answered against one compiled plan and one shared world batch
-        (see :mod:`repro.engine`), so scoring thousands of pairs costs
-        roughly one single-pair evaluation plus a cheap per-pair reduce
-        — the entry point multi-source/selection loops should use.
+        (see :mod:`repro.engine`).
         """
-        estimator = MonteCarloEstimator(
-            self.evaluation_samples, seed=self.evaluation_seed
-        )
-        return estimator.reliability_many(
-            graph, list(pairs), list(extra_edges) if extra_edges else None
-        )
+        return self._session(graph).evaluate_pairs(pairs, extra_edges)
 
     # ------------------------------------------------------------------
     def maximize(
@@ -190,113 +200,26 @@ class ReliabilityMaximizer:
     ) -> Solution:
         """Select ``k`` new edges with the requested method.
 
+        .. deprecated:: build a :class:`repro.api.Session` and submit a
+           :class:`repro.api.MaximizeQuery`; this shim does exactly that
+           with a fresh session per call.
+
         ``candidate_space`` lets callers share one elimination across
         several methods (how the paper's comparison tables are built);
         ``eliminate=False`` reproduces the no-elimination rows of
         Table 4 by using every missing edge (h-hop constrained when the
         solver has ``h`` set).
         """
-        if method not in METHODS:
-            raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
-        if k < 1:
-            raise ValueError("k must be positive")
-        prob_model = new_edge_prob or fixed_new_edge_probability(zeta)
+        from ..api import MaximizeQuery
 
-        elimination_seconds = 0.0
-        if candidate_space is not None:
-            space = candidate_space
-            elimination_seconds = space.elapsed_seconds
-        elif eliminate and method not in ("degree", "betweenness", "eigen"):
-            space = self.candidates(graph, source, target, prob_model)
-            elimination_seconds = space.elapsed_seconds
-        elif eliminate:
-            # Centrality/eigen baselines still benefit from elimination
-            # (Table 5): restrict them to the relevant candidate set.
-            space = self.candidates(graph, source, target, prob_model)
-            elimination_seconds = space.elapsed_seconds
-        else:
-            start = time.perf_counter()
-            pairs = all_missing_edges(graph, h=self.h)
-            space = CandidateSpace(
-                source_side=[],
-                target_side=[],
-                edges=[(u, v, prob_model(u, v)) for u, v in pairs],
-                elapsed_seconds=time.perf_counter() - start,
-            )
-            elimination_seconds = space.elapsed_seconds
-
-        start = time.perf_counter()
-        edges = self._dispatch(
-            graph, source, target, k, method, prob_model, space, eliminate
-        )
-        selection_seconds = time.perf_counter() - start
-
-        base = self.evaluate(graph, source, target)
-        new = self.evaluate(graph, source, target, edges) if edges else base
-        return Solution(
+        query = MaximizeQuery(
+            source,
+            target,
+            k=k,
+            zeta=zeta,
             method=method,
-            edges=edges,
-            base_reliability=base,
-            new_reliability=new,
-            elimination_seconds=elimination_seconds,
-            selection_seconds=selection_seconds,
-            num_candidates=len(space.edges),
+            new_edge_prob=new_edge_prob,
+            candidate_space=candidate_space,
+            eliminate=eliminate,
         )
-
-    # ------------------------------------------------------------------
-    def _dispatch(
-        self,
-        graph: UncertainGraph,
-        source: int,
-        target: int,
-        k: int,
-        method: str,
-        prob_model: NewEdgeProbability,
-        space: CandidateSpace,
-        eliminated: bool,
-    ) -> List[ProbEdge]:
-        pairs = space.edge_pairs()
-        if method in ("be", "ip"):
-            path_set = select_top_l_paths(graph, source, target, self.l, space.edges)
-            if method == "be":
-                return batch_selection(
-                    graph, source, target, k, path_set, self.estimator
-                )
-            return individual_path_selection(
-                graph, source, target, k, path_set, self.estimator
-            )
-        if method == "mrp":
-            return improve_most_reliable_path(
-                graph, source, target, k, prob_model, candidates=pairs
-            ).edges
-        if method == "hc":
-            return hill_climbing(
-                graph, source, target, k, pairs, prob_model, self.estimator
-            )
-        if method == "topk":
-            return individual_top_k(
-                graph, source, target, k, pairs, prob_model, self.estimator
-            )
-        if method == "degree":
-            return degree_centrality_selection(
-                graph, k, prob_model, candidates=pairs if eliminated else None
-            )
-        if method == "betweenness":
-            return betweenness_centrality_selection(
-                graph, k, prob_model,
-                candidates=pairs if eliminated else None,
-                seed=self.seed,
-            )
-        if method == "eigen":
-            return eigenvalue_selection(
-                graph, k, prob_model,
-                candidates=pairs if eliminated else None,
-                seed=self.seed,
-            )
-        if method == "random":
-            return random_selection(pairs, k, prob_model, seed=self.seed)
-        if method == "exact":
-            return exact_solution(
-                graph, source, target, k, pairs, prob_model, self.estimator
-            )
-        raise AssertionError(f"unhandled method {method!r}")  # pragma: no cover
+        return self._session(graph).maximize(query).solution

@@ -20,11 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..graph import UncertainGraph, fixed_new_edge_probability
-from ..reliability import (
-    MonteCarloEstimator,
-    ReliabilityEstimator,
-    RecursiveStratifiedSampler,
-)
+from ..reliability import ReliabilityEstimator, make_estimator
 from ..baselines.common import Edge, NewEdgeProbability, ProbEdge
 from .search_space import (
     CandidateSpace,
@@ -99,9 +95,7 @@ class MultiSourceTargetMaximizer:
         k1_fraction: float = 0.1,
         seed: int = 0,
     ) -> None:
-        self.estimator = estimator or RecursiveStratifiedSampler(
-            num_samples=250, seed=seed
-        )
+        self.estimator = estimator or make_estimator("rss", 250, seed=seed)
         self.evaluation_samples = evaluation_samples
         self.evaluation_seed = evaluation_seed
         self.r = r
@@ -124,8 +118,8 @@ class MultiSourceTargetMaximizer:
         across the whole ``S x T`` workload.
         """
         pairs = list(pairs)
-        estimator = MonteCarloEstimator(
-            self.evaluation_samples, seed=self.evaluation_seed
+        estimator = make_estimator(
+            "mc", self.evaluation_samples, seed=self.evaluation_seed
         )
         values = estimator.reliability_many(
             graph, pairs, list(extra_edges) if extra_edges else None

@@ -19,6 +19,7 @@ from .csr import (
 from .kernel import (
     WorldBatch,
     batch_reach,
+    batch_reach_multi,
     hit_fraction,
     num_words,
     pack_bool_matrix,
@@ -40,6 +41,7 @@ __all__ = [
     "extend_with_overlay",
     "WorldBatch",
     "batch_reach",
+    "batch_reach_multi",
     "hit_fraction",
     "num_words",
     "pack_bool_matrix",

@@ -27,12 +27,25 @@ from .csr import ProbEdge, QueryPlan, build_query_plan
 from .kernel import (
     WorldBatch,
     batch_reach,
+    batch_reach_multi,
     hit_fraction,
     popcount,
     sample_worlds,
 )
 
 Pair = Tuple[int, int]
+
+#: Fuse multi-source sweeps only while each world batch row is at most
+#: this many words.  Narrow rows (small Z) make the per-sweep numpy
+#: overhead dominate, and fusing S sources into one S*W-wide pass wins
+#: ~2.5x; wide rows are bandwidth-bound and fusing *adds* byte-work
+#: (every frontier arc is processed at full S*W width even for sources
+#: whose BFS is elsewhere), so per-source sweeps win there.
+_FUSE_MAX_WORDS = 4
+
+#: Word budget of one fused pass (S * W * num_nodes reached words);
+#: 4M words = 32 MB.  Larger fused groups are chunked.
+_MULTI_SOURCE_WORD_BUDGET = 4_000_000
 
 
 def pair_hit_fractions(
@@ -44,28 +57,59 @@ def pair_hit_fractions(
     """Answer every (s, t) pair inside one shared world batch.
 
     Pairs are grouped by source so each distinct source costs one batch
-    BFS; ``s == t`` pairs are 1.0 and endpoints unknown to the plan are
-    0.0 (matching the scalar estimators' semantics).
+    BFS sweep; for narrow batches (``Z <= 256``) all sources are fused
+    into one multi-source kernel pass (:func:`batch_reach_multi`).
+    ``s == t`` pairs are 1.0 and endpoints unknown to the plan are 0.0
+    (matching the scalar estimators' semantics).
     """
     by_source: Dict[int, List[Pair]] = {}
     for s, t in pairs:
         by_source.setdefault(s, []).append((s, t))
     result: Dict[Pair, float] = {}
+
+    # Resolve sources; unknown ones answer 0.0 (1.0 for s == t).
+    indexed: List[Tuple[int, int]] = []  # (source id, dense index)
     for s, spairs in by_source.items():
         src = plan.node_index(s)
-        reached = (
-            batch_reach(plan, batch, [src]) if src is not None else None
+        if src is None:
+            for pair in spairs:
+                result[pair] = 1.0 if pair[1] == s else 0.0
+        else:
+            indexed.append((s, src))
+
+    if batch.num_words <= _FUSE_MAX_WORDS and len(indexed) > 1:
+        chunk = max(
+            1,
+            _MULTI_SOURCE_WORD_BUDGET
+            // max(plan.num_nodes * batch.num_words, 1),
         )
-        for pair in spairs:
-            t = pair[1]
-            if t == s:
-                result[pair] = 1.0
-                continue
-            dst = plan.node_index(t)
-            if reached is None or dst is None:
-                result[pair] = 0.0
-            else:
-                result[pair] = hit_fraction(reached[dst], num_samples)
+        groups = [
+            indexed[start:start + chunk]
+            for start in range(0, len(indexed), chunk)
+        ]
+    else:
+        groups = [[entry] for entry in indexed]
+
+    for group in groups:
+        if len(group) == 1:
+            s, src = group[0]
+            per_source = {s: batch_reach(plan, batch, [src])}
+        else:
+            reached = batch_reach_multi(
+                plan, batch, [src for _, src in group]
+            )
+            per_source = {s: reached[:, i] for i, (s, _) in enumerate(group)}
+        for s, reached_rows in per_source.items():
+            for pair in by_source[s]:
+                t = pair[1]
+                if t == s:
+                    result[pair] = 1.0
+                    continue
+                dst = plan.node_index(t)
+                if dst is None:
+                    result[pair] = 0.0
+                else:
+                    result[pair] = hit_fraction(reached_rows[dst], num_samples)
     return result
 
 

@@ -14,12 +14,13 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..graph import UncertainGraph
-from ..reliability import (
-    MonteCarloEstimator,
-    RecursiveStratifiedSampler,
-    ReliabilityEstimator,
+from ..reliability import ReliabilityEstimator, make_estimator
+from ..api import MaximizeQuery, Session
+from ..core import (
+    MultiSourceTargetMaximizer,
+    Solution,
+    eliminate_search_space,
 )
-from ..core import ReliabilityMaximizer, MultiSourceTargetMaximizer, Solution
 from ..baselines import esssp_selection, ima_selection, eigenvalue_selection
 from ..baselines.common import NewEdgeProbability, ProbEdge
 from ..graph import fixed_new_edge_probability
@@ -31,14 +32,19 @@ EstimatorFactory = Callable[[int], ReliabilityEstimator]
 """``factory(seed) -> estimator`` — fresh sampler per method run."""
 
 
+def estimator_factory(name: str, num_samples: int) -> EstimatorFactory:
+    """Registry-backed factory: fresh ``name`` sampler per seed."""
+    return lambda seed: make_estimator(name, num_samples, seed=seed)
+
+
 def default_estimator_factory(num_samples: int = 250) -> EstimatorFactory:
     """RSS factory used across experiments (the paper's converged Z)."""
-    return lambda seed: RecursiveStratifiedSampler(num_samples=num_samples, seed=seed)
+    return estimator_factory("rss", num_samples)
 
 
 def mc_estimator_factory(num_samples: int = 500) -> EstimatorFactory:
     """Plain MC factory for the sampler-comparison tables."""
-    return lambda seed: MonteCarloEstimator(num_samples=num_samples, seed=seed)
+    return estimator_factory("mc", num_samples)
 
 
 @dataclass
@@ -70,47 +76,55 @@ def compare_methods_single_st(
 ) -> Dict[str, MethodStats]:
     """Run every method on every query; aggregate gain/time/memory.
 
-    The candidate space (Algorithm 4) is computed once per query and
-    shared across methods, exactly as in the paper's Tables 5/9/10.
+    One :class:`~repro.api.Session` per query owns the compiled plan
+    and the shared paired-evaluation world batch; the candidate space
+    (Algorithm 4) is computed once per query and shared across methods,
+    exactly as in the paper's Tables 5/9/10.  Each method still gets a
+    fresh sampler from the protocol's factory so runs stay paired.
     """
     stats = {m: MethodStats(method=m) for m in methods}
     for qi, (s, t) in enumerate(queries):
+        session = Session(
+            graph,
+            seed=protocol.seed + qi,
+            estimator=protocol.estimator_factory(protocol.seed + qi),
+            evaluation_samples=protocol.evaluation_samples,
+            r=protocol.r,
+            l=protocol.l,
+            h=protocol.h,
+        )
         shared_space = None
         if protocol.eliminate:
-            probe = ReliabilityMaximizer(
-                estimator=protocol.estimator_factory(protocol.seed + qi),
-                r=protocol.r,
-                l=protocol.l,
-                h=protocol.h,
-                evaluation_samples=protocol.evaluation_samples,
-            )
             prob_model = protocol.new_edge_prob or fixed_new_edge_probability(
                 protocol.zeta
             )
-            shared_space = probe.candidates(graph, s, t, prob_model)
-        for method in methods:
-            solver = ReliabilityMaximizer(
-                estimator=protocol.estimator_factory(protocol.seed + qi),
-                r=protocol.r,
-                l=protocol.l,
-                h=protocol.h,
-                evaluation_samples=protocol.evaluation_samples,
-                seed=protocol.seed + qi,
-            )
-            result = measure(
-                solver.maximize,
+            shared_space = eliminate_search_space(
                 graph,
                 s,
                 t,
-                protocol.k,
+                r=protocol.r,
+                new_edge_prob=prob_model,
+                estimator=protocol.estimator_factory(protocol.seed + qi),
+                h=protocol.h,
+            )
+        for method in methods:
+            query = MaximizeQuery(
+                s,
+                t,
+                k=protocol.k,
                 zeta=protocol.zeta,
                 method=method,
+                estimator=protocol.estimator_factory(protocol.seed + qi),
                 new_edge_prob=protocol.new_edge_prob,
                 candidate_space=shared_space,
                 eliminate=protocol.eliminate,
+            )
+            result = measure(
+                session.maximize,
+                query,
                 track_memory=protocol.track_memory,
             )
-            solution: Solution = result.value
+            solution: Solution = result.value.solution
             stats[method].gains.append(solution.gain)
             stats[method].seconds.append(result.seconds)
             stats[method].peak_mb.append(result.peak_mb)
@@ -129,10 +143,11 @@ def elimination_timings(
     total_seconds, total_candidates = 0.0, 0
     prob_model = fixed_new_edge_probability(zeta)
     for qi, (s, t) in enumerate(queries):
-        solver = ReliabilityMaximizer(
-            estimator=estimator_factory(seed + qi), r=r
+        space = eliminate_search_space(
+            graph, s, t, r=r,
+            new_edge_prob=prob_model,
+            estimator=estimator_factory(seed + qi),
         )
-        space = solver.candidates(graph, s, t, prob_model)
         total_seconds += space.elapsed_seconds
         total_candidates += len(space.edges)
     n = max(len(queries), 1)
@@ -163,15 +178,20 @@ def compare_methods_multi(
     prob_model = fixed_new_edge_probability(zeta)
     pairs = [(s, t) for s in sources for t in targets if s != t]
     stats = {m: MethodStats(method=m) for m in methods}
+    # One session evaluates every method's solution: the no-overlay base
+    # evaluation reuses one cached world batch across all methods.
+    eval_session = Session(
+        graph, seed=seed,
+        evaluation_samples=evaluation_samples, evaluation_seed=9999,
+    )
 
     def evaluate(extra: Optional[List[ProbEdge]]) -> float:
-        evaluator = MonteCarloEstimator(evaluation_samples, seed=9999)
-        values = evaluator.pair_reliabilities(graph, pairs, extra)
+        values = eval_session.evaluate_pairs(pairs, extra)
         if aggregate in ("avg", "average"):
-            return sum(values.values()) / len(values)
+            return sum(values) / len(values)
         if aggregate in ("min", "minimum"):
-            return min(values.values())
-        return max(values.values())
+            return min(values)
+        return max(values)
 
     base_value = evaluate(None)
     solver = MultiSourceTargetMaximizer(

@@ -27,6 +27,13 @@ from .convergence import (
     index_of_dispersion,
     required_samples,
 )
+from .registry import (
+    EstimatorSpec,
+    estimator_names,
+    estimator_spec,
+    make_estimator,
+    register_estimator,
+)
 
 __all__ = [
     "Overlay",
@@ -50,4 +57,9 @@ __all__ = [
     "estimator_bias_check",
     "index_of_dispersion",
     "required_samples",
+    "EstimatorSpec",
+    "estimator_names",
+    "estimator_spec",
+    "make_estimator",
+    "register_estimator",
 ]

@@ -12,11 +12,22 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..graph import UncertainGraph
 from .estimator import Overlay, ReliabilityEstimator, build_overlay
 from .monte_carlo import MonteCarloEstimator
+
+try:
+    from ..engine import (
+        VectorizedSamplingEngine,
+        batch_reach,
+        build_query_plan,
+        popcount,
+    )
+except ImportError:  # pragma: no cover - numpy-less fallback
+    VectorizedSamplingEngine = None  # type: ignore[assignment,misc]
+    batch_reach = build_query_plan = popcount = None  # type: ignore[assignment]
 
 #: z-scores for common confidence levels.
 _Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
@@ -78,6 +89,14 @@ class AdaptiveMonteCarlo(ReliabilityEstimator):
         Samples drawn between convergence checks.
     max_samples:
         Hard budget cap (the estimator always stops here).
+    vectorized:
+        ``True`` runs each sample block on the batch engine (block
+        sampling maps directly onto ``sample_worlds`` with incremental
+        Z), ``False`` forces the scalar per-sample BFS, ``None``
+        auto-selects the engine when numpy is importable.  Because Z is
+        chosen at query time, the engine path samples fresh per-block
+        worlds and cannot reuse a pre-sampled shared batch (see
+        :mod:`repro.reliability.registry`).
     """
 
     name = "adaptive-mc"
@@ -89,17 +108,26 @@ class AdaptiveMonteCarlo(ReliabilityEstimator):
         block_size: int = 200,
         max_samples: int = 50_000,
         seed: int = 0,
+        vectorized: Optional[bool] = None,
     ) -> None:
         if not 0.0 < target_half_width < 0.5:
             raise ValueError("target_half_width must be in (0, 0.5)")
         if block_size < 1 or max_samples < block_size:
             raise ValueError("need max_samples >= block_size >= 1")
         wilson_interval(0, 1, confidence)  # validates the level
+        if vectorized is None:
+            vectorized = VectorizedSamplingEngine is not None
+        elif vectorized and VectorizedSamplingEngine is None:
+            raise RuntimeError("vectorized=True requires numpy")
         self.target_half_width = target_half_width
         self.confidence = confidence
         self.block_size = block_size
         self.max_samples = max_samples
+        self.vectorized = vectorized
         self._rng = random.Random(seed)
+        self._engine = (
+            VectorizedSamplingEngine(seed) if vectorized else None
+        )
 
     # ------------------------------------------------------------------
     def estimate(
@@ -114,6 +142,8 @@ class AdaptiveMonteCarlo(ReliabilityEstimator):
             return AdaptiveEstimate(1.0, 1.0, 1.0, 0)
         if source not in graph or target not in graph:
             return AdaptiveEstimate(0.0, 0.0, 0.0, 0)
+        if self._engine is not None:
+            return self._estimate_vectorized(graph, source, target, extra_edges)
         overlay = build_overlay(graph, extra_edges)
         rand = self._rng.random
         succ = graph.successors
@@ -125,6 +155,35 @@ class AdaptiveMonteCarlo(ReliabilityEstimator):
                 ):
                     hits += 1
                 samples += 1
+            lower, upper = wilson_interval(hits, samples, self.confidence)
+            if (upper - lower) / 2.0 <= self.target_half_width:
+                break
+        lower, upper = wilson_interval(hits, samples, self.confidence)
+        return AdaptiveEstimate(
+            value=hits / samples, lower=lower, upper=upper,
+            samples_used=samples,
+        )
+
+    def _estimate_vectorized(
+        self,
+        graph: UncertainGraph,
+        source: int,
+        target: int,
+        extra_edges: Overlay = None,
+    ) -> AdaptiveEstimate:
+        """Engine path: one compiled plan, fresh world block per round."""
+        plan = build_query_plan(
+            graph, list(extra_edges) if extra_edges else None
+        )
+        src = plan.node_index(source)
+        dst = plan.node_index(target)
+        hits, samples = 0, 0
+        while samples < self.max_samples:
+            block = min(self.block_size, self.max_samples - samples)
+            batch = self._engine.sample_worlds(plan, block)
+            reached = batch_reach(plan, batch, [src], target_index=dst)
+            hits += int(popcount(reached[dst]).sum())
+            samples += block
             lower, upper = wilson_interval(hits, samples, self.confidence)
             if (upper - lower) / 2.0 <= self.target_half_width:
                 break
@@ -153,6 +212,7 @@ class AdaptiveMonteCarlo(ReliabilityEstimator):
         """Vector queries fall back to fixed-budget MC at the cap/10."""
         budget = max(self.block_size, self.max_samples // 10)
         fallback = MonteCarloEstimator(
-            budget, seed=self._rng.randrange(2**31)
+            budget, seed=self._rng.randrange(2**31),
+            vectorized=self.vectorized,
         )
         return fallback.reachability_from(graph, source, extra_edges)

@@ -9,6 +9,13 @@ low-probability edges collapses.
 
 This estimator matters for workloads that evaluate the same graph for
 many samples — the exact setting of the top-k edge-selection loops.
+
+The geometric-skipping trick is an *ordering* optimization of the same
+statistical object plain MC estimates: ``Z`` i.i.d. possible worlds.  On
+the vectorized engine (:mod:`repro.engine`) all coins are flipped in one
+batched draw, so skipping buys nothing there — ``vectorized=True``
+delegates straight to the engine and keeps the scalar path as the
+numpy-less fallback.
 """
 
 from __future__ import annotations
@@ -21,6 +28,11 @@ from typing import Dict, Optional, Tuple
 from ..graph import UncertainGraph
 from .estimator import Overlay, ReliabilityEstimator, build_overlay
 
+try:
+    from ..engine import VectorizedSamplingEngine
+except ImportError:  # pragma: no cover - numpy-less fallback
+    VectorizedSamplingEngine = None  # type: ignore[assignment,misc]
+
 EdgeKey = Tuple[int, int]
 
 
@@ -31,15 +43,34 @@ class LazyPropagationEstimator(ReliabilityEstimator):
     present.  When sample ``i`` probes an edge whose scheduled index has
     fallen behind, the schedule advances by independent geometric draws —
     preserving the i.i.d. Bernoulli marginals across samples.
+
+    ``vectorized=True`` runs on the batch engine (the lazy schedule is
+    subsumed by batched coin generation), ``False`` forces the scalar
+    geometric-skipping path, ``None`` auto-selects the engine when numpy
+    is importable.  Both paths share one statistical contract but consume
+    different PRNG streams (see :class:`MonteCarloEstimator`).
     """
 
     name = "lazy"
 
-    def __init__(self, num_samples: int = 1000, seed: int = 0) -> None:
+    def __init__(
+        self,
+        num_samples: int = 1000,
+        seed: int = 0,
+        vectorized: Optional[bool] = None,
+    ) -> None:
         if num_samples < 1:
             raise ValueError("num_samples must be positive")
+        if vectorized is None:
+            vectorized = VectorizedSamplingEngine is not None
+        elif vectorized and VectorizedSamplingEngine is None:
+            raise RuntimeError("vectorized=True requires numpy")
         self.num_samples = num_samples
+        self.vectorized = vectorized
         self._rng = random.Random(seed)
+        self._engine = (
+            VectorizedSamplingEngine(seed) if vectorized else None
+        )
 
     # ------------------------------------------------------------------
     def reliability(
@@ -53,6 +84,11 @@ class LazyPropagationEstimator(ReliabilityEstimator):
             return 1.0
         if source not in graph or target not in graph:
             return 0.0
+        if self._engine is not None:
+            return self._engine.reliability(
+                graph, source, target, self.num_samples,
+                list(extra_edges) if extra_edges else None,
+            )
         overlay = build_overlay(graph, extra_edges)
         canonical = not graph.directed
         schedule: Dict[EdgeKey, int] = {}
@@ -70,6 +106,11 @@ class LazyPropagationEstimator(ReliabilityEstimator):
     ) -> Dict[int, float]:
         if source not in graph:
             return {}
+        if self._engine is not None:
+            return self._engine.reachability_from(
+                graph, source, self.num_samples,
+                list(extra_edges) if extra_edges else None,
+            )
         overlay = build_overlay(graph, extra_edges)
         canonical = not graph.directed
         schedule: Dict[EdgeKey, int] = {}

@@ -1,0 +1,404 @@
+"""Tests for the declarative query/session API (`repro.api`)."""
+
+import pytest
+
+from repro.api import (
+    MaximizeQuery,
+    ReliabilityQuery,
+    Session,
+    Workload,
+    results_table,
+)
+from repro.core import ReliabilityMaximizer
+from repro.graph import assign_uniform, erdos_renyi
+from repro.reliability import (
+    MonteCarloEstimator,
+    estimator_names,
+    estimator_spec,
+    make_estimator,
+    register_estimator,
+)
+
+
+@pytest.fixture
+def graph():
+    g = erdos_renyi(50, num_edges=120, seed=7)
+    return assign_uniform(g, 0.2, 0.8, seed=8)
+
+
+class TestQueries:
+    def test_single_target_normalized(self):
+        q = ReliabilityQuery(0, target=3)
+        assert q.targets == (3,)
+        assert q.pairs == [(0, 3)]
+
+    def test_multi_target(self):
+        q = ReliabilityQuery(0, targets=(3, 4))
+        assert q.pairs == [(0, 3), (0, 4)]
+
+    def test_target_xor_targets(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ReliabilityQuery(0, target=1, targets=(2,))
+        with pytest.raises(ValueError, match="exactly one"):
+            ReliabilityQuery(0)
+        with pytest.raises(ValueError, match="non-empty"):
+            ReliabilityQuery(0, targets=())
+
+    def test_unknown_estimator_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            ReliabilityQuery(0, target=1, estimator="nope")
+        with pytest.raises(ValueError, match="unknown estimator"):
+            MaximizeQuery(0, 1, estimator="nope")
+
+    def test_invalid_budgets(self):
+        with pytest.raises(ValueError):
+            ReliabilityQuery(0, target=1, samples=0)
+        with pytest.raises(ValueError):
+            MaximizeQuery(0, 1, k=0)
+
+    def test_workload_container(self):
+        wl = Workload([ReliabilityQuery(0, target=1)])
+        wl.add(MaximizeQuery(0, 2, k=1))
+        assert len(wl) == 2
+        with pytest.raises(TypeError):
+            wl.add("not a query")
+
+    def test_workload_pairs_constructor(self):
+        wl = Workload.reliability([(0, 1), (2, 3)], samples=64)
+        assert len(wl) == 2
+        assert all(q.samples == 64 for q in wl)
+
+
+class TestSessionParity:
+    """Session-batched answers equal one-off calls at a fixed seed."""
+
+    @pytest.mark.filterwarnings("ignore:estimator 'adaptive'")
+    @pytest.mark.parametrize("name", sorted(estimator_names()))
+    def test_batched_matches_per_call(self, graph, name):
+        pairs = [(0, 10), (1, 20), (2, 30), (0, 40)]
+        session = Session(graph, seed=13)
+        workload = Workload.reliability(
+            pairs, estimator=name, samples=256, seed=13
+        )
+        results = session.run(workload)
+        for (s, t), result in zip(pairs, results):
+            solo = make_estimator(name, 256, seed=13).reliability(graph, s, t)
+            assert result.values[0] == solo, (
+                f"{name}: session={result.values[0]} solo={solo}"
+            )
+
+    def test_shared_batch_is_engine_deterministic(self, graph):
+        # The shared world batch for (Z, seed) must be the batch a fresh
+        # vectorized estimator with that seed would sample.
+        session = Session(graph, seed=5)
+        a = session.reliability(0, target=30, samples=512, seed=21)
+        solo = MonteCarloEstimator(512, seed=21, vectorized=True)
+        assert a.value == solo.reliability(graph, 0, 30)
+
+    def test_multi_target_consistent_with_single(self, graph):
+        session = Session(graph, seed=3)
+        multi = session.reliability(0, targets=(10, 20, 30), samples=256)
+        for t, value in multi.by_target.items():
+            single = session.reliability(0, target=t, samples=256)
+            assert single.value == value
+
+    def test_evaluate_pairs_matches_legacy_estimator(self, graph):
+        session = Session(graph, evaluation_samples=300, evaluation_seed=42)
+        pairs = [(0, 10), (5, 20), (7, 7)]
+        batched = session.evaluate_pairs(pairs)
+        legacy = MonteCarloEstimator(300, seed=42).reliability_many(
+            graph, pairs
+        )
+        assert batched == legacy
+
+    def test_evaluate_pairs_with_overlay(self, graph):
+        session = Session(graph, evaluation_samples=300, evaluation_seed=42)
+        extra = [(0, 30, 0.9)]
+        batched = session.evaluate_pairs([(0, 30)], extra)
+        legacy = MonteCarloEstimator(300, seed=42).reliability_many(
+            graph, [(0, 30)], extra
+        )
+        assert batched == legacy
+
+
+class TestSessionBatching:
+    def test_worlds_shared_across_queries_and_estimators(self, graph):
+        # mc and lazy share the same statistical contract, so equal
+        # (Z, seed) groups reuse one world batch across both.
+        session = Session(graph, seed=9)
+        results = session.run(Workload([
+            ReliabilityQuery(0, target=10, estimator="mc", samples=128),
+            ReliabilityQuery(1, target=20, estimator="mc", samples=128),
+            ReliabilityQuery(2, target=30, estimator="lazy", samples=128),
+        ]))
+        assert len(session._worlds) == 1
+        assert all(r.provenance.backend == "engine" for r in results)
+        assert results[0].provenance.shared_worlds
+
+    def test_distinct_seeds_get_distinct_worlds(self, graph):
+        session = Session(graph, seed=9)
+        session.run(Workload([
+            ReliabilityQuery(0, target=10, samples=128, seed=1),
+            ReliabilityQuery(0, target=10, samples=128, seed=2),
+            ReliabilityQuery(0, target=10, samples=256, seed=1),
+        ]))
+        assert len(session._worlds) == 3
+
+    def test_world_cache_bounded_with_fifo_eviction(self, graph):
+        session = Session(graph, seed=9, max_cached_batches=2)
+        baseline = session.reliability(0, target=10, samples=128, seed=1)
+        session.reliability(0, target=10, samples=128, seed=2)
+        session.reliability(0, target=10, samples=128, seed=3)  # evicts seed=1
+        assert len(session._worlds) == 2
+        assert (128, 1) not in session._worlds
+        # Re-sampling an evicted (Z, seed) regenerates the identical
+        # batch (fresh generator per key), so answers never change.
+        again = session.reliability(0, target=10, samples=128, seed=1)
+        assert again.value == baseline.value
+        with pytest.raises(ValueError):
+            Session(graph, max_cached_batches=0)
+
+    def test_results_align_with_query_order(self, graph):
+        queries = [
+            ReliabilityQuery(0, target=10, estimator="rss", samples=64),
+            MaximizeQuery(0, 20, k=1, method="mrp"),
+            ReliabilityQuery(1, target=20, estimator="mc", samples=64),
+        ]
+        results = Session(graph, seed=2).run(Workload(queries))
+        assert results[0].query is queries[0]
+        assert results[1].query is queries[1]
+        assert results[2].query is queries[2]
+
+    def test_adaptive_workload_warns_no_sharing(self, graph):
+        session = Session(graph, seed=4)
+        workload = Workload.reliability(
+            [(0, 10), (1, 20)], estimator="adaptive", samples=400
+        )
+        with pytest.warns(UserWarning, match="cannot share"):
+            results = session.run(workload)
+        assert all(not r.provenance.shared_worlds for r in results)
+
+    def test_timings_recorded_once_per_batch(self, graph):
+        session = Session(graph, seed=1)
+        first = session.reliability(0, target=10, samples=256)
+        second = session.reliability(1, target=20, samples=256)
+        # First query pays compile + sampling; second reuses both.
+        assert first.provenance.timings.sample_seconds > 0
+        assert second.provenance.timings.compile_seconds == 0.0
+        assert second.provenance.timings.sample_seconds == 0.0
+        assert second.provenance.shared_worlds
+
+
+class TestCacheInvalidation:
+    def test_graph_mutation_evicts_plan_and_worlds(self, graph):
+        session = Session(graph, seed=6)
+        before = session.reliability(0, target=10, samples=512)
+        assert session._worlds and session._plan is not None
+        old_version = graph.version
+
+        graph.add_edge(0, 10, 0.99)  # bumps graph.version
+        assert graph.version > old_version
+
+        after = session.reliability(0, target=10, samples=512)
+        # The stale plan/batch were evicted and the answer reflects the
+        # mutated graph: a 0.99 direct edge dominates.
+        assert after.value >= 0.99
+        assert after.value > before.value
+        assert session._version == graph.version
+
+    def test_invalidate_resets_state(self, graph):
+        session = Session(graph, seed=6)
+        session.reliability(0, target=10, samples=128)
+        session.invalidate()
+        assert session._plan is None and not session._worlds
+
+    def test_mutation_between_runs_matches_fresh_session(self, graph):
+        session = Session(graph, seed=6)
+        session.reliability(0, target=10, samples=128)
+        graph.add_edge(0, 10, 0.5)
+        stale = session.reliability(0, target=10, samples=128)
+        fresh = Session(graph, seed=6).reliability(0, target=10, samples=128)
+        assert stale.value == fresh.value
+
+
+class TestMaximizeThroughSession:
+    def test_matches_legacy_facade(self, graph):
+        query = MaximizeQuery(0, 30, k=2, zeta=0.6, method="be")
+        session = Session(graph, seed=3, r=10, l=10)
+        result = session.maximize(query)
+        solver = ReliabilityMaximizer(
+            estimator=make_estimator("rss", 250, seed=3), r=10, l=10, seed=3
+        )
+        legacy = solver.maximize(graph, 0, 30, k=2, zeta=0.6, method="be")
+        assert {(u, v) for u, v, _ in result.edges} == {
+            (u, v) for u, v, _ in legacy.edges
+        }
+        assert result.base_reliability == legacy.base_reliability
+
+    def test_unknown_method(self, graph):
+        with pytest.raises(ValueError, match="unknown method"):
+            Session(graph).maximize(MaximizeQuery(0, 1, method="magic"))
+
+    def test_query_samples_and_seed_override_session_default(self, graph):
+        # Even without an explicit estimator name, samples/seed on the
+        # query must reconfigure the (registry-built) default sampler.
+        session = Session(graph, seed=3, r=8, l=8)
+        result = session.maximize(
+            MaximizeQuery(0, 30, k=1, samples=64, seed=99)
+        )
+        assert result.provenance.samples == 64
+        assert result.provenance.seed == 99
+        assert result.provenance.estimator == "rss"
+
+    def test_query_overrides_warn_on_custom_instance(self):
+        from repro.graph import UncertainGraph
+        from repro.reliability import ExactEstimator
+
+        small = UncertainGraph.from_edges(
+            [(0, 1, 0.6), (1, 2, 0.5), (2, 3, 0.7), (0, 4, 0.4), (4, 3, 0.5)]
+        )
+        session = Session(small, estimator=ExactEstimator(), r=4, l=4)
+        with pytest.warns(UserWarning, match="custom instance"):
+            session.maximize(MaximizeQuery(0, 3, k=1, samples=64))
+
+    def test_provenance(self, graph):
+        result = Session(graph, seed=3, r=8, l=8).maximize(
+            MaximizeQuery(0, 30, k=1, estimator="mc", samples=100)
+        )
+        assert result.provenance.estimator == "mc"
+        assert result.provenance.samples == 100
+        assert result.provenance.timings.solve_seconds > 0
+
+
+class TestResults:
+    def test_value_raises_on_multi_target(self, graph):
+        result = Session(graph).reliability(0, targets=(1, 2), samples=32)
+        with pytest.raises(ValueError, match="multi-target"):
+            result.value
+        assert len(result.values) == 2
+
+    def test_results_table_renders(self, graph):
+        results = Session(graph, seed=1).run(
+            Workload.reliability([(0, 10), (1, 20)], samples=64)
+        )
+        rendered = results_table(results, title="t").render()
+        assert "R(s,t)" in rendered and "engine" in rendered
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"mc", "rss", "lazy", "adaptive"} <= set(estimator_names())
+
+    def test_aliases(self):
+        assert estimator_spec("monte-carlo").name == "mc"
+        assert estimator_spec("adaptive-mc").name == "adaptive"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            make_estimator("definitely-not-registered")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_estimator("mc", lambda samples, seed, **kw: None)
+
+    def test_conflicting_alias_leaves_no_partial_entry(self):
+        # "mc" is taken, so the whole registration must be rolled
+        # back — neither the name nor the first alias may stick.
+        with pytest.raises(ValueError, match="alias 'mc' is already taken"):
+            register_estimator(
+                "fresh-name",
+                lambda samples, seed, **kw: None,
+                aliases=("fresh-alias", "mc"),
+            )
+        with pytest.raises(ValueError, match="unknown estimator"):
+            estimator_spec("fresh-name")
+        with pytest.raises(ValueError, match="unknown estimator"):
+            estimator_spec("fresh-alias")
+
+    def test_make_estimator_types(self):
+        from repro.reliability import (
+            AdaptiveMonteCarlo,
+            LazyPropagationEstimator,
+            MonteCarloEstimator,
+            RecursiveStratifiedSampler,
+        )
+
+        assert isinstance(make_estimator("mc", 10), MonteCarloEstimator)
+        assert isinstance(make_estimator("rss", 10), RecursiveStratifiedSampler)
+        assert isinstance(make_estimator("lazy", 10), LazyPropagationEstimator)
+        adaptive = make_estimator("adaptive", 500)
+        assert isinstance(adaptive, AdaptiveMonteCarlo)
+        assert adaptive.max_samples == 500
+
+    def test_custom_estimator_usable_in_session(self, graph):
+        class ConstantEstimator:
+            vectorized = False
+
+            def __init__(self, value):
+                self.value = value
+
+            def reliability(self, graph, source, target, extra_edges=None):
+                return self.value
+
+        register_estimator(
+            "constant-test",
+            lambda samples, seed, **kw: ConstantEstimator(0.25),
+            supports_vectorized=False,
+            overwrite=True,
+        )
+        result = Session(graph).reliability(
+            0, target=10, estimator="constant-test", samples=16
+        )
+        assert result.value == 0.25
+        assert result.provenance.backend == "scalar"
+
+
+class TestVectorizedFlags:
+    """Every registry entry honors vectorized= (ROADMAP open item)."""
+
+    @pytest.mark.parametrize("name", ["mc", "rss", "lazy", "adaptive"])
+    def test_flag_accepted_and_recorded(self, name):
+        est = make_estimator(name, 64, vectorized=True)
+        assert est.vectorized is True
+        est = make_estimator(name, 64, vectorized=False)
+        assert est.vectorized is False
+
+    def test_lazy_vectorized_statistical_parity(self, graph):
+        fast = make_estimator("lazy", 4000, seed=1, vectorized=True)
+        slow = make_estimator("lazy", 4000, seed=2, vectorized=False)
+        a = fast.reliability(graph, 0, 20)
+        b = slow.reliability(graph, 0, 20)
+        assert a == pytest.approx(b, abs=0.06)
+
+    def test_adaptive_vectorized_statistical_parity(self, graph):
+        fast = make_estimator(
+            "adaptive", 20000, seed=1, vectorized=True,
+            target_half_width=0.02,
+        )
+        slow = make_estimator(
+            "adaptive", 20000, seed=2, vectorized=False,
+            target_half_width=0.02,
+        )
+        a = fast.estimate(graph, 0, 20)
+        b = slow.estimate(graph, 0, 20)
+        assert a.value == pytest.approx(b.value, abs=0.06)
+        assert a.half_width <= 0.02 + 1e-9
+        assert b.half_width <= 0.02 + 1e-9
+
+    def test_adaptive_vectorized_respects_cap(self, graph):
+        est = make_estimator(
+            "adaptive", 600, vectorized=True, target_half_width=0.0001,
+            block_size=250,
+        )
+        result = est.estimate(graph, 0, 20)
+        assert result.samples_used == 600
+
+    def test_adaptive_vectorized_overlay(self, graph):
+        est = make_estimator(
+            "adaptive", 5000, vectorized=True, target_half_width=0.02
+        )
+        plain = est.estimate(graph, 0, 20)
+        boosted = make_estimator(
+            "adaptive", 5000, vectorized=True, target_half_width=0.02
+        ).estimate(graph, 0, 20, [(0, 20, 0.95)])
+        assert boosted.value > plain.value

@@ -12,7 +12,28 @@ def test_uncertain_graph_doctests():
 
 
 def test_readme_quickstart_snippet():
-    """The README quickstart must stay executable."""
+    """The README session quickstart must stay executable."""
+    from repro import MaximizeQuery, ReliabilityQuery, Session, Workload
+    from repro.graph import UncertainGraph
+
+    g = UncertainGraph.from_edges([(0, 1, 0.4), (1, 2, 0.5), (0, 2, 0.1)])
+    session = Session(g, seed=7)
+    workload = Workload([
+        ReliabilityQuery(0, target=2, samples=2000),
+        ReliabilityQuery(0, targets=(1, 2), estimator="mc", samples=2000),
+        ReliabilityQuery(1, target=2, estimator="rss", samples=500),
+    ])
+    results = session.run(workload)
+    assert len(results) == 3
+    assert "mc" in results[0].provenance.describe()
+
+    result = session.maximize(MaximizeQuery(0, 2, k=2, zeta=0.5, method="be"))
+    assert len(result.edges) <= 2
+    assert result.gain >= 0
+
+
+def test_readme_legacy_facade_snippet():
+    """The legacy facade shim from the migration table keeps working."""
     from repro import ReliabilityMaximizer, UncertainGraph
 
     g = UncertainGraph()
@@ -24,3 +45,11 @@ def test_readme_quickstart_snippet():
     solution = solver.maximize(g, 0, 3, k=2, zeta=0.5)
     assert len(solution.edges) == 2
     assert solution.gain > 0
+
+
+def test_api_module_doctests():
+    import repro.api
+
+    results = doctest.testmod(repro.api, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 3  # the workload example actually ran
