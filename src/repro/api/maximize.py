@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 import warnings
-from typing import List
+from typing import List, Optional
 
 from ..graph import UncertainGraph, fixed_new_edge_probability
 from ..reliability import ReliabilityEstimator, make_estimator
@@ -76,8 +76,18 @@ def resolve_selection_estimator(session, query: MaximizeQuery):
     )
 
 
-def execute_maximize(session, query: MaximizeQuery) -> MaximizeResult:
-    """Run one maximize query against the session's shared state."""
+def execute_maximize(
+    session,
+    query: MaximizeQuery,
+    base_value: Optional[float] = None,
+) -> MaximizeResult:
+    """Run one maximize query against the session's shared state.
+
+    ``base_value`` lets :meth:`repro.api.Session.run` inject the paired
+    base evaluation it already computed for a whole batch of maximize
+    queries in one shared-world pass; it must equal what
+    ``session.evaluate(query.source, query.target)`` would return.
+    """
     from ..core.facade import Solution  # local: facade shims import us
 
     graph = session.graph
@@ -105,12 +115,17 @@ def execute_maximize(session, query: MaximizeQuery) -> MaximizeResult:
         estimator=estimator,
         l=session.l,
         seed=seed,
+        session=session,
     )
     selection_seconds = time.perf_counter() - select_start
 
     # Paired evaluation: base and final reliability in the same worlds
     # for every method — batched through the session's evaluation cache.
-    base = session.evaluate(query.source, query.target)
+    base = (
+        base_value
+        if base_value is not None
+        else session.evaluate(query.source, query.target)
+    )
     new = (
         session.evaluate(query.source, query.target, edges) if edges else base
     )
@@ -184,9 +199,22 @@ def dispatch_selection(
     estimator: ReliabilityEstimator,
     l: int,
     seed: int,
+    session=None,
 ) -> List[ProbEdge]:
-    """Route one selection method to its implementation."""
+    """Route one selection method to its implementation.
+
+    With a ``session``, the candidate-enumerating methods (``hc``,
+    ``topk``) receive the session's batched gain kernel when the
+    estimator admits shared worlds — selection then reuses the cached
+    compiled plan and ``(Z, seed)`` world batch instead of paying a
+    fresh compile + coin-flip pass per query.
+    """
     pairs = space.edge_pairs()
+    kernel = (
+        session.selection_kernel(estimator)
+        if session is not None and method in ("hc", "topk")
+        else None
+    )
     if method in ("be", "ip"):
         path_set = select_top_l_paths(graph, source, target, l, space.edges)
         if method == "be":
@@ -200,11 +228,13 @@ def dispatch_selection(
         ).edges
     if method == "hc":
         return hill_climbing(
-            graph, source, target, k, pairs, prob_model, estimator
+            graph, source, target, k, pairs, prob_model, estimator,
+            kernel=kernel,
         )
     if method == "topk":
         return individual_top_k(
-            graph, source, target, k, pairs, prob_model, estimator
+            graph, source, target, k, pairs, prob_model, estimator,
+            kernel=kernel,
         )
     if method == "degree":
         return degree_centrality_selection(

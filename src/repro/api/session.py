@@ -37,6 +37,7 @@ from ..reliability import (
     ReliabilityEstimator,
     estimator_spec,
     make_estimator,
+    resolve_selection_backend,
 )
 from .queries import MaximizeQuery, Pair, Query, ReliabilityQuery, Workload
 from .results import (
@@ -49,11 +50,17 @@ from .results import (
 try:
     import numpy as np
 
-    from ..engine import compile_plan, pair_hit_fractions, sample_worlds
+    from ..engine import (
+        SelectionGainKernel,
+        compile_plan,
+        pair_hit_fractions,
+        sample_worlds,
+    )
     _HAVE_ENGINE = True
 except ImportError:  # pragma: no cover - numpy-less fallback
     np = None  # type: ignore[assignment]
     compile_plan = pair_hit_fractions = sample_worlds = None  # type: ignore
+    SelectionGainKernel = None  # type: ignore[assignment,misc]
     _HAVE_ENGINE = False
 
 Result = Union[ReliabilityResult, MaximizeResult]
@@ -186,6 +193,30 @@ class Session:
         self._worlds[key] = (batch, elapsed)
         return batch, elapsed, False
 
+    def selection_kernel(self, estimator: ReliabilityEstimator):
+        """Batched gain kernel over the session's cached plan and worlds.
+
+        Returns a :class:`~repro.engine.selection.SelectionGainKernel`
+        when ``estimator`` advertises a shared-world selection backend
+        (plain MC / lazy propagation on the engine), built on the
+        session's compiled plan and its cached ``(Z, seed)`` world
+        batch — so consecutive maximize queries with the same sampler
+        configuration skip both compilation and coin flips.  ``None``
+        when the estimator does not qualify or numpy is absent;
+        selection loops then run their per-candidate path.
+        """
+        if not _HAVE_ENGINE:
+            return None
+        backend = resolve_selection_backend(estimator)
+        if backend is None:
+            return None
+        samples, seed = backend
+        plan, _ = self.plan()
+        batch, _, _ = self.world_batch(samples, seed)
+        return SelectionGainKernel(
+            self.graph, samples, seed=seed, plan=plan, batch=batch
+        )
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -196,8 +227,11 @@ class Session:
         world-sharing groups are answered against one cached batch with
         one batch-BFS per distinct source; other estimators run
         per-query with a fresh, deterministically-seeded sampler.
-        Maximize queries run in submission order and share the session's
-        compiled plan and paired-evaluation worlds.
+        Maximize queries are batched too: their paired base evaluations
+        are answered in *one* shared-batch pass over all their pairs
+        before the queries execute in submission order, and every
+        selection loop whose estimator admits shared worlds runs on the
+        session's cached plan and world batches.
         """
         if not isinstance(workload, Workload):
             workload = Workload(workload)
@@ -205,15 +239,18 @@ class Session:
         results: List[Optional[Result]] = [None] * len(workload)
 
         groups: Dict[Tuple[str, int, int], List[Tuple[int, ReliabilityQuery]]] = {}
+        maximize_members: List[Tuple[int, MaximizeQuery]] = []
         for index, query in enumerate(workload):
             if isinstance(query, MaximizeQuery):
-                results[index] = self.maximize(query)
+                maximize_members.append((index, query))
                 continue
             seed = query.seed if query.seed is not None else self.seed
             spec = estimator_spec(query.estimator)
             groups.setdefault((spec.name, query.samples, seed), []).append(
                 (index, query)
             )
+        if maximize_members:
+            self._run_maximize_batch(maximize_members, results)
 
         for (name, samples, seed), members in groups.items():
             spec = estimator_spec(name)
@@ -229,6 +266,30 @@ class Session:
                     )
                 self._run_individual(name, samples, seed, members, results)
         return results  # type: ignore[return-value]
+
+    def _run_maximize_batch(
+        self,
+        members: List[Tuple[int, MaximizeQuery]],
+        results: List[Optional[Result]],
+    ) -> None:
+        """Execute a workload's maximize queries with shared evaluation.
+
+        The paired *base* evaluation of every query — the reliability of
+        its ``(source, target)`` pair before any edges are added — is
+        answered in one shared-batch ``evaluate_pairs`` call (one sweep
+        group instead of one per query), bit-for-bit identical to what
+        each query's standalone execution would compute from the same
+        cached batch.  Selection then runs per query in submission
+        order, reusing the session's compiled plan and world-batch
+        cache (see :meth:`selection_kernel`).
+        """
+        from .maximize import execute_maximize  # local: keep import light
+
+        base_values = self.evaluate_pairs(
+            [(query.source, query.target) for _, query in members]
+        )
+        for (index, query), base in zip(members, base_values):
+            results[index] = execute_maximize(self, query, base_value=base)
 
     def _run_shared(
         self,

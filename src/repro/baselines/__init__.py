@@ -6,6 +6,7 @@ from .common import (
     ProbEdge,
     all_missing_edges,
     dedupe_canonical,
+    selection_kernel_for,
     with_probabilities,
 )
 from .individual_topk import individual_top_k
@@ -28,6 +29,7 @@ __all__ = [
     "ProbEdge",
     "all_missing_edges",
     "dedupe_canonical",
+    "selection_kernel_for",
     "with_probabilities",
     "individual_top_k",
     "hill_climbing",

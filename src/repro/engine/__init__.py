@@ -14,12 +14,15 @@ from .csr import (
     build_query_plan,
     canonical_key,
     compile_plan,
+    compile_reverse_plan,
     extend_with_overlay,
 )
 from .kernel import (
     WorldBatch,
     batch_reach,
     batch_reach_multi,
+    bernoulli_row,
+    extend_batch,
     hit_fraction,
     num_words,
     pack_bool_matrix,
@@ -32,16 +35,20 @@ from .batch import (
     pair_hit_fractions,
     reach_counts_dict,
 )
+from .selection import SelectionGainKernel
 
 __all__ = [
     "QueryPlan",
     "build_query_plan",
     "canonical_key",
     "compile_plan",
+    "compile_reverse_plan",
     "extend_with_overlay",
     "WorldBatch",
     "batch_reach",
     "batch_reach_multi",
+    "bernoulli_row",
+    "extend_batch",
     "hit_fraction",
     "num_words",
     "pack_bool_matrix",
@@ -51,4 +58,5 @@ __all__ = [
     "VectorizedSamplingEngine",
     "pair_hit_fractions",
     "reach_counts_dict",
+    "SelectionGainKernel",
 ]

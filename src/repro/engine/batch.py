@@ -166,6 +166,23 @@ class VectorizedSamplingEngine:
             plan, num_samples, self._rng, forced_true, forced_false
         )
 
+    def selection_kernel(
+        self,
+        graph: UncertainGraph,
+        num_samples: int,
+    ) -> "SelectionGainKernel":
+        """Batched candidate-gain kernel rooted at this engine's seed.
+
+        The kernel samples its own base batch from a *fresh* generator
+        seeded like this engine (selection results are deterministic
+        regardless of the engine's prior call history) and evaluates
+        every candidate edge against it — see
+        :mod:`repro.engine.selection`.
+        """
+        from .selection import SelectionGainKernel
+
+        return SelectionGainKernel(graph, num_samples, seed=self.seed)
+
     # ------------------------------------------------------------------
     # estimator surface
     # ------------------------------------------------------------------

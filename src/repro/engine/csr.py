@@ -67,6 +67,7 @@ class QueryPlan:
         "node_ids",
         "index_of",
         "edge_index",
+        "_reverse",
     )
 
     def __init__(
@@ -100,10 +101,42 @@ class QueryPlan:
         else:
             self.dst_unique = np.empty(0, dtype=np.int64)
             self.dst_starts = np.empty(0, dtype=np.int64)
+        self._reverse: Optional["QueryPlan"] = None
 
     def node_index(self, node: int) -> Optional[int]:
         """Dense index of ``node`` or ``None`` when absent."""
         return self.index_of.get(node)
+
+    def reverse_view(self) -> "QueryPlan":
+        """Plan over the same worlds with every arc flipped.
+
+        The reverse view shares edge ids (and therefore
+        :class:`~repro.engine.kernel.WorldBatch` coin rows), node
+        indexing and probabilities with this plan — only the traversal
+        direction changes, so a reverse batch BFS from ``t`` over the
+        *same* sampled worlds yields, for every node ``v``, the bitmask
+        of worlds in which ``v`` reaches ``t``.  Undirected plans are
+        their own reverse (the arc table already holds both
+        orientations).  The view is built once per plan and cached;
+        ``rv.reverse_view() is plan`` holds.
+        """
+        if not self.directed:
+            return self
+        if self._reverse is None:
+            reverse = QueryPlan(
+                directed=True,
+                num_nodes=self.num_nodes,
+                probs=self.probs,
+                arc_src=self.arc_dst,
+                arc_dst=self.arc_src,
+                arc_eid=self.arc_eid,
+                node_ids=self.node_ids,
+                index_of=self.index_of,
+                edge_index=self.edge_index,
+            )
+            reverse._reverse = self
+            self._reverse = reverse
+        return self._reverse
 
 
 def canonical_key(directed: bool, u: int, v: int) -> EdgeKey:
@@ -169,6 +202,21 @@ def compile_plan(graph: UncertainGraph) -> QueryPlan:
     plan = _compile(graph)
     setattr(graph, _CACHE_ATTR, (graph.version, plan))
     return plan
+
+
+def compile_reverse_plan(graph: UncertainGraph) -> QueryPlan:
+    """Compiled reverse-arc plan for ``graph``, cached per graph version.
+
+    The reverse plan drives the *into-t* sweep of the selection-gain
+    kernel: it is :func:`compile_plan`'s result with every arc flipped,
+    sharing edge ids (and therefore world batches) with the forward
+    plan.  Caching composes from the existing layers — the forward
+    plan is cached on the graph keyed on
+    :attr:`UncertainGraph.version`, and the reverse view is cached on
+    the plan instance — so a mutation invalidates both directions at
+    once and no second graph-level cache is needed.
+    """
+    return compile_plan(graph).reverse_view()
 
 
 def extend_with_overlay(

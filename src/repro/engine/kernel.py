@@ -134,6 +134,39 @@ def sample_worlds(
     return WorldBatch(alive=alive, num_samples=num_samples, valid=valid)
 
 
+def bernoulli_row(
+    p: float,
+    num_samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One bit-packed ``(W,)`` coin row: bit ``i`` set with probability ``p``.
+
+    Uses the same float32 draw-and-compare as :func:`sample_worlds`
+    (``random() < 1.0`` always holds, ``< 0.0`` never), so a row for a
+    candidate edge is distributed exactly like the row that edge would
+    get inside a freshly sampled batch.  Pad bits past ``Z`` stay zero.
+    """
+    if p <= 0.0:
+        return np.zeros(num_words(num_samples), dtype=np.uint64)
+    coins = rng.random(num_samples, dtype=np.float32) < np.float32(p)
+    return pack_bool_matrix(coins[None, :], num_samples)[0]
+
+
+def extend_batch(batch: WorldBatch, rows: np.ndarray) -> WorldBatch:
+    """Batch over an overlay-extended plan: append per-edge coin rows.
+
+    ``rows`` is ``(num_extra_edges, W)`` — one coin row per overlay edge,
+    in overlay order, matching the edge ids
+    :func:`~repro.engine.csr.extend_with_overlay` assigns.  The base
+    rows are shared, not copied per call beyond the concatenation.
+    """
+    return WorldBatch(
+        alive=np.concatenate([batch.alive, rows]),
+        num_samples=batch.num_samples,
+        valid=batch.valid,
+    )
+
+
 def batch_reach(
     plan: QueryPlan,
     batch: WorldBatch,

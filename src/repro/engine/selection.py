@@ -1,0 +1,423 @@
+"""Batched candidate-gain kernel: every candidate edge against one
+shared world batch.
+
+Greedy selection (hill climbing, individual top-k) is the paper's
+quality frontier and its cost wall: one round of the naive greedy
+re-estimates reliability once per candidate — ``O(|C| * Z * (n + m))``
+per round.  This kernel collapses a round to **two batch-BFS sweeps
+plus bitwise ops**: one forward sweep from ``s`` and one reverse sweep
+into ``t`` over the current graph-plus-selected overlay, after which
+every candidate's marginal gain is a seeded coin row plus
+AND/OR + popcount over uint64 words — ``O(Z / 64)`` words per
+candidate.
+
+Exactness of the single-edge gain identity
+------------------------------------------
+Fix one sampled world ``G_i`` (base graph plus already-selected edges,
+each with its sampled state) and one candidate edge ``e = (u, v)`` with
+its own independent coin ``c_i``.  Any ``s``-``t`` path in ``G_i + e``
+either avoids ``e`` — then it is an ``s``-``t`` path of ``G_i`` — or it
+can be shortened to a *simple* path that uses ``e`` exactly once, and a
+simple path using ``e`` once decomposes into an ``s``⇝``u`` prefix and
+a ``v``⇝``t`` suffix inside ``G_i`` (or ``s``⇝``v`` and ``u``⇝``t`` for
+the other orientation of an undirected edge).  Hence, bit-exactly per
+world::
+
+    s⇝t in G_i + e  ⇔  s⇝t in G_i
+                        OR (c_i AND ((s⇝u AND v⇝t) OR (s⇝v AND u⇝t)))
+
+One forward batch BFS gives every ``s⇝x`` bitmask (``F``), one reverse
+batch BFS over :meth:`~repro.engine.csr.QueryPlan.reverse_view` gives
+every ``x⇝t`` bitmask (``R``), and the candidate's new-world hits are
+``c AND (F[u] & R[v] | F[v] & R[u]) AND NOT already`` — no
+approximation is involved: the kernel's per-candidate estimate equals
+the brute-force estimate obtained by appending the candidate (with the
+same coin row) to the batch and re-running the full BFS.
+
+Determinism & tie-breaking
+--------------------------
+Candidate coin rows are drawn from a generator seeded on
+``(kernel seed, round index, candidate endpoints)`` — independent of
+the base batch and of candidate *position*, so duplicated candidates
+draw identical coins and tie exactly.  Ties (equal popcount) are broken
+by the **lowest candidate index** (numpy ``argmax`` / stable sort
+first-max), matching the scalar greedy's first-maximum scan; the
+contract is pinned by ``tests/test_selection_semantics.py``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import UncertainGraph
+from .csr import (
+    ProbEdge,
+    QueryPlan,
+    canonical_key,
+    compile_plan,
+    extend_with_overlay,
+)
+from .kernel import (
+    WorldBatch,
+    batch_reach,
+    bernoulli_row,
+    extend_batch,
+    popcount,
+    sample_worlds,
+)
+
+Pair = Tuple[int, int]
+
+#: Aggregates supported by :meth:`SelectionGainKernel.greedy_select_multi`.
+_AGGREGATES = {
+    "avg": lambda counts: counts.mean(axis=0),
+    "average": lambda counts: counts.mean(axis=0),
+    "min": lambda counts: counts.min(axis=0),
+    "minimum": lambda counts: counts.min(axis=0),
+    "max": lambda counts: counts.max(axis=0),
+    "maximum": lambda counts: counts.max(axis=0),
+}
+
+
+def _edge_entropy(u, v) -> int:
+    """Stable non-negative entropy word for a candidate's endpoints.
+
+    Identity is the endpoint pair — not the candidate's list position —
+    so duplicate candidates draw identical coin rows and tie
+    bit-for-bit, and works for any hashable node labels.  Callers pass
+    the *canonical* key (undirected ``(v, u)`` folds onto ``(u, v)``;
+    see :meth:`SelectionGainKernel.candidate_rows`).
+    """
+    return zlib.crc32(repr((u, v)).encode("utf-8"))
+
+
+class SelectionGainKernel:
+    """Batched per-candidate gain evaluation over one shared world batch.
+
+    Parameters
+    ----------
+    graph:
+        The base graph candidates would be added to.
+    num_samples:
+        Worlds per estimate (``Z``).
+    seed:
+        Root seed: the base batch is the batch a fresh engine seeded
+        ``seed`` would sample, and candidate coin rows derive from
+        ``(seed, round, endpoints)``, so selections are deterministic
+        regardless of any sampler's prior call history.
+    plan / batch:
+        Optional pre-compiled plan and pre-sampled batch (e.g. a
+        :class:`repro.api.Session`'s cached ones).  ``batch`` must be
+        the batch a fresh ``default_rng(seed)`` would sample over
+        ``plan`` for results to be reproducible across call sites.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        num_samples: int,
+        seed: int = 0,
+        plan: Optional[QueryPlan] = None,
+        batch: Optional[WorldBatch] = None,
+    ) -> None:
+        if num_samples < 1:
+            raise ValueError("num_samples must be positive")
+        self.graph = graph
+        self.num_samples = int(num_samples)
+        self.seed = seed
+        self.plan = plan if plan is not None else compile_plan(graph)
+        self.batch = (
+            batch
+            if batch is not None
+            else sample_worlds(
+                self.plan, self.num_samples, np.random.default_rng(seed)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # coin rows
+    # ------------------------------------------------------------------
+    def candidate_rows(
+        self,
+        round_index: int,
+        edges: Sequence[ProbEdge],
+    ) -> np.ndarray:
+        """Bit-packed coin rows ``(len(edges), W)`` for one greedy round.
+
+        Each row is an independent Bernoulli(``p``) draw per world,
+        seeded ``(seed, round, canonical endpoints)``: fresh coins
+        every round, identical coins for identical candidates within a
+        round.  Endpoints are canonicalized like the edge table
+        (undirected ``(v, u)`` folds onto ``(u, v)``), so the two
+        orientations of one undirected candidate draw the same coins
+        and tie exactly — matching the scalar path, whose estimates are
+        orientation-independent by construction.
+        """
+        directed = self.plan.directed
+        rows = np.zeros(
+            (len(edges), self.batch.num_words), dtype=np.uint64
+        )
+        for i, (u, v, p) in enumerate(edges):
+            if p <= 0.0:
+                continue
+            rng = np.random.default_rng(
+                [self.seed, round_index,
+                 _edge_entropy(*canonical_key(directed, u, v))]
+            )
+            rows[i] = bernoulli_row(p, self.num_samples, rng)
+        return rows
+
+    # ------------------------------------------------------------------
+    # single-pair selection
+    # ------------------------------------------------------------------
+    def individual_gains(
+        self,
+        source: int,
+        target: int,
+        candidates: Sequence[ProbEdge],
+    ) -> np.ndarray:
+        """New-world hit counts of adding each candidate *alone*.
+
+        Returns an int64 array aligned with ``candidates``; the
+        reliability gain estimate of candidate ``j`` is
+        ``gains[j] / num_samples``.  Exact against the shared batch (see
+        the module docstring), hence always non-negative.
+        """
+        candidates = list(candidates)
+        src = self.plan.node_index(source)
+        dst = self.plan.node_index(target)
+        if source == target or src is None or dst is None:
+            return np.zeros(len(candidates), dtype=np.int64)
+        gains, _ = self._round_gains(
+            self.plan, self.batch, src, dst, candidates, 0
+        )
+        return gains
+
+    def top_k(
+        self,
+        source: int,
+        target: int,
+        k: int,
+        candidates: Sequence[ProbEdge],
+    ) -> List[ProbEdge]:
+        """Individual Top-k: the ``k`` best candidates by solo gain.
+
+        Stable-sorted, so equal gains preserve candidate order — the
+        same tie behavior as the scalar baseline's stable sort.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        candidates = list(candidates)
+        gains = self.individual_gains(source, target, candidates)
+        order = np.argsort(-gains, kind="stable")
+        return [candidates[int(i)] for i in order[:k]]
+
+    def greedy_select(
+        self,
+        source: int,
+        target: int,
+        k: int,
+        candidates: Sequence[ProbEdge],
+    ) -> List[ProbEdge]:
+        """Hill climbing: ``k`` rounds of batched marginal-gain argmax.
+
+        Each round costs one forward and one reverse batch BFS over the
+        graph-plus-selected overlay, then ``O(Z/64)`` words per
+        candidate.  The winner's coin row is appended to the batch, so
+        the next round's "current" reliability is conditioned on the
+        exact worlds in which the winner was evaluated — one persistent
+        world batch across the whole selection.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        candidates = list(candidates)
+        selected: List[ProbEdge] = []
+        remaining = list(range(len(candidates)))
+        plan, batch = self.plan, self.batch
+        src = plan.node_index(source)
+        dst = plan.node_index(target)
+        # Degenerate queries (s == t, or an endpoint the graph has never
+        # seen) have constant objective: the scalar greedy sees all-equal
+        # values and always pops the lowest remaining index.
+        degenerate = source == target or src is None or dst is None
+        while len(selected) < k and remaining:
+            if degenerate:
+                selected.append(candidates[remaining.pop(0)])
+                continue
+            round_index = len(selected)
+            pool = [candidates[j] for j in remaining]
+            gains, rows = self._round_gains(
+                plan, batch, src, dst, pool, round_index
+            )
+            best = int(np.argmax(gains))  # first max = lowest index
+            edge = candidates[remaining.pop(best)]
+            selected.append(edge)
+            plan = extend_with_overlay(plan, [edge])
+            batch = extend_batch(batch, rows[best][None, :])
+        return selected
+
+    # ------------------------------------------------------------------
+    # multi-pair selection (aggregate objectives, Tables 23-25)
+    # ------------------------------------------------------------------
+    def greedy_select_multi(
+        self,
+        pairs: Sequence[Pair],
+        k: int,
+        candidates: Sequence[ProbEdge],
+        aggregate: str = "avg",
+    ) -> List[ProbEdge]:
+        """Hill climbing on an aggregate of several ``(s, t)`` pairs.
+
+        Per round: one forward sweep per distinct source, one reverse
+        sweep per distinct target, then every candidate's updated
+        per-pair hit counts are pure bitwise ops; the aggregate
+        (``avg`` / ``min`` / ``max``) is taken over the pair axis and
+        the first-max candidate wins.  The scalar equivalent re-runs
+        ``pair_reliabilities`` once per candidate per round; matching
+        its dict-valued objective, duplicate pairs are collapsed before
+        aggregation (each distinct pair counts once).
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        try:
+            agg = _AGGREGATES[aggregate]
+        except KeyError:
+            raise ValueError(
+                f"unknown aggregate {aggregate!r}; expected one of "
+                f"{sorted(_AGGREGATES)}"
+            ) from None
+        pairs = list(dict.fromkeys(pairs))  # dedupe, preserve order
+        if not pairs:
+            raise ValueError("pairs must be non-empty")
+        candidates = list(candidates)
+        selected: List[ProbEdge] = []
+        remaining = list(range(len(candidates)))
+        plan, batch = self.plan, self.batch
+        while len(selected) < k and remaining:
+            round_index = len(selected)
+            pool = [candidates[j] for j in remaining]
+            rows = self.candidate_rows(round_index, pool)
+            counts = self._pair_counts(plan, batch, pairs, pool, rows)
+            best = int(np.argmax(agg(counts)))  # first max = lowest index
+            edge = candidates[remaining.pop(best)]
+            selected.append(edge)
+            plan = extend_with_overlay(plan, [edge])
+            batch = extend_batch(batch, rows[best][None, :])
+        return selected
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _round_gains(
+        self,
+        plan: QueryPlan,
+        batch: WorldBatch,
+        src: int,
+        dst: int,
+        pool: Sequence[ProbEdge],
+        round_index: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(gains, rows)`` for one round's candidate pool.
+
+        Two sweeps — forward from ``src``, reverse into ``dst`` — then
+        one vectorized bitwise pass over the pool.
+        """
+        forward = batch_reach(plan, batch, [src])
+        reverse = batch_reach(plan.reverse_view(), batch, [dst])
+        already = forward[dst]
+        rows = self.candidate_rows(round_index, pool)
+        via = self._via_masks(
+            plan, forward, reverse, self._resolve_endpoints(plan, pool)
+        )
+        # ~already sets pad bits, but coin rows keep pad bits zero, so
+        # the AND chain stays pad-clean and popcounts stay exact.
+        new_hits = rows & via & ~already[None, :]
+        gains = popcount(new_hits).sum(axis=1, dtype=np.int64)
+        return gains, rows
+
+    @staticmethod
+    def _resolve_endpoints(
+        plan: QueryPlan,
+        pool: Sequence[ProbEdge],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Dense ``(ui, vi, known)`` endpoint arrays for a pool.
+
+        Depends only on ``(plan, pool)`` — resolved once per round and
+        reused across every pair of a multi-pair objective.
+        """
+        n = len(pool)
+        ui = np.zeros(n, dtype=np.int64)
+        vi = np.zeros(n, dtype=np.int64)
+        known = np.ones(n, dtype=bool)
+        for i, (u, v, _p) in enumerate(pool):
+            a = plan.node_index(u)
+            b = plan.node_index(v)
+            if a is None or b is None:
+                # A single new edge to a node outside the graph cannot
+                # lie on any s-t path; its gain is structurally zero.
+                known[i] = False
+            else:
+                ui[i] = a
+                vi[i] = b
+        return ui, vi, known
+
+    @staticmethod
+    def _via_masks(
+        plan: QueryPlan,
+        forward: np.ndarray,
+        reverse: np.ndarray,
+        endpoints: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    ) -> np.ndarray:
+        """Per-candidate ``s⇝u AND v⇝t`` (plus swap when undirected)."""
+        ui, vi, known = endpoints
+        via = forward[ui] & reverse[vi]
+        if not plan.directed:
+            via |= forward[vi] & reverse[ui]
+        via[~known] = 0
+        return via
+
+    def _pair_counts(
+        self,
+        plan: QueryPlan,
+        batch: WorldBatch,
+        pairs: Sequence[Pair],
+        pool: Sequence[ProbEdge],
+        rows: np.ndarray,
+    ) -> np.ndarray:
+        """Updated hit counts ``(num_pairs, num_candidates)`` per pair.
+
+        Entry ``[p, j]`` is the number of worlds in which pair ``p`` is
+        connected after adding candidate ``j`` alone — the exact batch
+        count, reusing one sweep per distinct source / target.
+        """
+        forward: Dict[int, np.ndarray] = {}
+        reverse: Dict[int, np.ndarray] = {}
+        rplan = plan.reverse_view()
+        for s, t in pairs:
+            si = plan.node_index(s)
+            ti = plan.node_index(t)
+            if si is not None and s not in forward:
+                forward[s] = batch_reach(plan, batch, [si])
+            if ti is not None and t not in reverse:
+                reverse[t] = batch_reach(rplan, batch, [ti])
+        endpoints = self._resolve_endpoints(plan, pool)
+        counts = np.empty((len(pairs), len(pool)), dtype=np.int64)
+        for p_i, (s, t) in enumerate(pairs):
+            if s == t:
+                counts[p_i] = self.num_samples
+                continue
+            ti = plan.node_index(t)
+            if s not in forward or ti is None:
+                counts[p_i] = 0
+                continue
+            already = forward[s][ti]
+            base = int(popcount(already).sum())
+            via = self._via_masks(plan, forward[s], reverse[t], endpoints)
+            new_hits = rows & via & ~already[None, :]
+            counts[p_i] = base + popcount(new_hits).sum(
+                axis=1, dtype=np.int64
+            )
+        return counts

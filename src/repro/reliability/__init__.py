@@ -4,6 +4,7 @@ from .estimator import (
     Overlay,
     ReliabilityEstimator,
     build_overlay,
+    resolve_selection_backend,
     reverse_overlay,
 )
 from .exact import (
@@ -39,6 +40,7 @@ __all__ = [
     "Overlay",
     "ReliabilityEstimator",
     "build_overlay",
+    "resolve_selection_backend",
     "reverse_overlay",
     "ExactEstimator",
     "exact_reliability",

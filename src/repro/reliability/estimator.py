@@ -37,6 +37,17 @@ def build_overlay(
     return overlay
 
 
+def resolve_selection_backend(estimator) -> Optional[Tuple[int, int]]:
+    """Duck-typed :meth:`ReliabilityEstimator.selection_backend` lookup.
+
+    The single place routing layers (baselines, sessions) consult, so
+    third-party estimators only need the method — not the base class —
+    to opt into batched selection.
+    """
+    backend = getattr(estimator, "selection_backend", None)
+    return backend() if callable(backend) else None
+
+
 def reverse_overlay(
     graph: UncertainGraph,
     extra_edges: Overlay,
@@ -124,6 +135,21 @@ class ReliabilityEstimator(ABC):
         pairs = list(pairs)
         values = self.pair_reliabilities(graph, pairs, extra_edges)
         return [values[(s, t)] for s, t in pairs]
+
+    def selection_backend(self) -> Optional[Tuple[int, int]]:
+        """``(num_samples, seed)`` when selection loops may batch this
+        estimator's per-candidate estimates through the shared-world
+        gain kernel (:class:`repro.engine.selection.SelectionGainKernel`).
+
+        Only estimators whose estimate is a plain hit-rate over ``Z``
+        i.i.d. engine-sampled worlds qualify — plain Monte Carlo and
+        lazy propagation on the vectorized engine.  Stratified and
+        adaptive samplers condition or grow their sample sets, so their
+        per-candidate estimates are not a popcount over one shared
+        batch; they return ``None`` (the default) and selection loops
+        fall back to per-candidate estimation.
+        """
+        return None
 
     def multi_source_reachability(
         self,

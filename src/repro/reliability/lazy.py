@@ -72,6 +72,14 @@ class LazyPropagationEstimator(ReliabilityEstimator):
             VectorizedSamplingEngine(seed) if vectorized else None
         )
 
+    def selection_backend(self) -> Optional[Tuple[int, int]]:
+        """On the engine, lazy propagation *is* plain batched MC (the
+        geometric schedule is subsumed by batched coin generation), so
+        selection loops may batch it through the gain kernel."""
+        if self._engine is None:
+            return None
+        return (self.num_samples, self._engine.seed)
+
     # ------------------------------------------------------------------
     def reliability(
         self,

@@ -74,6 +74,13 @@ class MonteCarloEstimator(ReliabilityEstimator):
             VectorizedSamplingEngine(seed) if vectorized else None
         )
 
+    def selection_backend(self) -> Optional[Tuple[int, int]]:
+        """Plain fixed-Z hit rates on the engine batch into the
+        selection-gain kernel; ``None`` on the scalar path."""
+        if self._engine is None:
+            return None
+        return (self.num_samples, self._engine.seed)
+
     # ------------------------------------------------------------------
     def reliability(
         self,

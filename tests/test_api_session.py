@@ -269,6 +269,38 @@ class TestMaximizeThroughSession:
         assert result.provenance.samples == 100
         assert result.provenance.timings.solve_seconds > 0
 
+    def test_batched_workload_matches_sequential(self, graph):
+        """Session.run batches maximize queries (one shared base-
+        evaluation pass, shared selection worlds) bit-for-bit equal to
+        one-by-one execution."""
+        queries = [
+            MaximizeQuery(0, 30, k=2, method="hc", estimator="mc",
+                          samples=128, eliminate=False),
+            MaximizeQuery(1, 25, k=2, method="topk", estimator="mc",
+                          samples=128, eliminate=False),
+            MaximizeQuery(2, 20, k=1, method="degree", eliminate=False),
+        ]
+        batched = Session(graph, seed=3, r=8, l=8).run(Workload(queries))
+        sequential_session = Session(graph, seed=3, r=8, l=8)
+        sequential = [sequential_session.maximize(q) for q in queries]
+        for got, want in zip(batched, sequential):
+            assert got.solution.edges == want.solution.edges
+            assert got.solution.base_reliability == want.solution.base_reliability
+            assert got.solution.new_reliability == want.solution.new_reliability
+
+    def test_mixed_workload_ordering(self, graph):
+        """Reliability and maximize queries interleave; result order
+        matches query order."""
+        queries = [
+            ReliabilityQuery(0, target=30, samples=64),
+            MaximizeQuery(0, 30, k=1, method="degree", eliminate=False),
+            ReliabilityQuery(1, target=25, samples=64),
+        ]
+        results = Session(graph, seed=3, r=8, l=8).run(queries)
+        assert results[0].query is queries[0]
+        assert results[1].query is queries[1]
+        assert results[2].query is queries[2]
+
 
 class TestResults:
     def test_value_raises_on_multi_target(self, graph):

@@ -1,13 +1,14 @@
 """Deeper semantics tests for the batch-selection machinery."""
 
-from repro.graph import UncertainGraph
-from repro.reliability import ExactEstimator
+from repro.graph import UncertainGraph, fixed_new_edge_probability
+from repro.reliability import ExactEstimator, make_estimator
 from repro.core import (
     batch_selection,
     build_path_batches,
     individual_path_selection,
     select_top_l_paths,
 )
+from repro.baselines import hill_climbing, individual_top_k
 
 S, T = 0, 99
 
@@ -95,6 +96,98 @@ class TestBudgetBoundary:
         path_set = select_top_l_paths(g, S, T, l=5, candidates=candidates)
         edges = batch_selection(g, S, T, 2, path_set, ExactEstimator())
         assert len(edges) == 2
+
+
+def two_chain_graph():
+    """0-1-2   3-4-5 with certain edges: candidate (2, 3) has gain
+    exactly 1.0, every later round has all-zero gains — so selection
+    order is fully deterministic on every path, sampling included."""
+    g = UncertainGraph()
+    for u, v in ((0, 1), (1, 2), (3, 4), (4, 5)):
+        g.add_edge(u, v, 1.0)
+    return g
+
+
+class TestGreedyTieBreakParity:
+    """The documented tie-break: lowest candidate index on equal gain.
+
+    The scalar greedy keeps the *first* maximum of its scan; the
+    vectorized kernel's argmax (and the top-k stable sort) must match,
+    and duplicated candidates must tie exactly on the kernel (they draw
+    identical coin rows by construction).
+    """
+
+    CANDIDATES = [(2, 3), (0, 5), (1, 4)]
+
+    def custom_prob(self, u, v):
+        return {(2, 3): 1.0, (0, 5): 0.5, (1, 4): 0.25}[(u, v)]
+
+    def selection_order(self, estimator, **kwargs):
+        g = two_chain_graph()
+        edges = hill_climbing(
+            g, 0, 5, 3, self.CANDIDATES, self.custom_prob, estimator,
+            **kwargs,
+        )
+        return [(u, v) for u, v, _ in edges]
+
+    def test_scalar_and_vectorized_agree(self):
+        # Round 1: (2, 3) wins structurally (gain exactly 1.0).  Later
+        # rounds: all gains zero -> lowest remaining index, on both
+        # paths, independent of sampling noise.
+        expected = [(2, 3), (0, 5), (1, 4)]
+        scalar = self.selection_order(
+            make_estimator("mc", 200, seed=1), vectorized=False
+        )
+        vectorized = self.selection_order(make_estimator("mc", 200, seed=1))
+        exact = self.selection_order(ExactEstimator())
+        assert scalar == vectorized == exact == expected
+
+    def test_duplicate_candidates_pick_lowest_index(self):
+        g = two_chain_graph()
+        zeta = fixed_new_edge_probability(1.0)
+        candidates = [(2, 3), (2, 3), (2, 3)]
+        for estimator, kwargs in (
+            (ExactEstimator(), {}),
+            (make_estimator("mc", 128, seed=0), {}),
+            (make_estimator("mc", 128, seed=0), {"vectorized": False}),
+        ):
+            edges = hill_climbing(
+                g, 0, 5, 2, candidates, zeta, estimator, **kwargs
+            )
+            # All three duplicates tie exactly; rounds pop the lowest
+            # index first, so the first two duplicates are selected.
+            assert [(u, v) for u, v, _ in edges] == [(2, 3), (2, 3)]
+
+    def test_topk_stable_order_on_ties(self):
+        g = two_chain_graph()
+        zeta = fixed_new_edge_probability(1.0)
+        # (2, 3) and its duplicate both gain exactly 1.0; stable sort
+        # must keep candidate order among the tied maxima.
+        candidates = [(2, 3), (2, 3), (0, 5)]
+        for estimator in (ExactEstimator(), make_estimator("mc", 128, seed=2)):
+            edges = individual_top_k(g, 0, 5, 2, candidates, zeta, estimator)
+            assert [(u, v) for u, v, _ in edges] == [(2, 3), (2, 3)]
+
+    def test_session_dispatch_matches_direct_call(self):
+        from repro.api import MaximizeQuery, Session
+        from repro.core.search_space import CandidateSpace
+
+        g = two_chain_graph()
+        space = CandidateSpace(
+            source_side=[], target_side=[],
+            edges=[(u, v, self.custom_prob(u, v)) for u, v in self.CANDIDATES],
+            elapsed_seconds=0.0,
+        )
+        session = Session(g, seed=0, estimator="mc", selection_samples=200)
+        result = session.maximize(
+            MaximizeQuery(
+                0, 5, k=3, method="hc", candidate_space=space,
+                new_edge_prob=self.custom_prob,
+            )
+        )
+        assert [(u, v) for u, v, _ in result.solution.edges] == [
+            (2, 3), (0, 5), (1, 4),
+        ]
 
 
 class TestPathSetHygiene:
