@@ -54,6 +54,7 @@ try:
         SelectionGainKernel,
         compile_plan,
         pair_hit_fractions,
+        resolve_fuse_max_words,
         sample_worlds,
     )
     _HAVE_ENGINE = True
@@ -61,6 +62,7 @@ except ImportError:  # pragma: no cover - numpy-less fallback
     np = None  # type: ignore[assignment]
     compile_plan = pair_hit_fractions = sample_worlds = None  # type: ignore
     SelectionGainKernel = None  # type: ignore[assignment,misc]
+    resolve_fuse_max_words = None  # type: ignore[assignment]
     _HAVE_ENGINE = False
 
 Result = Union[ReliabilityResult, MaximizeResult]
@@ -96,6 +98,14 @@ class Session:
         ``(Z, seed)`` batches are kept (FIFO eviction), so long-lived
         sessions serving heterogeneous workloads stay bounded in
         memory.
+    fuse_max_words:
+        Multi-source fusion threshold for batched pair sweeps: distinct
+        sources are fused into frontier-gated multi-source kernel
+        passes while the world-batch row is at most this many words
+        (``None`` -> the measured
+        :data:`repro.engine.batch.DEFAULT_FUSE_MAX_WORDS`, ``0``
+        disables fusion).  Purely a performance knob — results are
+        bit-for-bit identical on every dispatch path.
     """
 
     def __init__(
@@ -110,11 +120,18 @@ class Session:
         l: int = 30,
         h: Optional[int] = None,
         max_cached_batches: int = 8,
+        fuse_max_words: Optional[int] = None,
     ) -> None:
         if max_cached_batches < 1:
             raise ValueError("max_cached_batches must be positive")
         self.graph = graph
         self.seed = seed
+        if _HAVE_ENGINE:
+            # Validate eagerly (like max_cached_batches) so a bad knob
+            # fails at construction, not at the first grouped query;
+            # None is kept as-is to track the engine default.
+            resolve_fuse_max_words(fuse_max_words)
+        self.fuse_max_words = fuse_max_words
         self.selection_samples = selection_samples
         self.evaluation_samples = evaluation_samples
         self.evaluation_seed = evaluation_seed
@@ -198,12 +215,16 @@ class Session:
 
         Returns a :class:`~repro.engine.selection.SelectionGainKernel`
         when ``estimator`` advertises a shared-world selection backend
-        (plain MC / lazy propagation on the engine), built on the
-        session's compiled plan and its cached ``(Z, seed)`` world
-        batch — so consecutive maximize queries with the same sampler
-        configuration skip both compilation and coin flips.  ``None``
-        when the estimator does not qualify or numpy is absent;
-        selection loops then run their per-candidate path.
+        (every vectorized registry estimator does), built on the
+        session's compiled plan — and, for the plain-batch backends
+        (``mc``/``lazy``), on the session's cached ``(Z, seed)`` world
+        batch, so consecutive maximize queries with the same sampler
+        configuration skip both compilation and coin flips.  Backends
+        with a query-conditioned base batch (per-stratum ``rss``,
+        per-block ``adaptive``) reuse the cached plan and build their
+        batch per query through the backend's ``make_batch`` factory.
+        ``None`` when the estimator does not qualify (scalar paths) or
+        numpy is absent; selection loops then run per-candidate.
         """
         if not _HAVE_ENGINE:
             return None
@@ -212,9 +233,17 @@ class Session:
             return None
         samples, seed = backend
         plan, _ = self.plan()
+        factory = getattr(backend, "make_batch", None)
+        if factory is not None:
+            return SelectionGainKernel(
+                self.graph, samples, seed=seed, plan=plan,
+                batch_factory=factory,
+                fuse_max_words=self.fuse_max_words,
+            )
         batch, _, _ = self.world_batch(samples, seed)
         return SelectionGainKernel(
-            self.graph, samples, seed=seed, plan=plan, batch=batch
+            self.graph, samples, seed=seed, plan=plan, batch=batch,
+            fuse_max_words=self.fuse_max_words,
         )
 
     # ------------------------------------------------------------------
@@ -313,7 +342,10 @@ class Session:
         for _, query in members:
             all_pairs.extend(query.pairs)
         start = time.perf_counter()
-        values = pair_hit_fractions(plan, batch, all_pairs, samples)
+        values = pair_hit_fractions(
+            plan, batch, all_pairs, samples,
+            fuse_max_words=self.fuse_max_words,
+        )
         solve_s = time.perf_counter() - start
         timings = Timings(
             compile_seconds=compile_s,
@@ -433,7 +465,10 @@ class Session:
             self._sync_version()
             plan, _ = self.plan()
             batch, _, _ = self.world_batch(samples, seed)
-            values = pair_hit_fractions(plan, batch, pairs, samples)
+            values = pair_hit_fractions(
+                plan, batch, pairs, samples,
+                fuse_max_words=self.fuse_max_words,
+            )
             return [values[pair] for pair in pairs]
         estimator = make_estimator("mc", samples, seed=seed)
         return estimator.reliability_many(

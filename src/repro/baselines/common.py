@@ -37,9 +37,13 @@ def selection_kernel_for(
     and numpy is importable.  ``False`` forces the per-candidate
     estimator loop (benchmark baseline / exact parity with the legacy
     path); ``True`` demands the kernel and raises when the estimator
-    cannot provide one.  A pre-built ``kernel`` (e.g. from
-    :meth:`repro.api.Session.selection_kernel`, carrying the session's
-    cached plan and world batch) is used as-is.
+    cannot provide one (vectorized ``mc``/``lazy``/``rss``/``adaptive``
+    all can; scalar estimators cannot).  A pre-built ``kernel`` (e.g.
+    from :meth:`repro.api.Session.selection_kernel`, carrying the
+    session's cached plan and world batch) is used as-is.  Backends
+    carrying a ``make_batch`` factory (per-stratum ``rss``, per-block
+    ``adaptive``) get a kernel that builds its base batch per query
+    through that factory.
     """
     if vectorized is False:
         return None
@@ -50,7 +54,7 @@ def selection_kernel_for(
         if vectorized:
             raise ValueError(
                 f"{type(estimator).__name__} has no shared-world selection "
-                "backend; pass a vectorized mc/lazy estimator or "
+                "backend; pass a vectorized registry estimator or "
                 "vectorized=None to fall back to the per-candidate loop"
             )
         return None
@@ -59,7 +63,10 @@ def selection_kernel_for(
             raise RuntimeError("vectorized selection requires numpy")
         return None
     num_samples, seed = backend
-    return SelectionGainKernel(graph, num_samples, seed=seed)
+    return SelectionGainKernel(
+        graph, num_samples, seed=seed,
+        batch_factory=getattr(backend, "make_batch", None),
+    )
 
 
 def with_probabilities(

@@ -8,11 +8,14 @@ early rounds see many zero-gain candidates and pick arbitrarily.
 
 This is the strongest-quality baseline in the paper's tables and also —
 on the per-candidate path — the slowest:
-``O(k * |candidates| * Z * (n + m))``.  When the estimator is a plain
-shared-world sampler on the vectorized engine, the round collapses to
-two batch-BFS sweeps plus ``O(Z/64)`` words per candidate via the
-selection-gain kernel (:mod:`repro.engine.selection`), turning the
-``k * |C|`` term from full re-estimates into popcounts.
+``O(k * |candidates| * Z * (n + m))``.  Every vectorized registry
+estimator routes through the selection-gain kernel
+(:mod:`repro.engine.selection`): the first round costs two batch-BFS
+sweeps plus ``O(Z/64)`` words per candidate, later rounds *resume* the
+sweeps incrementally from each committed winner's endpoints, and the
+base batch candidates are scored against follows the estimator's
+sampling scheme (plain shared worlds for ``mc``/``lazy``, per-stratum
+for ``rss``, per-block for ``adaptive``).
 
 Both paths break ties by the lowest candidate index (the scalar scan
 keeps the first maximum; the kernel's argmax does the same).

@@ -6,12 +6,14 @@ between the selected edges, which the paper shows costs solution quality
 (two edges completing the same path are each worthless alone).
 
 On the per-candidate path this costs one reliability estimate per
-candidate — ``O(|candidates| * Z * (n + m))``.  With a shared-world
-estimator on the vectorized engine, the whole candidate set is scored
-against one world batch by the selection-gain kernel
-(:mod:`repro.engine.selection`): two batch-BFS sweeps, then one coin
-row + popcount per candidate.  Both paths are stable under ties (equal
-gains keep candidate order).
+candidate — ``O(|candidates| * Z * (n + m))``.  Every vectorized
+registry estimator instead scores the whole candidate set against one
+world batch through the selection-gain kernel
+(:mod:`repro.engine.selection`) — two batch-BFS sweeps, then one coin
+row + popcount per candidate, with the base batch following the
+estimator's sampling scheme (shared i.i.d. worlds for ``mc``/``lazy``,
+per-stratum for ``rss``, per-block for ``adaptive``).  Both paths are
+stable under ties (equal gains keep candidate order).
 """
 
 from __future__ import annotations

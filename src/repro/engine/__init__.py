@@ -18,22 +18,30 @@ from .csr import (
     extend_with_overlay,
 )
 from .kernel import (
+    GATED_MIN_WORDS,
     WorldBatch,
+    allocate_proportional,
     batch_reach,
     batch_reach_multi,
+    batch_reach_resume,
     bernoulli_row,
+    concat_batches,
     extend_batch,
     hit_fraction,
     num_words,
     pack_bool_matrix,
     popcount,
     sample_worlds,
+    sample_worlds_stratified,
+    unpack_word_row,
     valid_sample_mask,
 )
 from .batch import (
+    DEFAULT_FUSE_MAX_WORDS,
     VectorizedSamplingEngine,
     pair_hit_fractions,
     reach_counts_dict,
+    resolve_fuse_max_words,
 )
 from .selection import SelectionGainKernel
 
@@ -44,19 +52,27 @@ __all__ = [
     "compile_plan",
     "compile_reverse_plan",
     "extend_with_overlay",
+    "GATED_MIN_WORDS",
     "WorldBatch",
+    "allocate_proportional",
     "batch_reach",
     "batch_reach_multi",
+    "batch_reach_resume",
     "bernoulli_row",
+    "concat_batches",
     "extend_batch",
     "hit_fraction",
     "num_words",
     "pack_bool_matrix",
     "popcount",
     "sample_worlds",
+    "sample_worlds_stratified",
+    "unpack_word_row",
     "valid_sample_mask",
+    "DEFAULT_FUSE_MAX_WORDS",
     "VectorizedSamplingEngine",
     "pair_hit_fractions",
     "reach_counts_dict",
+    "resolve_fuse_max_words",
     "SelectionGainKernel",
 ]

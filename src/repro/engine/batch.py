@@ -35,17 +35,36 @@ from .kernel import (
 
 Pair = Tuple[int, int]
 
-#: Fuse multi-source sweeps only while each world batch row is at most
-#: this many words.  Narrow rows (small Z) make the per-sweep numpy
-#: overhead dominate, and fusing S sources into one S*W-wide pass wins
-#: ~2.5x; wide rows are bandwidth-bound and fusing *adds* byte-work
-#: (every frontier arc is processed at full S*W width even for sources
-#: whose BFS is elsewhere), so per-source sweeps win there.
-_FUSE_MAX_WORDS = 4
+#: Fuse multi-source sweeps while each world batch row is at most this
+#: many words.  The frontier-gated fused sweep
+#: (:func:`repro.engine.kernel.batch_reach_multi`) does work
+#: proportional to the *active* (arc, source) frontier, so — unlike the
+#: old full-width fusion, whose hard ``_FUSE_MAX_WORDS = 4`` cliff this
+#: knob replaces — fusion keeps winning on wide batches.  Measured by
+#: ``benchmarks/bench_sweep_gated.py`` at S=16 on 1k-node graphs, W=1
+#: (Z=64) through W=64 (Z=4096): 3.2-7.9x over per-source sweeps on
+#: sweep-bound topologies (high-reliability ring) and 1.1-1.6x on a
+#: frontier-dense random graph — no crossover back to per-source
+#: anywhere in the measured range.  The default therefore only stops
+#: fusing where the fused state (S * W * n words) would dwarf the
+#: memory-budget chunking below; per-query overrides go through the
+#: ``fuse_max_words`` arguments on :func:`pair_hit_fractions`,
+#: :class:`VectorizedSamplingEngine` and :class:`repro.api.Session`
+#: (``0`` disables fusion, ``None`` means this default).
+DEFAULT_FUSE_MAX_WORDS = 1024
 
 #: Word budget of one fused pass (S * W * num_nodes reached words);
 #: 4M words = 32 MB.  Larger fused groups are chunked.
 _MULTI_SOURCE_WORD_BUDGET = 4_000_000
+
+
+def resolve_fuse_max_words(fuse_max_words: Optional[int]) -> int:
+    """``None`` -> the measured default; negatives are rejected."""
+    if fuse_max_words is None:
+        return DEFAULT_FUSE_MAX_WORDS
+    if fuse_max_words < 0:
+        raise ValueError("fuse_max_words must be >= 0 (0 disables fusion)")
+    return fuse_max_words
 
 
 def pair_hit_fractions(
@@ -53,15 +72,19 @@ def pair_hit_fractions(
     batch: WorldBatch,
     pairs: Sequence[Pair],
     num_samples: int,
+    fuse_max_words: Optional[int] = None,
 ) -> Dict[Pair, float]:
     """Answer every (s, t) pair inside one shared world batch.
 
     Pairs are grouped by source so each distinct source costs one batch
-    BFS sweep; for narrow batches (``Z <= 256``) all sources are fused
-    into one multi-source kernel pass (:func:`batch_reach_multi`).
+    BFS sweep; multi-source groups are fused into frontier-gated
+    multi-source kernel passes (:func:`batch_reach_multi`) while the
+    batch row stays within ``fuse_max_words`` words (``None`` -> the
+    measured :data:`DEFAULT_FUSE_MAX_WORDS`, ``0`` -> never fuse).
     ``s == t`` pairs are 1.0 and endpoints unknown to the plan are 0.0
     (matching the scalar estimators' semantics).
     """
+    fuse_max_words = resolve_fuse_max_words(fuse_max_words)
     by_source: Dict[int, List[Pair]] = {}
     for s, t in pairs:
         by_source.setdefault(s, []).append((s, t))
@@ -77,7 +100,7 @@ def pair_hit_fractions(
         else:
             indexed.append((s, src))
 
-    if batch.num_words <= _FUSE_MAX_WORDS and len(indexed) > 1:
+    if batch.num_words <= fuse_max_words and len(indexed) > 1:
         chunk = max(
             1,
             _MULTI_SOURCE_WORD_BUDGET
@@ -145,10 +168,21 @@ class VectorizedSamplingEngine:
         estimators, the generator is stateful: repeated calls advance
         the stream, and two engines built with the same seed replay the
         same estimates for the same query sequence.
+    fuse_max_words:
+        Multi-source fusion threshold for pair workloads — fuse while
+        the batch row is at most this many words (``None`` -> the
+        measured :data:`DEFAULT_FUSE_MAX_WORDS`, ``0`` disables
+        fusion).  Purely a performance knob: results are bit-for-bit
+        identical on every dispatch path.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        fuse_max_words: Optional[int] = None,
+    ) -> None:
         self.seed = seed
+        self.fuse_max_words = resolve_fuse_max_words(fuse_max_words)
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
@@ -238,7 +272,10 @@ class VectorizedSamplingEngine:
             return {}
         plan = build_query_plan(graph, extra_edges)
         batch = self.sample_worlds(plan, num_samples)
-        return pair_hit_fractions(plan, batch, pairs, num_samples)
+        return pair_hit_fractions(
+            plan, batch, pairs, num_samples,
+            fuse_max_words=self.fuse_max_words,
+        )
 
     def reliability_many(
         self,

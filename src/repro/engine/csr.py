@@ -89,10 +89,19 @@ class QueryPlan:
         self.node_ids = node_ids
         self.index_of = index_of
         self.edge_index = edge_index
-        order = np.argsort(arc_dst, kind="stable")
-        self.arc_dst = np.ascontiguousarray(arc_dst[order])
-        self.arc_src = np.ascontiguousarray(arc_src[order])
-        self.arc_eid = np.ascontiguousarray(arc_eid[order])
+        if arc_dst.size == 0 or bool(np.all(arc_dst[1:] >= arc_dst[:-1])):
+            # Already destination-sorted — the overlay-merge fast path
+            # (:func:`extend_with_overlay` inserts in sorted position)
+            # and the empty table; skip the O(A log A) argsort that
+            # would otherwise run once per greedy round.
+            self.arc_dst = np.ascontiguousarray(arc_dst)
+            self.arc_src = np.ascontiguousarray(arc_src)
+            self.arc_eid = np.ascontiguousarray(arc_eid)
+        else:
+            order = np.argsort(arc_dst, kind="stable")
+            self.arc_dst = np.ascontiguousarray(arc_dst[order])
+            self.arc_src = np.ascontiguousarray(arc_src[order])
+            self.arc_eid = np.ascontiguousarray(arc_eid[order])
         arc_dst = self.arc_dst
         if arc_dst.size:
             self.dst_unique, self.dst_starts = np.unique(
@@ -271,11 +280,18 @@ def extend_with_overlay(
             arc_eid[pos] = eid
             pos += 1
 
-    # Re-sorting the concatenated arc table costs O(A log A) once per
-    # overlay, amortized over Z samples inside the kernel.
-    merged_src = np.concatenate([base.arc_src, arc_src[:pos]])
-    merged_eid = np.concatenate([base.arc_eid, arc_eid[:pos]])
-    merged_dst = np.concatenate([base.arc_dst, arc_dst[:pos]])
+    # The base arc table is destination-sorted; insert the few overlay
+    # arcs at their sorted positions (side="right" keeps base arcs
+    # before overlay arcs of equal destination, matching what a stable
+    # argsort of the concatenation produced) so QueryPlan's
+    # sorted-input fast path skips the O(A log A) re-sort — this runs
+    # once per greedy round in the incremental selection loop.
+    new_order = np.argsort(arc_dst[:pos], kind="stable")
+    ins_dst = arc_dst[:pos][new_order]
+    positions = np.searchsorted(base.arc_dst, ins_dst, side="right")
+    merged_dst = np.insert(base.arc_dst, positions, ins_dst)
+    merged_src = np.insert(base.arc_src, positions, arc_src[:pos][new_order])
+    merged_eid = np.insert(base.arc_eid, positions, arc_eid[:pos][new_order])
     return QueryPlan(
         directed=directed,
         num_nodes=len(node_ids),

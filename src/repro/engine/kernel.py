@@ -21,7 +21,7 @@ which keeps every popcount exact without masking.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -67,6 +67,17 @@ def valid_sample_mask(num_samples: int) -> np.ndarray:
     return pack_bool_matrix(
         np.ones((1, num_samples), dtype=bool), num_samples
     )[0]
+
+
+def unpack_word_row(words: np.ndarray) -> np.ndarray:
+    """``(W,)`` uint64 words -> ``(W * 64,)`` bool bits (little-endian)."""
+    if words.dtype.byteorder == ">" or (
+        words.dtype.byteorder == "=" and np.little_endian is False
+    ):  # pragma: no cover - big-endian hosts only
+        words = words.byteswap()
+    return np.unpackbits(
+        np.ascontiguousarray(words).view(np.uint8), bitorder="little"
+    ).astype(bool)
 
 
 def popcount(words: np.ndarray) -> np.ndarray:
@@ -138,18 +149,139 @@ def bernoulli_row(
     p: float,
     num_samples: int,
     rng: np.random.Generator,
+    valid: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """One bit-packed ``(W,)`` coin row: bit ``i`` set with probability ``p``.
 
     Uses the same float32 draw-and-compare as :func:`sample_worlds`
     (``random() < 1.0`` always holds, ``< 0.0`` never), so a row for a
     candidate edge is distributed exactly like the row that edge would
-    get inside a freshly sampled batch.  Pad bits past ``Z`` stay zero.
+    get inside a freshly sampled batch.  Pad bits stay zero.
+
+    ``valid`` selects the target bit layout: ``None`` is the standard
+    prefix layout (samples occupy the first ``Z`` bits), while a
+    ``(W,)`` valid-mask row places the ``Z`` coins at that mask's set
+    bit positions — the layout of a :func:`concat_batches` batch, whose
+    pad bits sit *between* blocks.  For a prefix mask both paths
+    produce bit-identical rows.
+    """
+    if valid is None:
+        if p <= 0.0:
+            return np.zeros(num_words(num_samples), dtype=np.uint64)
+        coins = rng.random(num_samples, dtype=np.float32) < np.float32(p)
+        return pack_bool_matrix(coins[None, :], num_samples)[0]
+    bits = unpack_word_row(valid)
+    return bernoulli_row_at(
+        p, num_samples, rng, np.flatnonzero(bits), bits.shape[0]
+    )
+
+
+def bernoulli_row_at(
+    p: float,
+    num_samples: int,
+    rng: np.random.Generator,
+    positions: np.ndarray,
+    width_bits: int,
+) -> np.ndarray:
+    """:func:`bernoulli_row` with precomputed valid bit positions.
+
+    Callers generating many rows against one layout (the selection
+    kernel's per-round candidate rows) hoist the
+    ``flatnonzero(unpack_word_row(valid))`` scan out of the per-row
+    loop and call this directly.
     """
     if p <= 0.0:
-        return np.zeros(num_words(num_samples), dtype=np.uint64)
+        return np.zeros(width_bits // WORD_BITS, dtype=np.uint64)
+    positions = positions[:num_samples]
     coins = rng.random(num_samples, dtype=np.float32) < np.float32(p)
-    return pack_bool_matrix(coins[None, :], num_samples)[0]
+    row = np.zeros(width_bits, dtype=bool)
+    row[positions] = coins[: positions.shape[0]]
+    # row is already full word width, so packing adds no padding.
+    return pack_bool_matrix(row[None, :], width_bits)[0]
+
+
+def concat_batches(batches: Sequence[WorldBatch]) -> WorldBatch:
+    """Concatenate world batches along the sample axis — cheaply.
+
+    Blocks are joined at *word* granularity (no repacking): block ``i``
+    keeps its own words, so a block whose ``Z`` is not a multiple of 64
+    leaves zero pad bits in the middle of the combined row.  The
+    combined ``valid`` mask has exactly the real sample bits set, and
+    every kernel reduction (popcounts, hit fractions, reach sweeps)
+    already ignores pad bits, so the concatenated batch behaves exactly
+    like one batch of ``sum(Z_i)`` samples.  Used by the stratified and
+    per-block selection backends to assemble conditioned sample blocks
+    into one shared batch.
+    """
+    batches = list(batches)
+    if not batches:
+        raise ValueError("concat_batches needs at least one batch")
+    if len(batches) == 1:
+        return batches[0]
+    return WorldBatch(
+        alive=np.concatenate([b.alive for b in batches], axis=1),
+        num_samples=sum(b.num_samples for b in batches),
+        valid=np.concatenate([b.valid for b in batches]),
+    )
+
+
+def allocate_proportional(
+    weights: Sequence[float],
+    total: int,
+) -> List[int]:
+    """Largest-remainder allocation of ``total`` samples to strata.
+
+    Quotas are ``total * w / sum(w)``; every stratum gets its floor and
+    the leftovers go to the largest fractional parts (ties to the lower
+    index).  Zero-weight strata get zero.  The result always sums to
+    ``total``.
+    """
+    weights = np.asarray(list(weights), dtype=np.float64)
+    if weights.size == 0:
+        raise ValueError("need at least one stratum")
+    if np.any(weights < 0.0):
+        raise ValueError("stratum weights must be non-negative")
+    mass = float(weights.sum())
+    if mass <= 0.0:
+        raise ValueError("stratum weights must not all be zero")
+    quotas = total * weights / mass
+    counts = np.floor(quotas).astype(np.int64)
+    remainder = total - int(counts.sum())
+    if remainder > 0:
+        order = np.argsort(-(quotas - counts), kind="stable")
+        counts[order[:remainder]] += 1
+    return [int(c) for c in counts]
+
+
+def sample_worlds_stratified(
+    plan: QueryPlan,
+    strata: Sequence[Tuple[Sequence[int], Sequence[int], float]],
+    num_samples: int,
+    rng: np.random.Generator,
+) -> WorldBatch:
+    """One batch of ``Z`` worlds stratified over forced edge states.
+
+    ``strata`` is a sequence of ``(forced_true_ids, forced_false_ids,
+    weight)`` triples partitioning the probability space; each stratum
+    gets a largest-remainder proportional share of ``num_samples`` and
+    its worlds are sampled with the stratum's edges pinned
+    (:func:`sample_worlds`).  Because allocation is proportional, the
+    *uniform* average over the combined batch is the stratified
+    estimator itself (up to integer rounding) — which is what lets the
+    selection-gain kernel treat a stratified batch exactly like a plain
+    one.  Zero-allocation strata are skipped.
+    """
+    counts = allocate_proportional([w for _, _, w in strata], num_samples)
+    blocks: List[WorldBatch] = []
+    for (forced_true, forced_false, _w), count in zip(strata, counts):
+        if count <= 0:
+            continue
+        blocks.append(
+            sample_worlds(plan, count, rng, forced_true, forced_false)
+        )
+    if not blocks:
+        raise ValueError("no stratum received a positive allocation")
+    return concat_batches(blocks)
 
 
 def extend_batch(batch: WorldBatch, rows: np.ndarray) -> WorldBatch:
@@ -192,13 +324,59 @@ def batch_reach(
     reached[sources] = batch.valid
     if plan.arc_src.size == 0:
         return reached
+    frontier = np.zeros(plan.num_nodes, dtype=bool)
+    frontier[sources] = True
+    return _sweep_fixpoint(plan, batch, reached, frontier, target_index)
 
+
+def batch_reach_resume(
+    plan: QueryPlan,
+    batch: WorldBatch,
+    reached: np.ndarray,
+    frontier_nodes: Sequence[int],
+) -> np.ndarray:
+    """Continue a reachability sweep from a partial reached state.
+
+    ``reached`` must be a *valid lower bound* of the fixpoint — every
+    set bit certified by an actual path in that world — and
+    ``frontier_nodes`` must contain every node whose row gained bits
+    since the state was last a fixpoint.  Because batch reachability is
+    monotone, resuming the sweep from exactly those rows converges to
+    the same fixpoint a from-scratch :func:`batch_reach` over the same
+    ``(plan, batch)`` would, bit for bit — this is what lets greedy
+    selection restart sweeps from a committed winner's endpoints
+    instead of re-sweeping all worlds from the query endpoints
+    (:mod:`repro.engine.selection`).
+
+    ``reached`` is updated in place (and also returned).  Rows for
+    nodes the plan added since the state was built must already be
+    present (zero-padded) — see
+    :meth:`repro.engine.selection.SelectionGainKernel`.
+    """
+    if reached.shape[0] != plan.num_nodes:
+        raise ValueError(
+            f"reached has {reached.shape[0]} rows for a plan with "
+            f"{plan.num_nodes} nodes; pad before resuming"
+        )
+    if plan.arc_src.size == 0:
+        return reached
+    frontier = np.zeros(plan.num_nodes, dtype=bool)
+    frontier[list(frontier_nodes)] = True
+    return _sweep_fixpoint(plan, batch, reached, frontier, None)
+
+
+def _sweep_fixpoint(
+    plan: QueryPlan,
+    batch: WorldBatch,
+    reached: np.ndarray,
+    frontier: np.ndarray,
+    target_index: Optional[int],
+) -> np.ndarray:
+    """Run frontier-restricted sweeps over ``reached`` until fixpoint."""
     arc_src = plan.arc_src
     arc_dst = plan.arc_dst
     arc_eid = plan.arc_eid
     alive = batch.alive
-    frontier = np.zeros(plan.num_nodes, dtype=bool)
-    frontier[sources] = True
     while True:
         active = np.flatnonzero(frontier[arc_src])
         if active.size == 0:
@@ -226,21 +404,63 @@ def batch_reach(
     return reached
 
 
+#: Auto-dispatch threshold for :func:`batch_reach_multi`: gated sweeps
+#: for rows of at least this many words, full-width fusion below.
+#: Measured by ``benchmarks/bench_sweep_gated.py``: at W=1 (Z<=64) the
+#: full-width pass wins (~2.5x vs per-source on frontier-dense graphs)
+#: because one wide gather beats pair bookkeeping, while from W=2 up
+#: the gated pass matches or beats it everywhere measured.
+GATED_MIN_WORDS = 2
+
+#: Gated-sweep chunking: at most this many pairs per chunk (measured —
+#: more pairs per call puts ``reduceat`` on its slow
+#: many-segments-per-call path) and at most this many bytes of gather
+#: buffer (keeps temporaries cache-resident at any row width; very wide
+#: rows shrink the pair count instead of growing the buffers).
+_GATED_CHUNK_PAIRS = 4096
+_GATED_CHUNK_BYTES = 2 << 20
+
+
+def _gated_chunk_pairs(words: int) -> int:
+    return max(
+        256, min(_GATED_CHUNK_PAIRS, _GATED_CHUNK_BYTES // (words * 8))
+    )
+
+
 def batch_reach_multi(
     plan: QueryPlan,
     batch: WorldBatch,
     source_indices: Sequence[int],
+    gated: Optional[bool] = None,
 ) -> np.ndarray:
     """Independent per-source reached-bitmasks in one fused sweep.
 
     Runs the same frontier-restricted fixpoint as :func:`batch_reach`,
-    but for ``S`` sources *at once*: the word axis is widened to
-    ``S * W`` words, block ``i`` holding source ``i``'s own BFS over the
-    same sampled worlds.  One gather/reduceat/scatter pass advances
-    every sample of every source, so an ``S``-source workload costs
-    ``max`` (not ``sum``) of the per-source sweep counts and the numpy
-    per-sweep overhead is amortized across the whole workload — the
-    multi-source kernel sharing that makes session pair workloads cheap.
+    but for ``S`` sources *at once* over the same sampled worlds, so an
+    ``S``-source workload costs ``max`` (not ``sum``) of the per-source
+    sweep counts and the numpy per-sweep overhead is amortized across
+    the whole workload — the multi-source kernel sharing that makes
+    session pair workloads cheap.
+
+    ``gated=True`` is the **frontier-gated** fusion: each sweep gathers
+    only the ``(arc, source)`` pairs whose source-local frontier is
+    active.  The per-source frontier is an ``(S, n)`` bool matrix;
+    indexing its arc-source columns yields an ``(S, A)`` activity mask
+    whose flat nonzero positions enumerate pairs already sorted by
+    ``(source block, arc position)`` — the arc table is
+    destination-sorted, so the flat scatter keys ``source * n + dst``
+    are non-decreasing and feed ``bitwise_or.reduceat`` directly, no
+    per-sweep sort needed.  Sweep work is therefore proportional to the
+    *active* frontier (``pairs * W`` words), not ``S * W`` words for
+    every union-frontier arc, which is what extends the fusion win from
+    narrow to wide batches; pairs are processed in cache-sized chunks
+    through preallocated gather buffers, and chunks whose scatter keys
+    are all distinct (the common case on sparse frontiers) skip
+    ``reduceat`` entirely.  ``gated=False`` keeps the legacy full-width
+    fusion; ``None`` (default) picks by row width
+    (:data:`GATED_MIN_WORDS`).  All three paths are bit-for-bit
+    identical (``benchmarks/bench_sweep_gated.py`` pins this along with
+    the speedups).
 
     Returns ``(num_nodes, S, W)``: row ``[v, i]`` is source ``i``'s
     reached-bits for node ``v``.  Unlike :func:`batch_reach` the union
@@ -248,6 +468,104 @@ def batch_reach_multi(
     (multi-source reachability) semantics.
     """
     sources = list(source_indices)
+    num_sources = len(sources)
+    words = batch.num_words
+    if gated is None:
+        gated = words >= GATED_MIN_WORDS
+    if not gated:
+        return _reach_multi_full_width(plan, batch, sources)
+    num_nodes = plan.num_nodes
+    # Source-major layout: block i is source i's own (n, W) sweep; the
+    # flat (S * n, W) view makes (source, node) pairs single scatter
+    # keys.  Transposed back to the public (n, S, W) contract on return.
+    reached = np.zeros((num_sources, num_nodes, words), dtype=np.uint64)
+    for i, src in enumerate(sources):
+        reached[i, src] = batch.valid
+    if plan.arc_src.size == 0 or num_sources == 0:
+        return reached.transpose(1, 0, 2)
+
+    flat = reached.reshape(num_sources * num_nodes, words)
+    arc_src = plan.arc_src
+    arc_dst = plan.arc_dst
+    arc_eid = plan.arc_eid
+    alive = batch.alive
+    num_arcs = arc_src.size
+    frontier = np.zeros((num_sources, num_nodes), dtype=bool)
+    for i, src in enumerate(sources):
+        frontier[i, src] = True
+    flat_frontier = frontier.reshape(-1)
+    chunk = _gated_chunk_pairs(words)
+    buf_rows = np.empty((chunk, words), dtype=np.uint64)
+    buf_alive = np.empty((chunk, words), dtype=np.uint64)
+    while True:
+        # (S, A) activity mask: pair (i, a) is live iff arc a's source
+        # node is on source i's frontier.  flatnonzero + divmod beats
+        # 2-D nonzero by a wide margin on these small masks.
+        active = frontier[:, arc_src]
+        pair_idx = np.flatnonzero(active.ravel())
+        num_pairs = pair_idx.size
+        if num_pairs == 0:
+            break
+        src_block = pair_idx // num_arcs
+        arc_pos = pair_idx - src_block * num_arcs
+        flat_frontier[:] = False
+        any_change = False
+        for lo in range(0, num_pairs, chunk):
+            hi = min(lo + chunk, num_pairs)
+            size = hi - lo
+            block_base = src_block[lo:hi] * num_nodes
+            pos = arc_pos[lo:hi]
+            np.take(
+                flat, block_base + arc_src[pos], axis=0,
+                out=buf_rows[:size],
+            )
+            np.take(alive, arc_eid[pos], axis=0, out=buf_alive[:size])
+            contrib = np.bitwise_and(
+                buf_rows[:size], buf_alive[:size], out=buf_rows[:size]
+            )
+            keys = block_base + arc_dst[pos]
+            boundary = np.empty(size, dtype=bool)
+            boundary[0] = True
+            np.not_equal(keys[1:], keys[:-1], out=boundary[1:])
+            if boundary.all():
+                # Every scatter key distinct: reduceat would be a
+                # per-segment copy loop; skip it.
+                agg = contrib
+                touched = keys
+            else:
+                starts = np.flatnonzero(boundary)
+                agg = np.bitwise_or.reduceat(contrib, starts, axis=0)
+                touched = keys[starts]
+            current = flat[touched]
+            updated = current | agg
+            changed = np.any(updated != current, axis=1)
+            if changed.any():
+                # A destination split across chunks is still exact:
+                # chunks run sequentially and scatter through |=-style
+                # read-modify-write, so later chunks see earlier bits.
+                any_change = True
+                changed_keys = touched[changed]
+                flat[changed_keys] = updated[changed]
+                flat_frontier[changed_keys] = True
+        if not any_change:
+            break
+    return reached.transpose(1, 0, 2)
+
+
+def _reach_multi_full_width(
+    plan: QueryPlan,
+    batch: WorldBatch,
+    sources: List[int],
+) -> np.ndarray:
+    """Legacy ungated fusion: every frontier arc at full ``S * W`` width.
+
+    Kept as the ``gated=False`` branch of :func:`batch_reach_multi` so
+    the dispatch crossover stays measurable
+    (``benchmarks/bench_sweep_gated.py``) and parity-testable.  A
+    frontier arc here is gathered for *all* sources even when only one
+    source's BFS is near it — cheap for narrow batches, byte-hostile
+    for wide ones.
+    """
     num_sources = len(sources)
     words = batch.num_words
     reached = np.zeros(

@@ -34,6 +34,22 @@ approximation is involved: the kernel's per-candidate estimate equals
 the brute-force estimate obtained by appending the candidate (with the
 same coin row) to the batch and re-running the full BFS.
 
+Incremental restarts across greedy rounds
+-----------------------------------------
+Committing a winner ``(u, v)`` with coin row ``c`` changes
+reachability *only* in worlds where ``c`` landed heads, and only
+downstream of the winner's endpoints.  Because batch reachability is
+monotone (the old fixpoint is a valid partial state of the new one),
+the next round's forward mask is obtained by seeding
+``F[v] |= c & F[u]`` (plus the swap for undirected edges) and resuming
+the sweep from the endpoints whose rows changed
+(:func:`~repro.engine.kernel.batch_reach_resume`) — instead of
+re-sweeping all ``Z`` worlds from ``s`` and ``t`` from scratch.  The
+restart converges to the exact same fixpoint bit for bit (pinned by
+``tests/test_selection_incremental.py``); ``incremental=False`` keeps
+the full re-sweep for comparison, and
+``benchmarks/bench_sweep_gated.py`` gates the per-round speedup.
+
 Determinism & tie-breaking
 --------------------------
 Candidate coin rows are drawn from a generator seeded on
@@ -43,16 +59,29 @@ draw identical coins and tie exactly.  Ties (equal popcount) are broken
 by the **lowest candidate index** (numpy ``argmax`` / stable sort
 first-max), matching the scalar greedy's first-maximum scan; the
 contract is pinned by ``tests/test_selection_semantics.py``.
+
+Custom base batches (per-stratum / per-block backends)
+------------------------------------------------------
+The gain identity above is exact *per world* no matter how the worlds
+were sampled, so the kernel also accepts a ``batch_factory`` building
+a query-specific base batch: recursive stratified sampling supplies a
+level-1 stratified batch (proportional allocation keeps the uniform
+batch average equal to the stratified estimate) and adaptive MC
+supplies a per-block batch grown until its confidence interval is
+tight — which is how ``rss`` and ``adaptive`` estimators drive
+vectorized selection (see
+:meth:`repro.reliability.estimator.ReliabilityEstimator.selection_backend`).
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..graph import UncertainGraph
+from .batch import _MULTI_SOURCE_WORD_BUDGET, resolve_fuse_max_words
 from .csr import (
     ProbEdge,
     QueryPlan,
@@ -63,13 +92,27 @@ from .csr import (
 from .kernel import (
     WorldBatch,
     batch_reach,
+    batch_reach_multi,
+    batch_reach_resume,
     bernoulli_row,
+    bernoulli_row_at,
     extend_batch,
     popcount,
     sample_worlds,
+    unpack_word_row,
 )
 
 Pair = Tuple[int, int]
+
+#: ``factory(graph, plan, source, target) -> WorldBatch`` building a
+#: query-specific base batch (see the module docstring).
+BatchFactory = Callable[
+    [UncertainGraph, QueryPlan, int, int], WorldBatch
+]
+
+#: Factory-built query batches cached per kernel (FIFO bound, matching
+#: the memory discipline of ``Session.world_batch``).
+_MAX_QUERY_BATCHES = 8
 
 #: Aggregates supported by :meth:`SelectionGainKernel.greedy_select_multi`.
 _AGGREGATES = {
@@ -113,6 +156,26 @@ class SelectionGainKernel:
         :class:`repro.api.Session`'s cached ones).  ``batch`` must be
         the batch a fresh ``default_rng(seed)`` would sample over
         ``plan`` for results to be reproducible across call sites.
+    batch_factory:
+        Query-specific base-batch builder
+        (``factory(graph, plan, source, target) -> WorldBatch``) for
+        estimators whose sampling is conditioned per query — the
+        per-stratum (``rss``) and per-block (``adaptive``) selection
+        backends.  Mutually exclusive with ``batch``; built lazily on
+        the first non-degenerate query and cached per ``(source,
+        target)``.
+    incremental:
+        Maintain the forward/reverse reached masks across greedy
+        rounds by restarting sweeps from each committed winner's
+        endpoints (monotone-exact; see the module docstring).
+        ``False`` re-sweeps from scratch every round — bit-identical,
+        only slower.
+    fuse_max_words:
+        Multi-source fusion threshold for the multi-pair mask sweeps
+        (``None`` -> the measured
+        :data:`repro.engine.batch.DEFAULT_FUSE_MAX_WORDS`, ``0``
+        forces per-source sweeps) — a perf-only knob, results are
+        bit-identical.  Sessions forward their own knob here.
     """
 
     def __init__(
@@ -122,20 +185,53 @@ class SelectionGainKernel:
         seed: int = 0,
         plan: Optional[QueryPlan] = None,
         batch: Optional[WorldBatch] = None,
+        batch_factory: Optional[BatchFactory] = None,
+        incremental: bool = True,
+        fuse_max_words: Optional[int] = None,
     ) -> None:
         if num_samples < 1:
             raise ValueError("num_samples must be positive")
+        if batch is not None and batch_factory is not None:
+            raise ValueError("pass either batch or batch_factory, not both")
         self.graph = graph
         self.num_samples = int(num_samples)
         self.seed = seed
+        self.incremental = incremental
+        self.fuse_max_words = resolve_fuse_max_words(fuse_max_words)
+        self.batch_factory = batch_factory
         self.plan = plan if plan is not None else compile_plan(graph)
-        self.batch = (
-            batch
-            if batch is not None
-            else sample_worlds(
+        if batch is not None:
+            self.batch: Optional[WorldBatch] = batch
+        elif batch_factory is None:
+            self.batch = sample_worlds(
                 self.plan, self.num_samples, np.random.default_rng(seed)
             )
-        )
+        else:
+            self.batch = None
+            self._query_batches: Dict[Pair, WorldBatch] = {}
+
+    def base_batch(self, source: int, target: int) -> WorldBatch:
+        """The base world batch gains for ``(source, target)`` use.
+
+        The shared eagerly-sampled batch, unless the kernel was built
+        with a ``batch_factory`` — then the factory's query-specific
+        batch, built once per ``(source, target)`` and cached.
+        """
+        if self.batch is not None:
+            return self.batch
+        key = (source, target)
+        cached = self._query_batches.get(key)
+        if cached is None:
+            cached = self.batch_factory(
+                self.graph, self.plan, source, target
+            )
+            while len(self._query_batches) >= _MAX_QUERY_BATCHES:
+                # FIFO bound, like the session's world-batch cache:
+                # long-lived kernels serving many (s, t) queries must
+                # not accumulate one full batch per pair forever.
+                self._query_batches.pop(next(iter(self._query_batches)))
+            self._query_batches[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # coin rows
@@ -144,6 +240,7 @@ class SelectionGainKernel:
         self,
         round_index: int,
         edges: Sequence[ProbEdge],
+        batch: Optional[WorldBatch] = None,
     ) -> np.ndarray:
         """Bit-packed coin rows ``(len(edges), W)`` for one greedy round.
 
@@ -155,10 +252,33 @@ class SelectionGainKernel:
         orientations of one undirected candidate draw the same coins
         and tie exactly — matching the scalar path, whose estimates are
         orientation-independent by construction.
+
+        ``batch`` fixes the word layout the rows must match (factory
+        batches may carry interior pad bits); defaults to the kernel's
+        shared batch, for which the rows are bit-identical to the
+        historical prefix-layout ones.  Factory kernels have no shared
+        batch — pass the query's (see :meth:`base_batch`).
         """
+        if batch is None:
+            batch = self.batch
+            if batch is None:
+                raise ValueError(
+                    "this kernel builds its base batch per query "
+                    "(batch_factory); pass batch=base_batch(source, "
+                    "target) explicitly"
+                )
         directed = self.plan.directed
         rows = np.zeros(
-            (len(edges), self.batch.num_words), dtype=np.uint64
+            (len(edges), batch.num_words), dtype=np.uint64
+        )
+        # Only factory batches can carry interior pad bits; plain
+        # prefix-layout batches keep the fast path (bit-identical
+        # either way — pinned in tests/test_selection_incremental).
+        # The valid-position scan is hoisted out of the per-row loop.
+        positions = (
+            np.flatnonzero(unpack_word_row(batch.valid))
+            if self.batch_factory is not None
+            else None
         )
         for i, (u, v, p) in enumerate(edges):
             if p <= 0.0:
@@ -167,7 +287,13 @@ class SelectionGainKernel:
                 [self.seed, round_index,
                  _edge_entropy(*canonical_key(directed, u, v))]
             )
-            rows[i] = bernoulli_row(p, self.num_samples, rng)
+            if positions is None:
+                rows[i] = bernoulli_row(p, batch.num_samples, rng)
+            else:
+                rows[i] = bernoulli_row_at(
+                    p, batch.num_samples, rng, positions,
+                    batch.num_words * 64,
+                )
         return rows
 
     # ------------------------------------------------------------------
@@ -191,10 +317,11 @@ class SelectionGainKernel:
         dst = self.plan.node_index(target)
         if source == target or src is None or dst is None:
             return np.zeros(len(candidates), dtype=np.int64)
-        gains, _ = self._round_gains(
-            self.plan, self.batch, src, dst, candidates, 0
-        )
-        return gains
+        batch = self.base_batch(source, target)
+        forward = batch_reach(self.plan, batch, [src])
+        reverse = batch_reach(self.plan.reverse_view(), batch, [dst])
+        rows = self.candidate_rows(0, candidates, batch)
+        return self._gains(self.plan, forward, reverse, dst, candidates, rows)
 
     def top_k(
         self,
@@ -224,39 +351,54 @@ class SelectionGainKernel:
     ) -> List[ProbEdge]:
         """Hill climbing: ``k`` rounds of batched marginal-gain argmax.
 
-        Each round costs one forward and one reverse batch BFS over the
-        graph-plus-selected overlay, then ``O(Z/64)`` words per
-        candidate.  The winner's coin row is appended to the batch, so
-        the next round's "current" reliability is conditioned on the
-        exact worlds in which the winner was evaluated — one persistent
-        world batch across the whole selection.
+        Round 0 costs one forward and one reverse batch BFS; later
+        rounds *resume* those sweeps from the previous winner's
+        endpoints restricted to the worlds where its coin landed heads
+        (monotone-exact, see the module docstring), then ``O(Z/64)``
+        words per candidate.  The winner's coin row is appended to the
+        batch, so the next round's "current" reliability is conditioned
+        on the exact worlds in which the winner was evaluated — one
+        persistent world batch across the whole selection.
         """
         if k < 1:
             raise ValueError("k must be positive")
         candidates = list(candidates)
         selected: List[ProbEdge] = []
         remaining = list(range(len(candidates)))
-        plan, batch = self.plan, self.batch
+        plan = self.plan
         src = plan.node_index(source)
         dst = plan.node_index(target)
         # Degenerate queries (s == t, or an endpoint the graph has never
         # seen) have constant objective: the scalar greedy sees all-equal
         # values and always pops the lowest remaining index.
         degenerate = source == target or src is None or dst is None
+        batch = None if degenerate else self.base_batch(source, target)
+        forward: Optional[np.ndarray] = None
+        reverse: Optional[np.ndarray] = None
         while len(selected) < k and remaining:
             if degenerate:
                 selected.append(candidates[remaining.pop(0)])
                 continue
+            if forward is None:
+                forward = batch_reach(plan, batch, [src])
+                reverse = batch_reach(plan.reverse_view(), batch, [dst])
             round_index = len(selected)
             pool = [candidates[j] for j in remaining]
-            gains, rows = self._round_gains(
-                plan, batch, src, dst, pool, round_index
-            )
+            rows = self.candidate_rows(round_index, pool, batch)
+            gains = self._gains(plan, forward, reverse, dst, pool, rows)
             best = int(np.argmax(gains))  # first max = lowest index
             edge = candidates[remaining.pop(best)]
             selected.append(edge)
+            if len(selected) >= k or not remaining:
+                break  # no further rounds to prepare state for
             plan = extend_with_overlay(plan, [edge])
             batch = extend_batch(batch, rows[best][None, :])
+            if self.incremental:
+                forward, reverse = self._advance_masks(
+                    plan, batch, forward, reverse, edge, rows[best]
+                )
+            else:
+                forward = reverse = None  # full re-sweep next round
         return selected
 
     # ------------------------------------------------------------------
@@ -271,14 +413,20 @@ class SelectionGainKernel:
     ) -> List[ProbEdge]:
         """Hill climbing on an aggregate of several ``(s, t)`` pairs.
 
-        Per round: one forward sweep per distinct source, one reverse
-        sweep per distinct target, then every candidate's updated
-        per-pair hit counts are pure bitwise ops; the aggregate
-        (``avg`` / ``min`` / ``max``) is taken over the pair axis and
-        the first-max candidate wins.  The scalar equivalent re-runs
-        ``pair_reliabilities`` once per candidate per round; matching
-        its dict-valued objective, duplicate pairs are collapsed before
-        aggregation (each distinct pair counts once).
+        Round 0 runs one frontier-gated fused multi-source sweep over
+        the distinct sources (:func:`~repro.engine.kernel.batch_reach_multi`)
+        and one over the distinct targets of the reverse plan; every
+        candidate's updated per-pair hit counts are then pure bitwise
+        ops.  The aggregate (``avg`` / ``min`` / ``max``) is taken over
+        the pair axis and the first-max candidate wins.  Later rounds
+        advance every maintained mask incrementally from the committed
+        winner's endpoints (worlds where its coin landed heads) instead
+        of re-sweeping, exactly like :meth:`greedy_select`.  The scalar
+        equivalent re-runs ``pair_reliabilities`` once per candidate
+        per round; matching its dict-valued objective, duplicate pairs
+        are collapsed before aggregation (each distinct pair counts
+        once).  With a ``batch_factory``, the first pair seeds the
+        factory (one shared batch must serve every pair).
         """
         if k < 1:
             raise ValueError("k must be positive")
@@ -295,48 +443,186 @@ class SelectionGainKernel:
         candidates = list(candidates)
         selected: List[ProbEdge] = []
         remaining = list(range(len(candidates)))
-        plan, batch = self.plan, self.batch
+        plan = self.plan
+        # Seed a query-conditioned factory with the first *useful* pair:
+        # a degenerate one (s == t, unknown endpoint) would collapse an
+        # adaptive backend's shared batch to a single block for every
+        # pair in the workload.
+        seed_pair = next(
+            (
+                (s, t) for s, t in pairs
+                if s != t
+                and plan.node_index(s) is not None
+                and plan.node_index(t) is not None
+            ),
+            pairs[0],
+        )
+        batch = self.base_batch(*seed_pair)
+        forward: Optional[Dict[int, np.ndarray]] = None
+        reverse: Optional[Dict[int, np.ndarray]] = None
         while len(selected) < k and remaining:
+            if forward is None:
+                forward, reverse = self._pair_masks(plan, batch, pairs)
             round_index = len(selected)
             pool = [candidates[j] for j in remaining]
-            rows = self.candidate_rows(round_index, pool)
-            counts = self._pair_counts(plan, batch, pairs, pool, rows)
+            rows = self.candidate_rows(round_index, pool, batch)
+            counts = self._pair_counts(
+                plan, batch, pairs, pool, rows, forward, reverse
+            )
             best = int(np.argmax(agg(counts)))  # first max = lowest index
             edge = candidates[remaining.pop(best)]
             selected.append(edge)
+            if len(selected) >= k or not remaining:
+                break
             plan = extend_with_overlay(plan, [edge])
             batch = extend_batch(batch, rows[best][None, :])
+            if self.incremental:
+                row = rows[best]
+                forward = {
+                    s: self._advance_forward(plan, batch, mask, edge, row)
+                    for s, mask in forward.items()
+                }
+                reverse = {
+                    t: self._advance_reverse(plan, batch, mask, edge, row)
+                    for t, mask in reverse.items()
+                }
+                # A pair endpoint unknown to the base graph may have
+                # just been interned by the committed overlay edge;
+                # give it a fresh mask (the per-round rebuild used to
+                # pick these up implicitly).
+                for s, t in pairs:
+                    si = plan.node_index(s)
+                    if si is not None and s not in forward:
+                        forward[s] = batch_reach(plan, batch, [si])
+                    ti = plan.node_index(t)
+                    if ti is not None and t not in reverse:
+                        reverse[t] = batch_reach(
+                            plan.reverse_view(), batch, [ti]
+                        )
+            else:
+                forward = reverse = None
         return selected
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _round_gains(
+    def _gains(
         self,
         plan: QueryPlan,
-        batch: WorldBatch,
-        src: int,
+        forward: np.ndarray,
+        reverse: np.ndarray,
         dst: int,
         pool: Sequence[ProbEdge],
-        round_index: int,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """``(gains, rows)`` for one round's candidate pool.
+        rows: np.ndarray,
+    ) -> np.ndarray:
+        """New-world hit counts for one round's candidate pool.
 
-        Two sweeps — forward from ``src``, reverse into ``dst`` — then
-        one vectorized bitwise pass over the pool.
+        ``forward`` / ``reverse`` are the round's reached masks (fresh
+        sweeps or incrementally maintained — identical either way);
+        the pool is scored in one vectorized bitwise pass.
         """
-        forward = batch_reach(plan, batch, [src])
-        reverse = batch_reach(plan.reverse_view(), batch, [dst])
         already = forward[dst]
-        rows = self.candidate_rows(round_index, pool)
         via = self._via_masks(
             plan, forward, reverse, self._resolve_endpoints(plan, pool)
         )
         # ~already sets pad bits, but coin rows keep pad bits zero, so
         # the AND chain stays pad-clean and popcounts stay exact.
         new_hits = rows & via & ~already[None, :]
-        gains = popcount(new_hits).sum(axis=1, dtype=np.int64)
-        return gains, rows
+        return popcount(new_hits).sum(axis=1, dtype=np.int64)
+
+    def _advance_masks(
+        self,
+        plan: QueryPlan,
+        batch: WorldBatch,
+        forward: np.ndarray,
+        reverse: np.ndarray,
+        edge: ProbEdge,
+        row: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fold a committed winner into the maintained ``(F, R)`` masks."""
+        return (
+            self._advance_forward(plan, batch, forward, edge, row),
+            self._advance_reverse(plan, batch, reverse, edge, row),
+        )
+
+    def _advance_forward(
+        self,
+        plan: QueryPlan,
+        batch: WorldBatch,
+        reached: np.ndarray,
+        edge: ProbEdge,
+        row: np.ndarray,
+    ) -> np.ndarray:
+        """Resume a forward mask after committing ``edge`` with ``row``."""
+        u, v, _p = edge
+        return self._advance(
+            plan, batch, reached, plan.node_index(u), plan.node_index(v),
+            row,
+        )
+
+    def _advance_reverse(
+        self,
+        plan: QueryPlan,
+        batch: WorldBatch,
+        reached: np.ndarray,
+        edge: ProbEdge,
+        row: np.ndarray,
+    ) -> np.ndarray:
+        """Resume a reverse (into-target) mask after committing ``edge``.
+
+        On the reverse plan the committed arc ``u -> v`` is traversed
+        ``v -> u``: ``u`` reaches the target via ``v`` in worlds where
+        the winner's coin landed heads.
+        """
+        u, v, _p = edge
+        return self._advance(
+            plan.reverse_view(), batch, reached,
+            plan.node_index(v), plan.node_index(u), row,
+        )
+
+    @staticmethod
+    def _advance(
+        plan: QueryPlan,
+        batch: WorldBatch,
+        reached: np.ndarray,
+        from_idx: Optional[int],
+        to_idx: Optional[int],
+        row: np.ndarray,
+    ) -> np.ndarray:
+        """Seed the winner's newly-reachable worlds and resume the sweep.
+
+        ``reached[to] |= row & reached[from]`` (and the swap for
+        undirected plans) is exactly the set of worlds the new edge
+        connects that weren't connected before; restarting the sweep
+        from the endpoints whose rows changed converges to the full
+        re-sweep's fixpoint because reachability is monotone
+        (:func:`~repro.engine.kernel.batch_reach_resume`).  No change
+        means the mask already is the fixpoint and the sweep is
+        skipped entirely.
+        """
+        if reached.shape[0] < plan.num_nodes:
+            # The winner introduced overlay-only endpoints: their rows
+            # start all-zero (unreachable until an edge connects them).
+            pad = np.zeros(
+                (plan.num_nodes - reached.shape[0], reached.shape[1]),
+                dtype=np.uint64,
+            )
+            reached = np.concatenate([reached, pad])
+        if from_idx is None or to_idx is None:  # pragma: no cover
+            return reached
+        frontier: List[int] = []
+        new_to = row & reached[from_idx] & ~reached[to_idx]
+        if new_to.any():
+            reached[to_idx] |= new_to
+            frontier.append(to_idx)
+        if not plan.directed:
+            new_from = row & reached[to_idx] & ~reached[from_idx]
+            if new_from.any():
+                reached[from_idx] |= new_from
+                frontier.append(from_idx)
+        if frontier:
+            batch_reach_resume(plan, batch, reached, frontier)
+        return reached
 
     @staticmethod
     def _resolve_endpoints(
@@ -379,6 +665,60 @@ class SelectionGainKernel:
         via[~known] = 0
         return via
 
+    def _pair_masks(
+        self,
+        plan: QueryPlan,
+        batch: WorldBatch,
+        pairs: Sequence[Pair],
+    ) -> Tuple[Dict[int, np.ndarray], Dict[int, np.ndarray]]:
+        """Forward masks per distinct source, reverse per distinct target.
+
+        Both directions run as one frontier-gated fused multi-source
+        sweep (:func:`~repro.engine.kernel.batch_reach_multi`) — the
+        wide-batch fusion and the selection kernel sharing one code
+        path.  Slices are copied out so each mask can be advanced
+        independently across rounds.
+        """
+        sources: List[int] = []
+        targets: List[int] = []
+        for s, t in pairs:
+            if plan.node_index(s) is not None and s not in sources:
+                sources.append(s)
+            if plan.node_index(t) is not None and t not in targets:
+                targets.append(t)
+        # Honor the fusion knob (0 -> per-source sweeps) and chunk
+        # fused groups by the reached-state word budget (S * W * n
+        # words per pass), like the session layer's pair sweeps.
+        if batch.num_words > self.fuse_max_words:
+            chunk = 1
+        else:
+            chunk = max(
+                1,
+                _MULTI_SOURCE_WORD_BUDGET
+                // max(plan.num_nodes * batch.num_words, 1),
+            )
+        forward: Dict[int, np.ndarray] = {}
+        reverse: Dict[int, np.ndarray] = {}
+        for out, nodes, sweep_plan in (
+            (forward, sources, plan),
+            (reverse, targets, plan.reverse_view()),
+        ):
+            for lo in range(0, len(nodes), chunk):
+                group = nodes[lo:lo + chunk]
+                if len(group) == 1:
+                    out[group[0]] = batch_reach(
+                        sweep_plan, batch,
+                        [plan.node_index(group[0])],
+                    )
+                    continue
+                fused = batch_reach_multi(
+                    sweep_plan, batch,
+                    [plan.node_index(n) for n in group],
+                )
+                for i, n in enumerate(group):
+                    out[n] = np.ascontiguousarray(fused[:, i])
+        return forward, reverse
+
     def _pair_counts(
         self,
         plan: QueryPlan,
@@ -386,28 +726,20 @@ class SelectionGainKernel:
         pairs: Sequence[Pair],
         pool: Sequence[ProbEdge],
         rows: np.ndarray,
+        forward: Dict[int, np.ndarray],
+        reverse: Dict[int, np.ndarray],
     ) -> np.ndarray:
         """Updated hit counts ``(num_pairs, num_candidates)`` per pair.
 
         Entry ``[p, j]`` is the number of worlds in which pair ``p`` is
         connected after adding candidate ``j`` alone — the exact batch
-        count, reusing one sweep per distinct source / target.
+        count against the round's maintained masks.
         """
-        forward: Dict[int, np.ndarray] = {}
-        reverse: Dict[int, np.ndarray] = {}
-        rplan = plan.reverse_view()
-        for s, t in pairs:
-            si = plan.node_index(s)
-            ti = plan.node_index(t)
-            if si is not None and s not in forward:
-                forward[s] = batch_reach(plan, batch, [si])
-            if ti is not None and t not in reverse:
-                reverse[t] = batch_reach(rplan, batch, [ti])
         endpoints = self._resolve_endpoints(plan, pool)
         counts = np.empty((len(pairs), len(pool)), dtype=np.int64)
         for p_i, (s, t) in enumerate(pairs):
             if s == t:
-                counts[p_i] = self.num_samples
+                counts[p_i] = batch.num_samples
                 continue
             ti = plan.node_index(t)
             if s not in forward or ti is None:

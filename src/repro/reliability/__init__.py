@@ -3,6 +3,7 @@
 from .estimator import (
     Overlay,
     ReliabilityEstimator,
+    SelectionBackend,
     build_overlay,
     resolve_selection_backend,
     reverse_overlay,
@@ -39,6 +40,7 @@ from .registry import (
 __all__ = [
     "Overlay",
     "ReliabilityEstimator",
+    "SelectionBackend",
     "build_overlay",
     "resolve_selection_backend",
     "reverse_overlay",

@@ -15,19 +15,30 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..graph import UncertainGraph
-from .estimator import Overlay, ReliabilityEstimator, build_overlay
+from .estimator import (
+    Overlay,
+    ReliabilityEstimator,
+    SelectionBackend,
+    build_overlay,
+)
 from .monte_carlo import MonteCarloEstimator
 
 try:
+    import numpy as np
+
     from ..engine import (
         VectorizedSamplingEngine,
         batch_reach,
         build_query_plan,
+        concat_batches,
         popcount,
+        sample_worlds,
     )
 except ImportError:  # pragma: no cover - numpy-less fallback
+    np = None  # type: ignore[assignment]
     VectorizedSamplingEngine = None  # type: ignore[assignment,misc]
     batch_reach = build_query_plan = popcount = None  # type: ignore[assignment]
+    concat_batches = sample_worlds = None  # type: ignore[assignment]
 
 #: z-scores for common confidence levels.
 _Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
@@ -128,6 +139,58 @@ class AdaptiveMonteCarlo(ReliabilityEstimator):
         self._engine = (
             VectorizedSamplingEngine(seed) if vectorized else None
         )
+
+    # ------------------------------------------------------------------
+    # batched selection backend (per-block shared worlds)
+    # ------------------------------------------------------------------
+    def selection_backend(self):
+        """Per-block shared-world backend on the engine path.
+
+        Selection loops score every candidate against one shared batch
+        built by :meth:`selection_batch` — grown block by block, like
+        the estimator's own engine path, until the Wilson interval
+        around the *base* query's hit rate is tight (or the budget cap
+        is hit).  So ``Z`` is still chosen adaptively per query, but
+        all candidates of that query share one fixed batch, which is
+        what the gain kernel needs for comparable popcount gains.
+        ``None`` on the scalar path.
+        """
+        if self._engine is None:
+            return None
+        return SelectionBackend(
+            self.max_samples, self._engine.seed,
+            make_batch=self.selection_batch,
+        )
+
+    def selection_batch(self, graph, plan, source, target):
+        """Adaptively-sized base batch for shared-world selection.
+
+        Blocks of ``block_size`` worlds are drawn from one generator
+        seeded like the estimator; after each block the base
+        ``source -> target`` hit rate's Wilson interval decides whether
+        to stop.  The concatenated blocks
+        (:func:`~repro.engine.kernel.concat_batches`) behave exactly
+        like one batch of the accumulated ``Z``.  Deterministic for a
+        fixed seed; degenerate endpoints stop after one block.
+        """
+        rng = np.random.default_rng(self._engine.seed)
+        src = plan.node_index(source)
+        dst = plan.node_index(target)
+        blocks = []
+        hits, samples = 0, 0
+        while samples < self.max_samples:
+            size = min(self.block_size, self.max_samples - samples)
+            block = sample_worlds(plan, size, rng)
+            blocks.append(block)
+            samples += size
+            if src is None or dst is None or src == dst:
+                break  # nothing to adapt on
+            reached = batch_reach(plan, block, [src], target_index=dst)
+            hits += int(popcount(reached[dst]).sum())
+            lower, upper = wilson_interval(hits, samples, self.confidence)
+            if (upper - lower) / 2.0 <= self.target_half_width:
+                break
+        return concat_batches(blocks)
 
     # ------------------------------------------------------------------
     def estimate(

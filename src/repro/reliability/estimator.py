@@ -22,6 +22,34 @@ ProbEdge = Tuple[int, int, float]
 Overlay = Optional[Iterable[ProbEdge]]
 
 
+class SelectionBackend(tuple):
+    """Descriptor of an estimator's shared-world selection backend.
+
+    Behaves exactly like the legacy ``(num_samples, seed)`` 2-tuple —
+    unpacking and equality against plain tuples keep working — plus an
+    optional ``make_batch`` factory
+    (``make_batch(graph, plan, source, target) -> WorldBatch``) for
+    estimators whose base batch is conditioned per query: recursive
+    stratified sampling builds a level-1 *per-stratum* batch and
+    adaptive MC a *per-block* batch grown until its confidence interval
+    is tight.  ``make_batch=None`` means the plain i.i.d. batch a fresh
+    engine seeded ``seed`` would sample (plain MC / lazy propagation).
+    """
+
+    def __new__(cls, num_samples: int, seed: int, make_batch=None):
+        self = super().__new__(cls, (int(num_samples), int(seed)))
+        self.make_batch = make_batch
+        return self
+
+    @property
+    def num_samples(self) -> int:
+        return self[0]
+
+    @property
+    def seed(self) -> int:
+        return self[1]
+
+
 def build_overlay(
     graph: UncertainGraph,
     extra_edges: Overlay,
@@ -42,7 +70,11 @@ def resolve_selection_backend(estimator) -> Optional[Tuple[int, int]]:
 
     The single place routing layers (baselines, sessions) consult, so
     third-party estimators only need the method — not the base class —
-    to opt into batched selection.
+    to opt into batched selection.  The result is ``None`` or a
+    ``(num_samples, seed)`` tuple, possibly a :class:`SelectionBackend`
+    carrying a ``make_batch`` factory (read with
+    ``getattr(backend, "make_batch", None)`` so plain tuples keep
+    working).
     """
     backend = getattr(estimator, "selection_backend", None)
     return backend() if callable(backend) else None
@@ -141,13 +173,17 @@ class ReliabilityEstimator(ABC):
         estimator's per-candidate estimates through the shared-world
         gain kernel (:class:`repro.engine.selection.SelectionGainKernel`).
 
-        Only estimators whose estimate is a plain hit-rate over ``Z``
-        i.i.d. engine-sampled worlds qualify — plain Monte Carlo and
-        lazy propagation on the vectorized engine.  Stratified and
-        adaptive samplers condition or grow their sample sets, so their
-        per-candidate estimates are not a popcount over one shared
-        batch; they return ``None`` (the default) and selection loops
-        fall back to per-candidate estimation.
+        Estimators whose estimate is a plain hit-rate over ``Z`` i.i.d.
+        engine-sampled worlds (plain Monte Carlo, lazy propagation)
+        return the bare tuple; estimators whose sampling is conditioned
+        per query return a :class:`SelectionBackend` whose
+        ``make_batch`` factory builds the query-specific base batch the
+        kernel scores candidates against — per-stratum for recursive
+        stratified sampling, per-block for adaptive MC.  The gain
+        identity is exact per world regardless of how the worlds were
+        sampled, so every backend gets the same ``O(Z/64)``-words-per-
+        candidate rounds.  ``None`` (the default, and all scalar paths)
+        sends selection loops to per-candidate estimation.
         """
         return None
 

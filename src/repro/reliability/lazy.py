@@ -26,7 +26,12 @@ from collections import deque
 from typing import Dict, Optional, Tuple
 
 from ..graph import UncertainGraph
-from .estimator import Overlay, ReliabilityEstimator, build_overlay
+from .estimator import (
+    Overlay,
+    ReliabilityEstimator,
+    SelectionBackend,
+    build_overlay,
+)
 
 try:
     from ..engine import VectorizedSamplingEngine
@@ -78,7 +83,7 @@ class LazyPropagationEstimator(ReliabilityEstimator):
         selection loops may batch it through the gain kernel."""
         if self._engine is None:
             return None
-        return (self.num_samples, self._engine.seed)
+        return SelectionBackend(self.num_samples, self._engine.seed)
 
     # ------------------------------------------------------------------
     def reliability(

@@ -24,7 +24,12 @@ from collections import deque
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..graph import UncertainGraph
-from .estimator import Overlay, ReliabilityEstimator, build_overlay
+from .estimator import (
+    Overlay,
+    ReliabilityEstimator,
+    SelectionBackend,
+    build_overlay,
+)
 
 try:
     from ..engine import VectorizedSamplingEngine
@@ -79,7 +84,7 @@ class MonteCarloEstimator(ReliabilityEstimator):
         selection-gain kernel; ``None`` on the scalar path."""
         if self._engine is None:
             return None
-        return (self.num_samples, self._engine.seed)
+        return SelectionBackend(self.num_samples, self._engine.seed)
 
     # ------------------------------------------------------------------
     def reliability(

@@ -23,6 +23,32 @@ the capabilities the session layer needs to plan execution:
     ``Z`` is a fixed budget.  Adaptive estimators choose ``Z`` at query
     time, which is exactly what a pre-sampled shared batch cannot serve.
 
+Selection-backend support matrix
+--------------------------------
+Every registered estimator's *vectorized* instance reports an engine
+:meth:`~repro.reliability.estimator.ReliabilityEstimator.selection_backend`,
+so ``hill_climbing`` / ``individual_top_k`` (and session maximize
+queries) auto-route all of them through the batched selection-gain
+kernel (:mod:`repro.engine.selection`); scalar instances
+(``vectorized=False``) return ``None`` and keep the per-candidate loop.
+What differs is the *base batch* candidates are scored against:
+
+========== =============== ============================================
+name       shares_worlds   selection_backend base batch
+========== =============== ============================================
+mc         yes             plain i.i.d. shared batch (session-cachable)
+lazy       yes             plain i.i.d. shared batch (session-cachable)
+rss        no              per-stratum: level-1 stratified batch via
+                           ``make_batch`` (proportional allocation)
+adaptive   no              per-block: batch grown until the base
+                           query's Wilson interval is tight
+========== =============== ============================================
+
+``shares_worlds`` stays about *reliability queries* (may a session
+answer them from one cached fixed-Z batch); the factory-built selection
+batches of ``rss`` / ``adaptive`` are query-conditioned, so those two
+still run reliability queries individually.
+
 Third-party estimators can join via :func:`register_estimator`; every
 registered name immediately works in the CLI (``--estimator``), the
 facade, and ``Session`` workloads.

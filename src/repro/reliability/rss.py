@@ -20,13 +20,27 @@ from collections import deque
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..graph import UncertainGraph
-from .estimator import Overlay, ReliabilityEstimator, build_overlay
+from .estimator import (
+    Overlay,
+    ReliabilityEstimator,
+    SelectionBackend,
+    build_overlay,
+)
 
 try:
-    from ..engine import VectorizedSamplingEngine, build_query_plan
+    import numpy as np
+
+    from ..engine import (
+        VectorizedSamplingEngine,
+        build_query_plan,
+        sample_worlds,
+        sample_worlds_stratified,
+    )
 except ImportError:  # pragma: no cover - numpy-less fallback
+    np = None  # type: ignore[assignment]
     VectorizedSamplingEngine = None  # type: ignore[assignment,misc]
     build_query_plan = None  # type: ignore[assignment]
+    sample_worlds = sample_worlds_stratified = None  # type: ignore
 
 EdgeKey = Tuple[int, int]
 
@@ -107,6 +121,63 @@ class RecursiveStratifiedSampler(ReliabilityEstimator):
             VectorizedSamplingEngine(seed) if vectorized else None
         )
         self._active_plan = None
+
+    # ------------------------------------------------------------------
+    # batched selection backend (per-stratum shared worlds)
+    # ------------------------------------------------------------------
+    def selection_backend(self):
+        """Per-stratum shared-world backend on the engine path.
+
+        Selection loops score every candidate against one *stratified*
+        base batch built by :meth:`selection_batch`: the estimator's
+        level-1 stratification of the query's source frontier, with
+        samples allocated proportionally to stratum probability — the
+        same variance-reduction idea as the recursive estimate, flat
+        enough to serve as a single shared world batch.  ``None`` on
+        the scalar path (selection then stays per-candidate).
+        """
+        if self._engine is None:
+            return None
+        return SelectionBackend(
+            self.num_samples, self._engine.seed,
+            make_batch=self.selection_batch,
+        )
+
+    def selection_batch(self, graph, plan, source, target):
+        """Level-1 stratified world batch for shared-world selection.
+
+        Strata follow the estimator's own scheme (§5.3 / Li et al.):
+        rank the undetermined edges on the frontier of ``source``'s
+        certain region, stratum ``i`` pins edges ``1..i-1`` absent and
+        edge ``i`` present, the remainder stratum pins all ``r``
+        absent.  Proportional largest-remainder allocation keeps the
+        uniform batch average equal to the stratified estimator (up to
+        integer rounding), so the gain kernel can treat the batch
+        exactly like a plain one.  Deterministic for a fixed seed; no
+        strata (no undetermined frontier) degrades to plain sampling.
+        """
+        rng = np.random.default_rng(self._engine.seed)
+        if source not in graph:
+            return sample_worlds(plan, self.num_samples, rng)
+        adj = _Adjacency(graph, {})
+        certain = self._certain_region(adj, source, {})
+        ranked = self._select_strata_edges(adj, certain, {})
+        strata = []
+        absent: List[int] = []
+        prefix = 1.0
+        for _u, _v, p, key in ranked:
+            ids = list(plan.edge_index.get(key, ()))
+            if not ids:  # pragma: no cover - plan/graph mismatch guard
+                continue
+            strata.append((ids, list(absent), prefix * p))
+            absent.extend(ids)
+            prefix *= 1.0 - p
+        if not strata:
+            return sample_worlds(plan, self.num_samples, rng)
+        strata.append(([], absent, prefix))
+        return sample_worlds_stratified(
+            plan, strata, self.num_samples, rng
+        )
 
     # ------------------------------------------------------------------
     def reliability(

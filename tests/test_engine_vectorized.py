@@ -353,20 +353,43 @@ class TestMultiSourceFusedSweep:
         assert int(popcount(reached[0, 0]).sum()) == 64  # own source row
         assert int(popcount(reached[1, 0]).sum()) == 0
 
+    @pytest.mark.parametrize("z", [64, 256, 1024, 4096])
+    def test_bitwise_parity_across_widths_and_gating(self, medium_graph, z):
+        """Gated, ungated-fused and per-source sweeps agree bit for bit
+        across the full width range (W = 1 .. 64)."""
+        from repro.engine import batch_reach, batch_reach_multi, sample_worlds
+
+        plan = compile_plan(medium_graph)
+        batch = sample_worlds(plan, z, np.random.default_rng(11))
+        sources = [0, 3, 7, 13, 21, 29]
+        gated = batch_reach_multi(plan, batch, sources, gated=True)
+        ungated = batch_reach_multi(plan, batch, sources, gated=False)
+        auto = batch_reach_multi(plan, batch, sources)
+        for i, src in enumerate(sources):
+            single = batch_reach(plan, batch, [src])
+            assert np.array_equal(gated[:, i], single), (z, src)
+            assert np.array_equal(ungated[:, i], single), (z, src)
+            assert np.array_equal(auto[:, i], single), (z, src)
+
     @pytest.mark.parametrize("z", [64, 1000])
-    def test_pair_hit_fractions_same_on_both_paths(self, medium_graph, z):
-        # z=64 routes through the fused pass, z=1000 through per-source
-        # sweeps; both must agree with independent single-pair answers.
+    @pytest.mark.parametrize("fuse_max_words", [0, 1, None])
+    def test_pair_hit_fractions_same_on_every_dispatch_path(
+        self, medium_graph, z, fuse_max_words
+    ):
+        # fuse_max_words=0 forces per-source sweeps, 1 fuses only
+        # single-word batches, None uses the measured default (fused on
+        # both widths here); all paths must agree with independent
+        # single-pair answers.
         from repro.engine import pair_hit_fractions, sample_worlds
-        from repro.engine.batch import _FUSE_MAX_WORDS
 
         plan = compile_plan(medium_graph)
         batch = sample_worlds(plan, z, np.random.default_rng(6))
         pairs = [(0, 10), (7, 20), (13, 5), (0, 25), (2, 2), (0, 999)]
-        fused_expected = num_words(z) <= _FUSE_MAX_WORDS
-        values = pair_hit_fractions(plan, batch, pairs, z)
+        values = pair_hit_fractions(
+            plan, batch, pairs, z, fuse_max_words=fuse_max_words
+        )
         assert values[(2, 2)] == 1.0
         assert values[(0, 999)] == 0.0
         for pair in [(0, 10), (7, 20), (13, 5), (0, 25)]:
             solo = pair_hit_fractions(plan, batch, [pair], z)
-            assert values[pair] == solo[pair], (pair, fused_expected)
+            assert values[pair] == solo[pair], (pair, fuse_max_words)

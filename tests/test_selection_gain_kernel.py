@@ -292,14 +292,27 @@ class TestSelectionBackend:
             est = make_estimator(name, 123, seed=5)
             assert est.selection_backend() == (123, 5)
 
-    def test_scalar_and_non_iid_samplers_do_not(self):
-        assert make_estimator("mc", 100, vectorized=False).selection_backend() is None
-        assert make_estimator("rss", 100).selection_backend() is None
-        assert make_estimator("adaptive", 100).selection_backend() is None
+    def test_scalar_samplers_do_not(self):
+        for name in ("mc", "lazy", "rss", "adaptive"):
+            est = make_estimator(name, 100, vectorized=False)
+            assert est.selection_backend() is None, name
+
+    def test_conditioned_samplers_expose_factory_backend(self):
+        """rss / adaptive route selection through the gain kernel via a
+        query-conditioned base-batch factory."""
+        for name in ("rss", "adaptive"):
+            est = make_estimator(name, 120, seed=7)
+            backend = est.selection_backend()
+            assert backend is not None, name
+            num_samples, seed = backend  # legacy tuple contract
+            assert num_samples == 120 and seed == 7
+            assert callable(backend.make_batch), name
+        # plain-batch backends carry no factory
+        assert make_estimator("mc", 10).selection_backend().make_batch is None
 
     def test_vectorized_true_requires_backend(self):
         graph = build_graph(False)
-        est = make_estimator("rss", 50)
+        est = make_estimator("rss", 50, vectorized=False)
         with pytest.raises(ValueError, match="selection"):
             hill_climbing(
                 graph, 0, 1, 1, [(0, 5)], ZETA, est, vectorized=True
@@ -352,7 +365,17 @@ class TestSessionKernel:
         kernel = session.selection_kernel(est)
         assert kernel is not None
         assert kernel.batch is session.world_batch(96, 11)[0]
-        assert session.selection_kernel(make_estimator("rss", 96)) is None
+        # Factory backends (per-stratum rss) reuse the session's plan
+        # but build their query-conditioned batch lazily per query.
+        rss_kernel = session.selection_kernel(make_estimator("rss", 96))
+        assert rss_kernel is not None
+        assert rss_kernel.plan is session.plan()[0]
+        assert rss_kernel.batch is None
+        assert rss_kernel.batch_factory is not None
+        # Scalar estimators still have no kernel.
+        assert session.selection_kernel(
+            make_estimator("rss", 96, vectorized=False)
+        ) is None
 
     def test_session_kernel_selection_matches_fresh_kernel(self):
         from repro.api import Session
