@@ -5,10 +5,15 @@ then compares their cost/variance trade-off on a larger one — the
 substance of the paper's Tables 6 and 7.
 
 Run:  python examples/estimator_tour.py
+      python examples/estimator_tour.py --smoke   # CI-sized
 """
 
 import statistics
+import sys
 import time
+
+#: CI runs every example with --smoke: same story, smaller numbers.
+SMOKE = "--smoke" in sys.argv
 
 from repro import datasets
 from repro.graph import UncertainGraph
@@ -28,10 +33,11 @@ def main() -> None:
     )
     truth = exact_reliability(bridge, 0, 3)
     print(f"Wheatstone bridge, all p=0.5: exact R(0,3) = {truth:.4f}")
+    agree_z = 4000 if SMOKE else 20000
     for name, est in [
-        ("monte carlo", MonteCarloEstimator(20000, seed=1)),
-        ("rss        ", RecursiveStratifiedSampler(5000, seed=1)),
-        ("lazy       ", LazyPropagationEstimator(20000, seed=1)),
+        ("monte carlo", MonteCarloEstimator(agree_z, seed=1)),
+        ("rss        ", RecursiveStratifiedSampler(agree_z // 4, seed=1)),
+        ("lazy       ", LazyPropagationEstimator(agree_z, seed=1)),
     ]:
         print(f"  {name}: {est.reliability(bridge, 0, 3):.4f}")
     print()
@@ -39,25 +45,30 @@ def main() -> None:
     # 2. Variance at a fixed budget on a real-like graph.  Pick a query
     # with moderate reliability — that's the regime where the paper's
     # selection loops live and where stratification pays.
-    graph = datasets.load("as-topology", num_nodes=500, seed=0)
+    graph = datasets.load(
+        "as-topology", num_nodes=200 if SMOKE else 500, seed=0
+    )
     probes = sample_st_pairs(graph, 8, seed=9, min_hops=2, max_hops=3)
-    scout = MonteCarloEstimator(2000, seed=42)
+    scout = MonteCarloEstimator(500 if SMOKE else 2000, seed=42)
     s, t = min(
         probes,
         key=lambda pair: abs(scout.reliability(graph, *pair) - 0.4),
     )
-    budget = 200
+    budget = 100 if SMOKE else 200
     print(f"{graph}, query {s}->{t}, budget Z={budget} per estimate")
     for name, factory in [
         ("monte carlo", lambda seed: MonteCarloEstimator(budget, seed=seed)),
         ("rss        ", lambda seed: RecursiveStratifiedSampler(budget, seed=seed)),
     ]:
         start = time.perf_counter()
-        values = [factory(seed).reliability(graph, s, t) for seed in range(30)]
+        runs = 10 if SMOKE else 30
+        values = [
+            factory(seed).reliability(graph, s, t) for seed in range(runs)
+        ]
         elapsed = time.perf_counter() - start
         print(f"  {name}: mean={statistics.mean(values):.4f} "
               f"stdev={statistics.stdev(values):.4f} "
-              f"({elapsed / 30 * 1000:.1f} ms/estimate)")
+              f"({elapsed / runs * 1000:.1f} ms/estimate)")
     print()
     print("RSS reaches the same mean with a lower spread at the same")
     print("sample budget — so it converges with fewer samples, which is")

@@ -7,33 +7,44 @@ spread under the independent-cascade model, and compare against the
 eigenvalue-optimization baseline the paper uses in Figure 8.
 
 Run:  python examples/influence_maximization.py
+      python examples/influence_maximization.py --smoke   # CI-sized
 """
+
+import sys
 
 from repro import datasets
 from repro.baselines import eigenvalue_selection
 from repro.graph import fixed_new_edge_probability
 from repro.influence import influence_spread, maximize_targeted_influence
 
+#: CI runs every example with --smoke: same story, smaller numbers.
+SMOKE = "--smoke" in sys.argv
+
 
 def main() -> None:
-    graph = datasets.load("dblp", num_nodes=500, seed=0)
+    num_nodes = 120 if SMOKE else 500
+    num_juniors = 10 if SMOKE else 30
+    spread_samples = 200 if SMOKE else 1000
+    graph = datasets.load("dblp", num_nodes=num_nodes, seed=0)
     ranked = sorted(graph.nodes(), key=lambda u: -graph.degree(u))
     seniors = ranked[:5]
-    juniors = [u for u in reversed(ranked) if u not in seniors][:30]
+    juniors = [u for u in reversed(ranked) if u not in seniors][:num_juniors]
 
     print(f"collaboration network: {graph}")
     print(f"seniors (sources): {len(seniors)} highest-degree authors")
     print(f"juniors (targets): {len(juniors)} lowest-degree authors")
 
-    base = influence_spread(graph, seniors, juniors, num_samples=1000, seed=3)
+    base = influence_spread(
+        graph, seniors, juniors, num_samples=spread_samples, seed=3
+    )
     print(f"expected influence spread before: {base:.1f} juniors")
     print()
 
-    k = 8
+    k = 3 if SMOKE else 8
     # The paper's method: targeted IM = multi-target average reliability.
     solution = maximize_targeted_influence(
-        graph, seniors, juniors, k, zeta=0.5, r=10, l=6,
-        spread_samples=1000, seed=4,
+        graph, seniors, juniors, k, zeta=0.5, r=6 if SMOKE else 10, l=6,
+        spread_samples=spread_samples, seed=4,
     )
     print(f"[paper's method] {len(solution.edges)} recommended edges")
     print(f"  spread after: {solution.new_spread:.1f} "
@@ -44,7 +55,7 @@ def main() -> None:
         graph, k, fixed_new_edge_probability(0.5), seed=1
     )
     eo_spread = influence_spread(
-        graph, seniors, juniors, num_samples=1000, seed=3,
+        graph, seniors, juniors, num_samples=spread_samples, seed=3,
         extra_edges=eo_edges,
     )
     print(f"[eigen baseline] spread after: {eo_spread:.1f} "

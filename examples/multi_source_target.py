@@ -6,16 +6,24 @@ three aggregate objectives and show how the chosen aggregate changes
 which pairs benefit.
 
 Run:  python examples/multi_source_target.py
+      python examples/multi_source_target.py --smoke   # CI-sized
 """
+
+import sys
 
 from repro import datasets
 from repro.core import MultiSourceTargetMaximizer
 from repro.queries import sample_multi_sets
 from repro.reliability import RecursiveStratifiedSampler
 
+#: CI runs every example with --smoke: same story, smaller numbers.
+SMOKE = "--smoke" in sys.argv
+
 
 def main() -> None:
-    graph = datasets.load("as-topology", num_nodes=600, seed=0)
+    graph = datasets.load(
+        "as-topology", num_nodes=200 if SMOKE else 600, seed=0
+    )
     sources, targets = sample_multi_sets(graph, 3, seed=17)
     print(f"device network: {graph}")
     print(f"gateways (sources): {sources}")
@@ -23,15 +31,16 @@ def main() -> None:
     print()
 
     solver = MultiSourceTargetMaximizer(
-        estimator=RecursiveStratifiedSampler(150, seed=5),
-        r=12,
+        estimator=RecursiveStratifiedSampler(100 if SMOKE else 150, seed=5),
+        r=8 if SMOKE else 12,
         l=10,
         k1_fraction=0.25,
-        evaluation_samples=800,
+        evaluation_samples=400 if SMOKE else 800,
     )
     for aggregate in ("average", "minimum", "maximum"):
         solution = solver.maximize(
-            graph, sources, targets, k=4, zeta=0.5, aggregate=aggregate
+            graph, sources, targets, k=3 if SMOKE else 4, zeta=0.5,
+            aggregate=aggregate,
         )
         print(f"objective: {aggregate} reliability over all S x T pairs")
         print(f"  value before: {solution.base_value:.3f}")

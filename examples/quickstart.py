@@ -5,12 +5,15 @@ through one session (one compiled plan, one shared world batch), then
 asks for the best k=2 shortcut edges between a source and a target.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --smoke   # CI mode (already tiny)
 """
 
 from repro import MaximizeQuery, ReliabilityQuery, Session, UncertainGraph, Workload
 
 
 def main() -> None:
+    # --smoke is accepted for CI uniformity; this example is already
+    # smoke-sized, so full and smoke modes are identical.
     # An uncertain graph: every edge exists only with some probability.
     graph = UncertainGraph(name="quickstart")
     graph.add_edge(0, 1, 0.8)

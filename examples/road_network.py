@@ -8,6 +8,7 @@ intersections to maximize on-time delivery probability from a depot to
 a customer.
 
 Run:  python examples/road_network.py
+      python examples/road_network.py --smoke   # CI mode (already tiny)
 """
 
 import numpy as np
@@ -36,6 +37,8 @@ def build_city(seed: int = 3) -> UncertainGraph:
 
 
 def main() -> None:
+    # --smoke is accepted for CI uniformity; the 10x10 grid is already
+    # smoke-sized, so full and smoke modes are identical.
     city = build_city()
     # Depot in the congested north-west corner; customer at the end of
     # the east-west arterial.  The interesting decision is how to hook

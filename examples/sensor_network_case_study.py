@@ -6,9 +6,14 @@ radio links, each constrained to <= 15 meters and carrying the network's
 average link quality — exactly the paper's §8.4.1 protocol.
 
 Run:  python examples/sensor_network_case_study.py
+      python examples/sensor_network_case_study.py --smoke   # CI-sized
 """
 
 import os
+import sys
+
+#: CI runs every example with --smoke: same story, smaller numbers.
+SMOKE = "--smoke" in sys.argv
 
 from repro.core import ReliabilityMaximizer
 from repro.datasets import intel_lab
@@ -38,8 +43,8 @@ def main() -> None:
     # r spans half the lab so the <= 15 m candidate rule still leaves
     # installable pairs between the two relevant regions.
     solver = ReliabilityMaximizer(
-        estimator=RecursiveStratifiedSampler(200, seed=7),
-        evaluation_samples=2000,
+        estimator=RecursiveStratifiedSampler(100 if SMOKE else 200, seed=7),
+        evaluation_samples=500 if SMOKE else 2000,
         r=26,
         l=15,
     )

@@ -25,6 +25,9 @@ Subpackages
 ``repro.api``
     Declarative query/session layer: ``Session``, ``Workload``,
     ``ReliabilityQuery``/``MaximizeQuery``, structured results.
+``repro.serve``
+    Async serving: request-coalescing ``AsyncSession`` and the
+    stdlib HTTP endpoint (``repro serve``).
 ``repro.graph``
     Uncertain-graph substrate, generators, probability models.
 ``repro.reliability``

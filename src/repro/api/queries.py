@@ -62,6 +62,16 @@ class ReliabilityQuery:
         Per-query seed override; ``None`` inherits the session seed.
         Queries with equal ``(estimator, samples, seed)`` share sampled
         worlds when the estimator's registry entry allows it.
+
+    Examples
+    --------
+    >>> ReliabilityQuery(0, targets=(3, 5), samples=500).pairs
+    [(0, 3), (0, 5)]
+    >>> ReliabilityQuery(0, target=1, estimator="no-such")
+    ... # doctest: +IGNORE_EXCEPTION_DETAIL
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown estimator 'no-such'
     """
 
     source: int
@@ -76,6 +86,11 @@ class ReliabilityQuery:
         object.__setattr__(self, "targets", normalized)
         if self.samples < 1:
             raise ValueError("samples must be positive")
+        if self.seed is not None and self.seed < 0:
+            # The engine's numpy generator rejects negative seeds at
+            # execution time; fail here instead, before the query can
+            # enter a shared batch.
+            raise ValueError("seed must be non-negative")
         estimator_spec(self.estimator)  # fail fast on unknown names
 
     @property
@@ -96,6 +111,19 @@ class MaximizeQuery:
     ``new_edge_prob``, ``candidate_space`` and ``eliminate`` mirror the
     advanced knobs of the legacy facade (sharing one Algorithm 4 run
     across methods, reproducing the no-elimination tables).
+
+    Examples
+    --------
+    >>> from repro.graph import UncertainGraph
+    >>> from repro.api import MaximizeQuery, Session
+    >>> g = UncertainGraph.from_edges(
+    ...     [(0, 1, 0.8), (1, 2, 0.4), (2, 3, 0.7)])
+    >>> result = Session(g, r=10, l=10).maximize(
+    ...     MaximizeQuery(0, 3, k=1, zeta=0.5, method="hc"))
+    >>> len(result.edges)
+    1
+    >>> result.gain > 0
+    True
     """
 
     source: int
@@ -111,8 +139,22 @@ class MaximizeQuery:
     eliminate: bool = True
 
     def __post_init__(self) -> None:
+        from ..core.facade import METHODS  # local: avoid import cycle
+
         if self.k < 1:
             raise ValueError("k must be positive")
+        if self.method not in METHODS:
+            # Fail at construction, not mid-batch: a query that blows
+            # up inside a shared workload costs its companions a rerun.
+            raise ValueError(
+                f"unknown method {self.method!r}; expected one of {METHODS}"
+            )
+        if not 0.0 <= self.zeta <= 1.0:
+            raise ValueError(f"zeta {self.zeta!r} outside [0, 1]")
+        if self.samples is not None and self.samples < 1:
+            raise ValueError("samples must be positive")
+        if self.seed is not None and self.seed < 0:
+            raise ValueError("seed must be non-negative")
         if isinstance(self.estimator, str):
             estimator_spec(self.estimator)  # fail fast on unknown names
 
@@ -127,6 +169,15 @@ class Workload:
     every query, and one shared world batch per ``(samples, seed)``
     group of world-sharing estimators.  Order of results always matches
     order of queries.
+
+    Examples
+    --------
+    >>> workload = Workload.reliability([(0, 2), (1, 2)], samples=500)
+    >>> _ = workload.add(MaximizeQuery(0, 2, k=3))
+    >>> len(workload)
+    3
+    >>> workload
+    Workload(1 MaximizeQuery, 2 ReliabilityQuery)
     """
 
     def __init__(self, queries: Iterable[Query] = ()) -> None:

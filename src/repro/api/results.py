@@ -34,12 +34,37 @@ class Timings:
 
     @property
     def total_seconds(self) -> float:
+        """End-to-end wall clock: compile + sample + solve."""
         return self.compile_seconds + self.sample_seconds + self.solve_seconds
 
 
 @dataclass
 class Provenance:
-    """How an estimate was produced."""
+    """How an estimate was produced.
+
+    Attributes
+    ----------
+    estimator : str
+        Registry name of the sampler that answered the query.
+    samples : int
+        Sample budget ``Z`` (the cap for adaptive estimators).
+    seed : int
+        The seed actually used (query override or session default).
+    backend : str
+        ``"engine"`` (vectorized batch kernel) or ``"scalar"``.
+    shared_worlds : bool
+        Whether the answer came out of a world batch shared with other
+        queries (session cache hit, or a multi-member workload group —
+        how coalesced serving shows up in responses).
+    timings : Timings
+        Compile/sample/solve wall-clock breakdown.
+
+    Examples
+    --------
+    >>> Provenance(estimator="mc", samples=1000, seed=7,
+    ...            backend="engine", shared_worlds=True).describe()
+    'mc, Z=1000, seed=7, engine, shared worlds, 0.0 ms'
+    """
 
     estimator: str
     samples: int
@@ -59,7 +84,20 @@ class Provenance:
 
 @dataclass
 class ReliabilityResult:
-    """Answer to one :class:`ReliabilityQuery`."""
+    """Answer to one :class:`ReliabilityQuery`.
+
+    Examples
+    --------
+    >>> from repro.graph import UncertainGraph
+    >>> from repro.api import Session
+    >>> g = UncertainGraph.from_edges([(0, 1, 0.8), (0, 2, 0.2)])
+    >>> result = Session(g, seed=3).reliability(0, targets=(1, 2),
+    ...                                         samples=2000)
+    >>> sorted(result.by_target)
+    [1, 2]
+    >>> [round(v, 1) for _, v in result.pairs]
+    [0.8, 0.2]
+    """
 
     query: ReliabilityQuery
     values: Tuple[float, ...]  # aligned with query.targets
@@ -101,18 +139,22 @@ class MaximizeResult:
     # Convenience pass-throughs so renderers only need the result.
     @property
     def edges(self):
+        """The selected ``(u, v, p)`` edges (at most ``query.k``)."""
         return self.solution.edges
 
     @property
     def gain(self) -> float:
+        """Reliability gain: ``new_reliability - base_reliability``."""
         return self.solution.gain
 
     @property
     def base_reliability(self) -> float:
+        """``R(s, t)`` before any edges were added (paired sampler)."""
         return self.solution.base_reliability
 
     @property
     def new_reliability(self) -> float:
+        """``R(s, t)`` with the selected edges added (same worlds)."""
         return self.solution.new_reliability
 
 

@@ -106,6 +106,35 @@ class Session:
         :data:`repro.engine.batch.DEFAULT_FUSE_MAX_WORDS`, ``0``
         disables fusion).  Purely a performance knob — results are
         bit-for-bit identical on every dispatch path.
+
+    See Also
+    --------
+    repro.serve.AsyncSession : request-coalescing asyncio facade.
+    docs/architecture.md : the full engine → session → serving data flow.
+
+    Examples
+    --------
+    One session answers a whole workload against one compiled plan and
+    one shared world batch:
+
+    >>> from repro.graph import UncertainGraph
+    >>> from repro.api import ReliabilityQuery, Session, Workload
+    >>> g = UncertainGraph.from_edges([(0, 1, 0.9), (1, 2, 0.6)])
+    >>> session = Session(g, seed=11)
+    >>> r1, r2 = session.run(Workload([
+    ...     ReliabilityQuery(0, target=2, samples=4000),
+    ...     ReliabilityQuery(0, targets=(1, 2), samples=4000),
+    ... ]))
+    >>> (round(r1.value, 1), r1.provenance.shared_worlds)
+    (0.5, True)
+    >>> r2.by_target[2] == r1.value  # same worlds, same answer
+    True
+
+    Mutating the graph bumps its version; the next query recompiles:
+
+    >>> g.add_edge(0, 2, 1.0)
+    >>> session.reliability(0, target=2, samples=4000).value
+    1.0
     """
 
     def __init__(

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the library's everyday workflows:
+Five subcommands cover the library's everyday workflows:
 
 ``repro datasets``
     List datasets, or summarize one (the Table 8 columns).
@@ -12,6 +12,10 @@ Four subcommands cover the library's everyday workflows:
     file with any method.
 ``repro mrp``
     Exact most-reliable-path improvement (Algorithm 3).
+``repro serve``
+    Start the coalescing HTTP JSON server (``POST /reliability``,
+    ``POST /maximize``, ``POST /graph`` hot-swap, ``GET /healthz``) —
+    see :mod:`repro.serve`.
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -19,6 +23,7 @@ Invoke as ``python -m repro <subcommand> ...``.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import Optional, Sequence
 
@@ -153,6 +158,50 @@ def cmd_mrp(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Start the coalescing HTTP server over one long-lived session."""
+    from .serve import ReliabilityServer  # local: keep base CLI light
+
+    graph = _load_graph(args)
+    server = ReliabilityServer(
+        graph,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        seed=args.seed,
+        estimator=args.estimator,
+        selection_samples=args.samples,
+        evaluation_samples=args.evaluation_samples,
+        fuse_max_words=args.fuse_max_words,
+        r=args.r,
+        l=args.l,
+    )
+
+    async def _run() -> None:
+        host, port = await server.start()
+        name = graph.name or "graph"
+        print(f"serving {name} (n={graph.num_nodes}, m={graph.num_edges}, "
+              f"version={graph.version}) on http://{host}:{port}")
+        print("  POST /reliability  {source, target|targets, samples, "
+              "estimator, seed}")
+        print("  POST /maximize     {source, target, k, zeta, method, ...}")
+        print("  POST /graph        {edges: [[u, v, p], ...], directed, name}")
+        print("  GET  /healthz")
+        print(f"coalescer: max_batch={args.max_batch}, "
+              f"max_wait_ms={args.max_wait_ms}")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -221,6 +270,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_mrp.add_argument("--zeta", type=float, default=0.5)
     p_mrp.add_argument("--h", type=int, default=None)
     p_mrp.set_defaults(func=cmd_mrp)
+
+    p_serve = subparsers.add_parser(
+        "serve", help="serve coalesced reliability queries over HTTP"
+    )
+    _add_graph_arguments(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="bind port (0 picks a free port)")
+    p_serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="flush a coalesced batch at this many pending queries",
+    )
+    p_serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="coalescing window: max extra latency per request",
+    )
+    p_serve.add_argument(
+        "--estimator", choices=estimator_names(), default="rss",
+        help="selection estimator for /maximize queries",
+    )
+    p_serve.add_argument("--samples", type=int, default=250,
+                         help="selection-estimator sample budget")
+    p_serve.add_argument("--evaluation-samples", type=int, default=1000)
+    p_serve.add_argument(
+        "--fuse-max-words", type=int, default=None,
+        help="engine dispatch knob: fuse multi-source sweeps while the "
+             "world-batch row is at most this many uint64 words "
+             "(0 disables fusion; default: measured engine setting)",
+    )
+    p_serve.add_argument("-r", type=int, default=100,
+                         help="relevant nodes per side (Algorithm 4)")
+    p_serve.add_argument("-l", type=int, default=30,
+                         help="number of most reliable paths")
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -85,12 +85,15 @@ def compare_methods_single_st(
     (Algorithm 4) is computed once per query and shared across methods,
     exactly as in the paper's Tables 5/9/10.  Each method still gets a
     fresh sampler from the protocol's factory so runs stay paired.
-    Selection is session-backed: when the protocol's sampler admits
-    shared worlds (mc/lazy factories), ``hc`` and ``topk`` run on the
-    session's batched gain kernel against its cached ``(Z, seed)``
-    world batch — the Table 4/5 and vary-k protocols then pay two
-    sweeps plus popcounts per greedy round instead of ``|C|`` full
-    re-estimates.
+    Selection is session-backed: every vectorized registry sampler
+    advertises a ``selection_backend()`` (see the support matrix in
+    :mod:`repro.reliability.registry`), so ``hc`` and ``topk`` run on
+    the session's batched gain kernel — against its cached ``(Z,
+    seed)`` world batch for the plain-batch samplers (``mc``/``lazy``)
+    or the backend's query-conditioned ``make_batch`` batch
+    (per-stratum ``rss``, per-block ``adaptive``).  The Table 4/5 and
+    vary-k protocols then pay two sweeps plus popcounts per greedy
+    round instead of ``|C|`` full re-estimates.
     """
     stats = {m: MethodStats(method=m) for m in methods}
     for qi, (s, t) in enumerate(queries):
@@ -262,10 +265,12 @@ def _multi_hill_climbing(
 ) -> List[ProbEdge]:
     """Hill climbing generalized to the aggregate objective.
 
-    With a shared-world estimator on the engine (mc/lazy), rounds run
-    on the batched gain kernel: one sweep per distinct source/target
-    plus bitwise ops per candidate, instead of ``|C|`` full multi-pair
-    re-estimates.  Other samplers keep the per-candidate loop.
+    With any estimator advertising a ``selection_backend()`` (every
+    vectorized registry sampler — see
+    :mod:`repro.reliability.registry`), rounds run on the batched gain
+    kernel: one sweep per distinct source/target plus bitwise ops per
+    candidate, instead of ``|C|`` full multi-pair re-estimates.
+    Scalar samplers (``vectorized=False``) keep the per-candidate loop.
     """
     if aggregate not in (
         "avg", "average", "min", "minimum", "max", "maximum"

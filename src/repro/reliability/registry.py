@@ -51,7 +51,10 @@ still run reliability queries individually.
 
 Third-party estimators can join via :func:`register_estimator`; every
 registered name immediately works in the CLI (``--estimator``), the
-facade, and ``Session`` workloads.
+facade, ``Session`` workloads, and the HTTP serving layer
+(:mod:`repro.serve`).  See ``docs/architecture.md`` ("Estimator
+registry") for how these capabilities drive execution planning end to
+end.
 """
 
 from __future__ import annotations
@@ -96,7 +99,46 @@ def register_estimator(
     aliases: Tuple[str, ...] = (),
     overwrite: bool = False,
 ) -> EstimatorSpec:
-    """Register ``factory`` under ``name`` (and optional aliases)."""
+    """Register ``factory`` under ``name`` (and optional aliases).
+
+    Parameters
+    ----------
+    name : str
+        Registry key (case-insensitive).
+    factory : callable
+        ``factory(samples, seed, **kwargs) -> ReliabilityEstimator``.
+    description : str, optional
+        One-line human-readable summary.
+    supports_vectorized, shares_worlds, fixed_samples : bool, optional
+        Execution-planning capabilities (see the module docstring).
+    aliases : tuple of str, optional
+        Additional lookup keys for the same entry.
+    overwrite : bool, optional
+        Replace an existing entry instead of raising.
+
+    Returns
+    -------
+    EstimatorSpec
+        The stored registry entry.
+
+    Examples
+    --------
+    A registered name immediately works everywhere estimators are
+    named — CLI, sessions, and the serving layer:
+
+    >>> from repro.reliability import (
+    ...     MonteCarloEstimator, make_estimator, register_estimator)
+    >>> _ = register_estimator(
+    ...     "tutorial-mc",
+    ...     lambda samples, seed, **kw: MonteCarloEstimator(
+    ...         samples, seed=seed, **kw),
+    ...     description="plain MC registered from a tutorial",
+    ...     shares_worlds=True,
+    ...     overwrite=True,
+    ... )
+    >>> make_estimator("tutorial-mc", 500, seed=3).num_samples
+    500
+    """
     key = name.lower()
     alias_keys = [alias.lower() for alias in aliases]
     if not overwrite:
@@ -149,9 +191,35 @@ def make_estimator(
 ) -> ReliabilityEstimator:
     """Build any registered estimator by name.
 
-    ``samples`` is the sample budget ``Z`` (the cap for adaptive
-    estimators), ``vectorized`` is forwarded when the entry supports the
-    engine path, and extra keyword arguments go to the factory verbatim.
+    Parameters
+    ----------
+    name : str
+        Registry name or alias (``"mc"``, ``"rss"``, ``"lazy"``,
+        ``"adaptive"``, or anything registered).
+    samples : int, optional
+        Sample budget ``Z`` (the cap for adaptive estimators).
+    seed : int, optional
+        Sampler seed; equal seeds give deterministic estimates per
+        backend path.
+    vectorized : bool or None, optional
+        Forwarded when the entry supports the engine path; ``None``
+        keeps the estimator's default, ``False`` forces the scalar BFS.
+    **kwargs
+        Passed to the registered factory verbatim.
+
+    Returns
+    -------
+    ReliabilityEstimator
+        A fresh estimator instance.
+
+    Examples
+    --------
+    >>> from repro.graph import UncertainGraph
+    >>> from repro.reliability import make_estimator
+    >>> g = UncertainGraph.from_edges([(0, 1, 0.7)])
+    >>> est = make_estimator("mc", 2000, seed=5)
+    >>> round(est.reliability(g, 0, 1), 1)
+    0.7
     """
     spec = estimator_spec(name)
     if spec.supports_vectorized:

@@ -1,0 +1,475 @@
+"""Micro-batching asyncio facade over :class:`repro.api.Session`.
+
+A :class:`Session` already makes *whole-workload* execution the cheap
+unit of work: one compiled plan, one coin-flip pass, one fused sweep
+group per ``(estimator, Z, seed)``.  What a server needs on top is
+**request coalescing** — concurrently arriving single-query requests
+should be folded into one workload so they share that amortized cost.
+
+:class:`AsyncSession` is that coalescer.  Awaiting callers submit
+individual queries; the session collects them for up to ``max_wait_ms``
+(or until ``max_batch`` queries are pending), executes the collected
+batch as **one** ``Session.run`` workload on a single worker thread,
+and fans the results back to the awaiting callers.  Because execution
+goes through the ordinary session path, coalesced responses are
+bit-for-bit identical to one-off ``Session.run`` calls with the same
+configuration — the property ``tests/test_serve_async.py`` and
+``benchmarks/bench_serve_async.py`` pin down.
+
+Concurrency model
+-----------------
+All coalescer state is touched only from the event-loop thread; the
+blocking ``Session.run`` happens on a dedicated single-thread executor,
+so session caches (compiled plan, world batches) are only ever accessed
+by one thread at a time.  Graph hot-swaps (:meth:`AsyncSession.swap_graph`)
+run on the same executor and therefore serialize with in-flight batches:
+a batch sees either the old graph or the new one, never a mix.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..api import Query, Session, Workload
+from ..api.queries import MaximizeQuery, ReliabilityQuery
+from ..api.results import MaximizeResult, ReliabilityResult
+from ..graph import UncertainGraph
+
+Result = Union[ReliabilityResult, MaximizeResult]
+
+#: Default coalescing window in milliseconds — long enough to collect a
+#: burst of concurrent requests, short enough to stay invisible next to
+#: sampling cost.
+DEFAULT_MAX_WAIT_MS = 2.0
+
+#: Default batch-size cap: a full batch flushes immediately instead of
+#: waiting out the window.
+DEFAULT_MAX_BATCH = 64
+
+
+@dataclass
+class CoalescerStats:
+    """Counters describing how requests were batched.
+
+    Attributes
+    ----------
+    requests : int
+        Queries submitted (including later-cancelled ones).
+    cancelled : int
+        Queries dropped before execution because the awaiting caller
+        cancelled.
+    batches : int
+        ``Session.run`` workloads executed.
+    batched_requests : int
+        Queries that executed inside those workloads.
+    largest_batch : int
+        Size of the largest single workload.
+    graph_swaps : int
+        Completed :meth:`AsyncSession.swap_graph` calls.
+    """
+
+    requests: int = 0
+    cancelled: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    largest_batch: int = 0
+    graph_swaps: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average executed workload size (0.0 before the first batch)."""
+        if not self.batches:
+            return 0.0
+        return self.batched_requests / self.batches
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (what ``/healthz`` reports)."""
+        return {
+            "requests": self.requests,
+            "cancelled": self.cancelled,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": self.mean_batch_size,
+            "graph_swaps": self.graph_swaps,
+        }
+
+
+@dataclass
+class _PendingRequest:
+    """One submitted query waiting for its coalesced batch to run."""
+
+    query: Query
+    future: "asyncio.Future[Result]" = field(repr=False)
+
+
+class _Failure:
+    """Per-query failure marker inside an otherwise-successful batch."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+class AsyncSession:
+    """Coalesce concurrent queries into batched ``Session.run`` calls.
+
+    Parameters
+    ----------
+    target : UncertainGraph or Session
+        Either a graph (a :class:`~repro.api.Session` is built from it
+        with ``**session_kwargs``) or an existing session to wrap.  The
+        wrapped session must not be used concurrently from outside.
+    max_batch : int, optional
+        Flush as soon as this many queries are pending, without waiting
+        out the coalescing window.
+    max_wait_ms : float, optional
+        Coalescing window: the longest a submitted query waits for
+        companions before its batch is flushed.  ``0`` flushes on the
+        next event-loop tick — concurrent submitters still coalesce,
+        but no extra latency is ever added.
+    **session_kwargs
+        Forwarded to the :class:`~repro.api.Session` constructor when
+        ``target`` is a graph (``seed``, ``estimator``,
+        ``fuse_max_words``, ...).
+
+    Notes
+    -----
+    Results are **bit-for-bit identical** to one-off ``Session.run``
+    calls: coalescing only changes *when* queries execute, never what
+    they compute, because ``Session.run`` groups by
+    ``(estimator, Z, seed)`` and answers each group from the same
+    deterministic world batch a single-query workload would use.
+
+    Examples
+    --------
+    Two concurrent clients share one compiled plan, one coin-flip pass
+    and one fused sweep:
+
+    >>> import asyncio
+    >>> from repro.graph import UncertainGraph
+    >>> from repro.api import ReliabilityQuery
+    >>> from repro.serve import AsyncSession
+    >>> g = UncertainGraph.from_edges([(0, 1, 0.8), (1, 2, 0.5)])
+    >>> async def clients():
+    ...     async with AsyncSession(g, seed=7, max_wait_ms=5.0) as serving:
+    ...         return await asyncio.gather(
+    ...             serving.submit(ReliabilityQuery(0, target=1, samples=2000)),
+    ...             serving.submit(ReliabilityQuery(0, target=2, samples=2000)),
+    ...         )
+    >>> results = asyncio.run(clients())
+    >>> [round(r.value, 1) for r in results]
+    [0.8, 0.4]
+    >>> all(r.provenance.shared_worlds for r in results)
+    True
+    """
+
+    def __init__(
+        self,
+        target: Union[UncertainGraph, Session],
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        **session_kwargs,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if isinstance(target, Session):
+            if session_kwargs:
+                raise TypeError(
+                    "session_kwargs only apply when constructing from a "
+                    "graph; configure the Session directly instead"
+                )
+            self.session = target
+        else:
+            self.session = Session(target, **session_kwargs)
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.stats = CoalescerStats()
+        self._pending: List[_PendingRequest] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._inflight: List["asyncio.Future"] = []
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    async def submit(self, query: Query) -> Result:
+        """Submit one query; await its result.
+
+        The query joins the current coalescing window and executes in
+        one ``Session.run`` workload together with every other query
+        pending when the window flushes.  Cancelling the awaiting task
+        before the flush drops the query from the batch entirely.
+
+        Parameters
+        ----------
+        query : ReliabilityQuery or MaximizeQuery
+            The query to execute.
+
+        Returns
+        -------
+        ReliabilityResult or MaximizeResult
+            Exactly what ``Session.run(Workload([query]))[0]`` returns.
+        """
+        if self._closed:
+            raise RuntimeError("AsyncSession is closed")
+        Workload._check(query)
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Result]" = loop.create_future()
+        self._pending.append(_PendingRequest(query, future))
+        self.stats.requests += 1
+        if len(self._pending) >= self.max_batch:
+            self._flush(loop)
+        elif self._timer is None:
+            self._timer = loop.call_later(
+                self.max_wait_ms / 1000.0, self._flush, loop
+            )
+        return await future
+
+    async def run(self, queries: Union[Workload, Sequence[Query]]) -> List[Result]:
+        """Submit several queries concurrently; results align with input.
+
+        Each query is submitted individually, so it can coalesce not
+        just with its siblings but with every other client's concurrent
+        requests.
+
+        Parameters
+        ----------
+        queries : Workload or sequence of queries
+            The queries to execute.
+
+        Returns
+        -------
+        list of ReliabilityResult or MaximizeResult
+            In the same order as ``queries``.
+        """
+        return list(await asyncio.gather(*(self.submit(q) for q in queries)))
+
+    async def reliability(
+        self,
+        source: int,
+        target: Optional[int] = None,
+        targets: Optional[Sequence[int]] = None,
+        estimator: str = "mc",
+        samples: int = 1000,
+        seed: Optional[int] = None,
+    ) -> ReliabilityResult:
+        """One-call coalescible reliability estimate.
+
+        Mirrors :meth:`repro.api.Session.reliability`; see
+        :class:`~repro.api.ReliabilityQuery` for parameter semantics.
+        """
+        return await self.submit(ReliabilityQuery(
+            source,
+            target=target,
+            targets=tuple(targets) if targets is not None else None,
+            estimator=estimator,
+            samples=samples,
+            seed=seed,
+        ))
+
+    async def maximize(self, query: MaximizeQuery) -> MaximizeResult:
+        """Execute one maximize query through the coalescer.
+
+        Maximize queries batch their paired base evaluations with every
+        other maximize query in the same flush (one shared-world
+        ``evaluate_pairs`` pass), exactly as ``Session.run`` does.
+        """
+        return await self.submit(query)
+
+    # ------------------------------------------------------------------
+    # graph hot-swap
+    # ------------------------------------------------------------------
+    async def swap_graph(self, graph: UncertainGraph) -> int:
+        """Replace the served graph; returns the new graph's version.
+
+        The swap runs on the same single-thread executor as batch
+        execution, so it serializes with in-flight workloads: batches
+        flushed before the swap complete against the old graph, batches
+        flushed after it run against the new one.  Queries already
+        *pending* in the coalescing window are flushed first — a query
+        accepted while the old graph was being served must never
+        silently execute against the new one.  The session's compiled
+        plan and every cached world batch are evicted explicitly — two
+        distinct graph objects may share a ``version`` counter value,
+        so the version check alone cannot be trusted across a swap.
+        """
+        if self._closed:
+            raise RuntimeError("AsyncSession is closed")
+        loop = asyncio.get_running_loop()
+        if self._pending:
+            # Pin pre-swap submissions to the old graph: their batch is
+            # enqueued on the executor ahead of the swap job.
+            self._flush(loop)
+
+        def _swap() -> int:
+            self.session.graph = graph
+            self.session.invalidate()
+            return graph.version
+
+        version = await loop.run_in_executor(self._executor, _swap)
+        self.stats.graph_swaps += 1
+        return version
+
+    @property
+    def graph(self) -> UncertainGraph:
+        """The graph the wrapped session currently serves."""
+        return self.session.graph
+
+    # ------------------------------------------------------------------
+    # flushing
+    # ------------------------------------------------------------------
+    def _flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Execute every pending (non-cancelled) query as one workload."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch = [p for p in self._pending if not p.future.cancelled()]
+        self.stats.cancelled += len(self._pending) - len(batch)
+        self._pending.clear()
+        if not batch:
+            return
+        self.stats.batches += 1
+        self.stats.batched_requests += len(batch)
+        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        queries = [p.query for p in batch]
+        futures = [p.future for p in batch]
+        task = loop.run_in_executor(self._executor, self._run_batch, queries)
+        self._inflight.append(task)
+        task.add_done_callback(
+            lambda done, futures=futures: self._fan_out(done, futures)
+        )
+
+    def _run_batch(self, queries: List[Query]) -> List[object]:
+        """Worker-thread body: one ordinary ``Session.run`` call.
+
+        A query that makes the whole workload raise must not poison its
+        batch companions: on failure the batch re-runs query by query,
+        so every caller gets its own result — or its own exception —
+        instead of someone else's.  Reliability answers are
+        deterministic per ``(estimator, Z, seed)``, so the isolation
+        rerun returns the same values the clean run would have.
+        Maximize companions of a *failed* batch may observe advanced
+        state on a stateful session selection estimator (the failed
+        attempt consumed RNG draws); queries validate what they can at
+        construction (method, estimator names, ``k``) precisely to
+        keep failures out of shared batches.
+        """
+        try:
+            return self.session.run(Workload(queries))
+        except Exception:
+            outcomes: List[object] = []
+            for query in queries:
+                try:
+                    outcomes.append(self.session.run(Workload([query]))[0])
+                except Exception as error:  # noqa: BLE001 - per-caller fault
+                    outcomes.append(_Failure(error))
+            return outcomes
+
+    def _fan_out(
+        self,
+        done: "asyncio.Future[List[Result]]",
+        futures: List["asyncio.Future[Result]"],
+    ) -> None:
+        """Deliver a finished batch to its awaiting callers."""
+        if done in self._inflight:
+            self._inflight.remove(done)
+        if done.cancelled():
+            for future in futures:
+                if not future.done():
+                    future.cancel()
+            return
+        error = done.exception()
+        if error is not None:
+            for future in futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for future, result in zip(futures, done.result()):
+            if future.done():
+                continue
+            if isinstance(result, _Failure):
+                future.set_exception(result.error)
+            else:
+                future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Flush pending queries, drain in-flight batches, shut down.
+
+        Idempotent.  Queries submitted after ``close`` raise
+        ``RuntimeError``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        loop = asyncio.get_running_loop()
+        if self._pending:
+            self._flush(loop)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncSession":
+        """Enter the async context manager; returns self."""
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        """Close the session on context exit."""
+        await self.close()
+
+
+def split_batchable(
+    queries: Sequence[Query],
+    session_seed: Optional[int] = None,
+) -> List[Tuple[Tuple[str, int, Optional[int]], List[Query]]]:
+    """Group queries the way ``Session.run`` will batch them.
+
+    Purely diagnostic — the session does its own grouping — but useful
+    for asserting coalescing behavior in tests and for capacity
+    planning.  Keys are resolved exactly as the session resolves them:
+    the estimator name is canonicalized through the registry (aliases
+    collapse onto their entry) and ``seed=None`` resolves to
+    ``session_seed``, so a ``seed=None`` query and an explicit
+    ``seed=session_seed`` query land in the same group.  Maximize
+    queries land in a single ``("maximize", 0, None)`` group because
+    their base evaluations batch together regardless of configuration.
+
+    Parameters
+    ----------
+    queries : sequence of queries
+        The queries of one coalesced batch.
+    session_seed : int or None, optional
+        The session's default seed, used to resolve per-query
+        ``seed=None``.  ``None`` keeps unresolved seeds distinct from
+        every explicit seed.
+
+    Returns
+    -------
+    list of ((estimator, samples, seed), queries)
+        Insertion-ordered groups.
+    """
+    from ..reliability import estimator_spec  # local: avoid import cycle
+
+    groups: dict = {}
+    for query in queries:
+        if isinstance(query, MaximizeQuery):
+            key = ("maximize", 0, None)
+        else:
+            seed = query.seed
+            if seed is None and session_seed is not None:
+                seed = session_seed
+            key = (estimator_spec(query.estimator).name, query.samples, seed)
+        groups.setdefault(key, []).append(query)
+    return list(groups.items())

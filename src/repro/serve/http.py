@@ -1,0 +1,542 @@
+"""Stdlib-only HTTP/1.1 JSON endpoint over :class:`AsyncSession`.
+
+A deliberately small server — ``asyncio.start_server`` plus a
+hand-rolled HTTP/1.1 request parser — so the serving layer stays free
+of third-party dependencies.  Four endpoints:
+
+``POST /reliability``
+    Body ``{"source": 0, "target": 3, "samples": 1000, "estimator":
+    "mc", "seed": null}`` (or ``"targets": [..]`` for a fan-out query).
+    Responds with per-target values plus full provenance.
+``POST /maximize``
+    Body ``{"source": 0, "target": 3, "k": 5, "zeta": 0.5, "method":
+    "be", ...}``.  Responds with the selected edges, base/new
+    reliability, gain, and provenance.
+``POST /graph``
+    Hot-swap the served graph: body ``{"edges": [[u, v, p], ...],
+    "directed": false, "name": "..."}``.  The swap serializes with
+    in-flight batches (see :meth:`AsyncSession.swap_graph`) and the
+    response echoes the new graph's ``version`` — the key every cached
+    plan and world batch is invalidated on.
+``GET /healthz``
+    Liveness plus the served graph's identity/version and the
+    coalescer's batching counters.
+
+Concurrent requests hitting ``/reliability`` and ``/maximize`` within
+one coalescing window are folded into a single ``Session.run``
+workload; responses are bit-for-bit what one-off sessions would return.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict
+from typing import Optional, Tuple, Union
+
+from ..api import Session
+from ..api.queries import MaximizeQuery, ReliabilityQuery
+from ..api.results import MaximizeResult, ReliabilityResult
+from ..graph import UncertainGraph
+from .async_session import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_WAIT_MS,
+    AsyncSession,
+)
+
+#: Largest accepted request body (a graph upload dominates sizing).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Caps on the header section, so a client streaming endless header
+#: lines cannot grow server memory without bound.
+MAX_HEADER_LINES = 256
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Idle/slow-client bound: a connection that takes longer than this to
+#: deliver one complete request (or to send its next keep-alive
+#: request) is closed, so stalled sockets cannot pin server tasks.
+DEFAULT_READ_TIMEOUT_S = 60.0
+
+
+class HttpError(Exception):
+    """A request failure carrying the HTTP status to respond with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _Request:
+    """One parsed HTTP request (method, path, body)."""
+
+    def __init__(self, method: str, path: str, body: bytes, keep_alive: bool):
+        self.method = method
+        self.path = path
+        self.body = body
+        self.keep_alive = keep_alive
+
+    def json(self) -> dict:
+        """Decode the body as a JSON object; 400 on anything else."""
+        if not self.body:
+            raise HttpError(400, "request body required")
+        try:
+            payload = json.loads(self.body)
+        except json.JSONDecodeError as error:
+            raise HttpError(400, f"invalid JSON body: {error}") from None
+        if not isinstance(payload, dict):
+            raise HttpError(400, "JSON body must be an object")
+        return payload
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+def provenance_dict(result: Union[ReliabilityResult, MaximizeResult]) -> dict:
+    """JSON-ready provenance of any session result."""
+    return asdict(result.provenance)
+
+
+def reliability_response(result: ReliabilityResult) -> dict:
+    """JSON-ready body for a ``/reliability`` response.
+
+    Results iterate ``result.pairs`` (query order, duplicate targets
+    preserved) so positional indexing against the request stays valid.
+    """
+    return {
+        "source": result.query.source,
+        "results": [
+            {"target": target, "value": value}
+            for (_, target), value in result.pairs
+        ],
+        "provenance": provenance_dict(result),
+    }
+
+
+def maximize_response(result: MaximizeResult) -> dict:
+    """JSON-ready body for a ``/maximize`` response."""
+    solution = result.solution
+    return {
+        "source": result.query.source,
+        "target": result.query.target,
+        "method": solution.method,
+        "edges": [[u, v, p] for u, v, p in solution.edges],
+        "base_reliability": solution.base_reliability,
+        "new_reliability": solution.new_reliability,
+        "gain": solution.gain,
+        "num_candidates": solution.num_candidates,
+        "provenance": provenance_dict(result),
+    }
+
+
+def _as_int(payload: dict, field: str, default=None) -> Optional[int]:
+    """Strict integer field: JSON floats and booleans are 400s.
+
+    ``int(0.9)`` would silently truncate to node 0 and ``int(True)`` to
+    node 1 — answers for queries the client never asked.
+    """
+    value = payload.get(field, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise HttpError(400, f"{field} must be an integer, got {value!r}")
+    return value
+
+
+def parse_reliability_query(payload: dict) -> ReliabilityQuery:
+    """Build a :class:`ReliabilityQuery` from a JSON payload; 400 on bad input."""
+    targets = payload.get("targets")
+    if targets is not None:
+        # A JSON string would silently iterate character by character.
+        if not isinstance(targets, (list, tuple)):
+            raise HttpError(400, "targets must be a list of node ids")
+        for t in targets:
+            if isinstance(t, bool) or not isinstance(t, int):
+                raise HttpError(
+                    400, f"targets must be integers, got {t!r}"
+                )
+    if "source" not in payload:
+        raise HttpError(400, "bad reliability query: missing 'source'")
+    try:
+        return ReliabilityQuery(
+            source=_as_int(payload, "source"),
+            target=_as_int(payload, "target"),
+            targets=tuple(targets) if targets is not None else None,
+            estimator=str(payload.get("estimator", "mc")),
+            samples=_as_int(payload, "samples", 1000),
+            seed=_as_int(payload, "seed"),
+        )
+    except HttpError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise HttpError(400, f"bad reliability query: {error}") from None
+
+
+def parse_maximize_query(payload: dict) -> MaximizeQuery:
+    """Build a :class:`MaximizeQuery` from a JSON payload; 400 on bad input.
+
+    Most validation (method, estimator name, ``k``, ``zeta``, seed)
+    lives on the query classes themselves — their ``ValueError`` maps
+    to 400 below — so bad input is rejected at the door for HTTP and
+    direct :class:`AsyncSession` callers alike.
+    """
+    zeta = payload.get("zeta", 0.5)
+    if isinstance(zeta, bool) or not isinstance(zeta, (int, float)):
+        raise HttpError(400, "zeta must be a number")
+    zeta = float(zeta)
+    method = str(payload.get("method", "be"))
+    for field in ("source", "target"):
+        if field not in payload:
+            raise HttpError(400, f"bad maximize query: missing {field!r}")
+    try:
+        return MaximizeQuery(
+            source=_as_int(payload, "source"),
+            target=_as_int(payload, "target"),
+            k=_as_int(payload, "k", 5),
+            zeta=zeta,
+            method=method,
+            estimator=(
+                str(payload["estimator"])
+                if payload.get("estimator") is not None else None
+            ),
+            samples=_as_int(payload, "samples"),
+            seed=_as_int(payload, "seed"),
+            eliminate=bool(payload.get("eliminate", True)),
+        )
+    except HttpError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise HttpError(400, f"bad maximize query: {error}") from None
+
+
+def parse_graph(payload: dict) -> UncertainGraph:
+    """Build an :class:`UncertainGraph` from a ``/graph`` payload."""
+    edges = payload.get("edges")
+    if not isinstance(edges, list) or not edges:
+        raise HttpError(400, "graph upload requires a non-empty 'edges' list")
+    try:
+        graph = UncertainGraph(
+            directed=bool(payload.get("directed", False)),
+            name=str(payload.get("name", "uploaded")),
+        )
+        for entry in edges:
+            u, v, p = entry
+            if any(isinstance(x, bool) or not isinstance(x, int)
+                   for x in (u, v)):
+                raise HttpError(400, f"edge endpoints must be integers: "
+                                     f"{entry!r}")
+            graph.add_edge(u, v, float(p))
+    except HttpError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise HttpError(400, f"bad graph upload: {error}") from None
+    return graph
+
+
+class ReliabilityServer:
+    """Serve coalesced reliability/maximize queries over HTTP.
+
+    Parameters
+    ----------
+    target : UncertainGraph or Session or AsyncSession
+        What to serve.  A graph gets a fresh
+        :class:`~repro.api.Session` (configured by
+        ``**session_kwargs``); a session or async session is wrapped
+        as-is.
+    host, port : str, int, optional
+        Bind address.  ``port=0`` picks a free port (the default, for
+        tests); :attr:`address` reports the bound endpoint after
+        :meth:`start`.
+    max_batch, max_wait_ms : int, float, optional
+        Coalescer settings (see :class:`AsyncSession`); ignored when an
+        ``AsyncSession`` is passed in directly.
+    read_timeout_s : float or None, optional
+        Close a connection whose next request is not fully received
+        within this many seconds (slow-loris guard).  ``None`` disables
+        the bound.
+    **session_kwargs
+        Forwarded to the :class:`~repro.api.Session` constructor when
+        ``target`` is a graph (``seed``, ``estimator``,
+        ``fuse_max_words``, ...).
+
+    Examples
+    --------
+    >>> import asyncio, json, urllib.request
+    >>> from repro.graph import UncertainGraph
+    >>> from repro.serve import ReliabilityServer
+    >>> g = UncertainGraph.from_edges([(0, 1, 0.8), (1, 2, 0.5)])
+    >>> async def demo():
+    ...     server = ReliabilityServer(g, seed=7)
+    ...     host, port = await server.start()
+    ...     url = f"http://{host}:{port}/reliability"
+    ...     body = json.dumps({"source": 0, "target": 2,
+    ...                        "samples": 2000}).encode()
+    ...     loop = asyncio.get_running_loop()
+    ...     response = await loop.run_in_executor(
+    ...         None, lambda: urllib.request.urlopen(url, data=body).read())
+    ...     await server.stop()
+    ...     return json.loads(response)
+    >>> payload = asyncio.run(demo())
+    >>> round(payload["results"][0]["value"], 1)
+    0.4
+    """
+
+    def __init__(
+        self,
+        target: Union[UncertainGraph, Session, AsyncSession],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        read_timeout_s: Optional[float] = DEFAULT_READ_TIMEOUT_S,
+        **session_kwargs,
+    ) -> None:
+        if isinstance(target, AsyncSession):
+            if session_kwargs:
+                raise TypeError(
+                    "session_kwargs only apply when constructing from a "
+                    "graph; configure the AsyncSession directly instead"
+                )
+            self.serving = target
+            self._owns_serving = False
+        else:
+            self.serving = AsyncSession(
+                target,
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+                **session_kwargs,
+            )
+            self._owns_serving = True
+        self.host = host
+        self.port = port
+        self.read_timeout_s = read_timeout_s
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting connections; returns ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Block serving requests until cancelled or :meth:`stop` is called."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - shutdown path
+            pass
+
+    async def stop(self) -> None:
+        """Stop accepting connections; close the coalescer if we own it.
+
+        A caller-provided :class:`AsyncSession` is left open — its
+        owner may keep submitting to it after the HTTP front end goes
+        away.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._owns_serving:
+            await self.serving.close()
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Serve one client connection (HTTP/1.1 keep-alive loop)."""
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        _read_request(reader), timeout=self.read_timeout_s
+                    )
+                except asyncio.TimeoutError:
+                    break  # idle or slow-drip client: reclaim the task
+                except HttpError as error:
+                    await asyncio.wait_for(
+                        _write_response(
+                            writer, error.status, {"error": error.message},
+                            keep_alive=False,
+                        ),
+                        timeout=self.read_timeout_s,
+                    )
+                    break
+                if request is None:
+                    break
+                try:
+                    status, payload = await self._dispatch(request)
+                except HttpError as error:
+                    status, payload = error.status, {"error": error.message}
+                except Exception as error:  # noqa: BLE001 - server boundary
+                    status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
+                # The write is bounded too: a client that stops reading
+                # must not pin this task in drain() forever.
+                await asyncio.wait_for(
+                    _write_response(
+                        writer, status, payload,
+                        keep_alive=request.keep_alive,
+                    ),
+                    timeout=self.read_timeout_s,
+                )
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.TimeoutError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - client vanished
+                pass
+
+    async def _dispatch(self, request: _Request) -> Tuple[int, dict]:
+        """Route one request; returns ``(status, JSON payload)``."""
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            return 200, self._healthz()
+        if route == ("POST", "/reliability"):
+            query = parse_reliability_query(request.json())
+            result = await self.serving.submit(query)
+            return 200, reliability_response(result)
+        if route == ("POST", "/maximize"):
+            query = parse_maximize_query(request.json())
+            result = await self.serving.submit(query)
+            return 200, maximize_response(result)
+        if route == ("POST", "/graph"):
+            graph = parse_graph(request.json())
+            version = await self.serving.swap_graph(graph)
+            return 200, {"status": "swapped", "graph": self._graph_info(version)}
+        if request.path in ("/healthz", "/reliability", "/maximize", "/graph"):
+            raise HttpError(405, f"method {request.method} not allowed "
+                                 f"for {request.path}")
+        raise HttpError(404, f"unknown path {request.path}")
+
+    def _graph_info(self, version: Optional[int] = None) -> dict:
+        """Identity of the currently served graph (for /healthz, /graph)."""
+        graph = self.serving.graph
+        return {
+            "name": graph.name,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "directed": graph.directed,
+            "version": graph.version if version is None else version,
+        }
+
+    def _healthz(self) -> dict:
+        """Body of the ``/healthz`` response."""
+        return {
+            "status": "ok",
+            "graph": self._graph_info(),
+            "coalescer": {
+                "max_batch": self.serving.max_batch,
+                "max_wait_ms": self.serving.max_wait_ms,
+                **self.serving.stats.as_dict(),
+            },
+        }
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[_Request]:
+    """Parse one HTTP/1.1 request; ``None`` on a cleanly closed connection.
+
+    Malformed input — a garbage request line, an over-long header line
+    (``StreamReader`` raises ``ValueError`` past its limit), a
+    non-numeric or negative ``Content-Length`` — raises
+    :class:`HttpError` (400) so the caller can still answer instead of
+    dropping the connection with an unhandled traceback.
+    """
+    try:
+        request_line = await reader.readline()
+    except ValueError:
+        raise HttpError(400, "request line too long") from None
+    if not request_line:
+        return None
+    try:
+        method, path, version = request_line.decode("ascii").split()
+    except ValueError:
+        raise HttpError(400, "malformed request line") from None
+    # Routing ignores the query string: health checkers commonly append
+    # cache-busting params (GET /healthz?probe=1).
+    path = path.partition("?")[0]
+    headers = {}
+    header_bytes = 0
+    while True:
+        try:
+            line = await reader.readline()
+        except ValueError:
+            raise HttpError(400, "header line too long") from None
+        if line in (b"\r\n", b"\n", b""):
+            break
+        header_bytes += len(line)
+        if len(headers) >= MAX_HEADER_LINES or header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(400, "header section too large")
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        # We never decode chunked bodies; silently ignoring the header
+        # would desync the keep-alive stream (the body would be parsed
+        # as the next request — the classic smuggling vector).
+        raise HttpError(400, "Transfer-Encoding is not supported; "
+                             "send Content-Length")
+    try:
+        length = int(headers.get("content-length", 0) or 0)
+    except ValueError:
+        raise HttpError(400, "malformed Content-Length header") from None
+    if length < 0:
+        raise HttpError(400, "negative Content-Length header")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(400, "request body too large")
+    body = await reader.readexactly(length) if length else b""
+    keep_alive = (
+        headers.get("connection", "").lower() != "close"
+        and version.upper() != "HTTP/1.0"
+    )
+    return _Request(method.upper(), path, body, keep_alive)
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict,
+    keep_alive: bool,
+) -> None:
+    """Serialize one JSON response and flush it."""
+    body = json.dumps(payload).encode("utf-8")
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        f"\r\n"
+    ).encode("ascii")
+    writer.write(head + body)
+    await writer.drain()

@@ -53,3 +53,33 @@ def test_api_module_doctests():
     results = doctest.testmod(repro.api, verbose=False)
     assert results.failed == 0
     assert results.attempted >= 3  # the workload example actually ran
+
+
+def test_public_surface_docstring_examples():
+    """Every example on the documented public surface stays runnable.
+
+    The docs CI job keeps docstring *coverage* from regressing (ruff
+    pydocstyle D1xx on repro.api / repro.serve); this test keeps the
+    docstring *examples* truthful.
+    """
+    import repro.api.queries
+    import repro.api.results
+    import repro.api.session
+    import repro.reliability.registry
+    import repro.serve.async_session
+    import repro.serve.http
+
+    for module, min_examples in [
+        (repro.api.queries, 4),
+        (repro.api.results, 4),
+        (repro.api.session, 6),
+        (repro.reliability.registry, 4),
+        (repro.serve.async_session, 6),
+        (repro.serve.http, 5),
+    ]:
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0, f"doctest failure in {module.__name__}"
+        assert results.attempted >= min_examples, (
+            f"{module.__name__} lost its runnable examples "
+            f"({results.attempted} < {min_examples})"
+        )
