@@ -3,8 +3,8 @@
 Each full benchmark run writes a one-off timing JSON (``--json``); this
 script folds those into the per-benchmark **perf-trajectory** files at
 the repo root — ``BENCH_engine.json``, ``BENCH_session.json``,
-``BENCH_selection.json``, ``BENCH_sweep.json``, ``BENCH_serve.json`` —
-so speedups are
+``BENCH_selection.json``, ``BENCH_sweep.json``, ``BENCH_serve.json``,
+``BENCH_index.json`` — so speedups are
 trackable across PRs.  Every entry records the UTC date, the commit (if
 resolvable), a label, and the benchmark's headline metrics; the full
 per-run report stays an artifact, the trajectory keeps only what a
@@ -79,6 +79,17 @@ def _serve(report: dict) -> dict:
         "coalesced_seconds": report["coalesced_seconds"],
         "num_clients": report["num_clients"],
         "mean_batch_size": report["coalescer"]["mean_batch_size"],
+    }
+
+
+@extractor("index")
+def _index(report: dict) -> dict:
+    return {
+        "speedup": report["speedup"],
+        "cold_seconds": report["cold_seconds"],
+        "warm_seconds": report["warm_seconds"],
+        "prime_seconds": report["prime_seconds"],
+        "rounds": report["rounds"],
     }
 
 

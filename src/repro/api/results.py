@@ -58,12 +58,28 @@ class Provenance:
         how coalesced serving shows up in responses).
     timings : Timings
         Compile/sample/solve wall-clock breakdown.
+    world_source : str or None
+        Which tier produced the world batch: ``"memory"`` (session
+        cache), ``"store"`` (memory-mapped from a persistent
+        :class:`repro.index.IndexStore`), ``"sampled"`` (fresh coin
+        flips), or ``None`` when no batch was needed — scalar paths,
+        and shared-world queries answered entirely from the persistent
+        result cache.
+    cache_hits, cache_misses : int or None
+        Exact-match result-cache accounting for this query's pairs
+        (``None`` when the session has no store attached).  A fully
+        warm query shows ``cache_misses == 0`` and never touched
+        worlds.
 
     Examples
     --------
     >>> Provenance(estimator="mc", samples=1000, seed=7,
     ...            backend="engine", shared_worlds=True).describe()
     'mc, Z=1000, seed=7, engine, shared worlds, 0.0 ms'
+    >>> Provenance(estimator="mc", samples=1000, seed=7,
+    ...            backend="engine", shared_worlds=True,
+    ...            cache_hits=2, cache_misses=0).describe()
+    'mc, Z=1000, seed=7, engine, shared worlds, cache 2/2, 0.0 ms'
     """
 
     estimator: str
@@ -72,13 +88,21 @@ class Provenance:
     backend: str  # "engine" (vectorized) or "scalar"
     shared_worlds: bool = False
     timings: Timings = field(default_factory=Timings)
+    world_source: "str | None" = None
+    cache_hits: "int | None" = None
+    cache_misses: "int | None" = None
 
     def describe(self) -> str:
         """One-line human-readable provenance summary."""
         shared = ", shared worlds" if self.shared_worlds else ""
+        cache = ""
+        if self.cache_hits is not None and self.cache_misses is not None:
+            total = self.cache_hits + self.cache_misses
+            cache = f", cache {self.cache_hits}/{total}"
         return (
             f"{self.estimator}, Z={self.samples}, seed={self.seed}, "
-            f"{self.backend}{shared}, {self.timings.total_seconds * 1000:.1f} ms"
+            f"{self.backend}{shared}{cache}, "
+            f"{self.timings.total_seconds * 1000:.1f} ms"
         )
 
 

@@ -30,9 +30,12 @@ from __future__ import annotations
 
 import time
 import warnings
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..graph import UncertainGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..index import IndexStore
 from ..reliability import (
     ReliabilityEstimator,
     estimator_spec,
@@ -52,17 +55,22 @@ try:
 
     from ..engine import (
         SelectionGainKernel,
+        batch_from_words,
+        batch_to_words,
         compile_plan,
         pair_hit_fractions,
         resolve_fuse_max_words,
         sample_worlds,
     )
+    from ..index.store import StoreError
     _HAVE_ENGINE = True
 except ImportError:  # pragma: no cover - numpy-less fallback
     np = None  # type: ignore[assignment]
     compile_plan = pair_hit_fractions = sample_worlds = None  # type: ignore
+    batch_from_words = batch_to_words = None  # type: ignore[assignment]
     SelectionGainKernel = None  # type: ignore[assignment,misc]
     resolve_fuse_max_words = None  # type: ignore[assignment]
+    StoreError = Exception  # type: ignore[assignment,misc]
     _HAVE_ENGINE = False
 
 Result = Union[ReliabilityResult, MaximizeResult]
@@ -106,6 +114,17 @@ class Session:
         :data:`repro.engine.batch.DEFAULT_FUSE_MAX_WORDS`, ``0``
         disables fusion).  Purely a performance knob — results are
         bit-for-bit identical on every dispatch path.
+    store:
+        Optional persistent index (:class:`repro.index.IndexStore`).
+        World-batch lookup becomes a three-tier path — memory cache →
+        store mmap → fresh sampling — and shared-world reliability
+        queries consult the store's exact-match result cache before
+        touching worlds at all; newly sampled batches and freshly
+        computed values are persisted back.  Entries are keyed by the
+        graph *content hash*, so a store outlives this process and a
+        graph swap can never serve stale answers.  Purely a
+        performance layer: store-backed answers are bit-for-bit
+        identical to cold sampling.
 
     See Also
     --------
@@ -150,11 +169,18 @@ class Session:
         h: Optional[int] = None,
         max_cached_batches: int = 8,
         fuse_max_words: Optional[int] = None,
+        store: Optional["IndexStore"] = None,
     ) -> None:
         if max_cached_batches < 1:
             raise ValueError("max_cached_batches must be positive")
+        if store is not None and not _HAVE_ENGINE:
+            raise RuntimeError(
+                "a persistent index store requires the vectorized engine "
+                "(numpy)"
+            )
         self.graph = graph
         self.seed = seed
+        self.store = store
         if _HAVE_ENGINE:
             # Validate eagerly (like max_cached_batches) so a bad knob
             # fails at construction, not at the first grouped query;
@@ -192,10 +218,25 @@ class Session:
         return _HAVE_ENGINE
 
     def invalidate(self) -> None:
-        """Drop the compiled plan and every cached world batch."""
+        """Drop the compiled plan and every cached world batch.
+
+        Persistent-store entries are *not* dropped: they are keyed by
+        graph content hash, so a swapped-in graph simply reads and
+        writes its own namespace while the old graph's entries stay
+        valid for whoever serves that graph next.
+        """
         self._version = None
         self._plan = None
         self._worlds.clear()
+
+    def store_stats(self) -> Optional[dict]:
+        """Persistent-store catalog totals + hit/miss counters, or ``None``.
+
+        JSON-ready (what ``GET /healthz`` reports under ``"store"``).
+        """
+        if self.store is None:
+            return None
+        return self.store.stats().as_dict()
 
     def _sync_version(self) -> None:
         if self._version != self.graph.version:
@@ -217,27 +258,66 @@ class Session:
         self._plan = compile_plan(self.graph)
         return self._plan, time.perf_counter() - start
 
-    def world_batch(self, samples: int, seed: int):
-        """``(batch, sample_seconds, was_cached)`` for ``(Z, seed)``.
+    def graph_hash(self) -> str:
+        """Content hash of the served graph — the persistent store key.
 
-        The batch is sampled with a *fresh* generator seeded ``seed``,
-        so it is exactly the batch a one-off vectorized estimator with
-        that seed would draw — the property the parity tests pin down.
+        Unlike ``graph.version`` (an in-process mutation counter two
+        distinct graph objects can collide on), the content hash
+        identifies the graph by its nodes, edges and probability bits,
+        so index entries stay valid across restarts and can never be
+        aliased by a hot-swap.  Cached per graph version on the graph
+        itself.
+        """
+        return self.graph.content_hash()
+
+    def world_batch(self, samples: int, seed: int):
+        """``(batch, sample_seconds, source)`` for ``(Z, seed)``.
+
+        ``source`` names the tier that answered: ``"memory"`` (session
+        cache), ``"store"`` (memory-mapped from the persistent index),
+        or ``"sampled"`` (fresh coin flips — persisted back to the
+        store when one is attached).  Every tier yields bit-for-bit the
+        batch a fresh engine seeded ``seed`` would sample — the
+        property the parity tests pin down.
         """
         plan, _ = self.plan()
         key = (samples, seed)
         cached = self._worlds.get(key)
         if cached is not None:
-            return cached[0], 0.0, True
+            return cached[0], 0.0, "memory"
+        if self.store is not None:
+            start = time.perf_counter()
+            words = self.store.load_batch(
+                self.graph_hash(), samples, seed,
+                expected_edges=plan.num_edges,
+            )
+            if words is not None:
+                batch = batch_from_words(words, samples)
+                elapsed = time.perf_counter() - start
+                self._remember_batch(key, batch, elapsed)
+                return batch, elapsed, "store"
         start = time.perf_counter()
         batch = sample_worlds(plan, samples, np.random.default_rng(seed))
         elapsed = time.perf_counter() - start
+        if self.store is not None:
+            try:
+                self.store.save_batch(
+                    self.graph_hash(), samples, seed, batch_to_words(batch)
+                )
+            except StoreError:
+                # Persistence is an optimization; serving must not fail
+                # because another writer holds the store lock.
+                self.store.counters.save_failures += 1
+        self._remember_batch(key, batch, elapsed)
+        return batch, elapsed, "sampled"
+
+    def _remember_batch(self, key: Tuple[int, int], batch, elapsed: float) -> None:
+        """Insert a batch into the bounded in-memory cache."""
         while len(self._worlds) >= self.max_cached_batches:
             # FIFO eviction keeps long-lived heterogeneous sessions
             # bounded; dict preserves insertion order.
             self._worlds.pop(next(iter(self._worlds)))
         self._worlds[key] = (batch, elapsed)
-        return batch, elapsed, False
 
     def selection_kernel(self, estimator: ReliabilityEstimator):
         """Batched gain kernel over the session's cached plan and worlds.
@@ -364,24 +444,64 @@ class Session:
         distinct *source* — multi-target queries and repeated sources
         are free.  Timings on each result are the group's batched
         totals, not per-query costs.
+
+        With a persistent store attached, the group consults the
+        exact-match result cache first: pairs already answered for this
+        graph content under ``(estimator, Z, seed)`` skip the sweep
+        entirely (a fully-cached group never even materializes a world
+        batch), and freshly computed values are written back.  Cached
+        values are bit-for-bit what the sweep would produce — the key
+        pins the deterministic computation completely.
         """
-        plan, compile_s = self.plan()
-        batch, sample_s, cached = self.world_batch(samples, seed)
         all_pairs: List[Pair] = []
         for _, query in members:
             all_pairs.extend(query.pairs)
+
+        cached_values: Dict[Pair, float] = {}
         start = time.perf_counter()
-        values = pair_hit_fractions(
-            plan, batch, all_pairs, samples,
-            fuse_max_words=self.fuse_max_words,
-        )
-        solve_s = time.perf_counter() - start
+        if self.store is not None:
+            cached_values = self.store.get_results(
+                self.graph_hash(), name, all_pairs, samples, seed
+            )
+        missing = [
+            pair for pair in dict.fromkeys(all_pairs)
+            if pair not in cached_values
+        ]
+        lookup_s = time.perf_counter() - start
+
+        compile_s = sample_s = 0.0
+        world_source: Optional[str] = None
+        values: Dict[Pair, float] = dict(cached_values)
+        if missing:
+            plan, compile_s = self.plan()
+            batch, sample_s, world_source = self.world_batch(samples, seed)
+            start = time.perf_counter()
+            fresh = pair_hit_fractions(
+                plan, batch, missing, samples,
+                fuse_max_words=self.fuse_max_words,
+            )
+            solve_s = lookup_s + time.perf_counter() - start
+            values.update(fresh)
+            if self.store is not None:
+                self.store.put_results(
+                    self.graph_hash(), name, fresh, samples, seed
+                )
+        else:
+            solve_s = lookup_s
+
         timings = Timings(
             compile_seconds=compile_s,
             sample_seconds=sample_s,
             solve_seconds=solve_s,
         )
+        batch_was_cached = world_source in ("memory", "store")
         for index, query in members:
+            if self.store is not None:
+                hits = sum(1 for pair in query.pairs if pair in cached_values)
+                cache_hits: Optional[int] = hits
+                cache_misses: Optional[int] = len(query.pairs) - hits
+            else:
+                cache_hits = cache_misses = None
             results[index] = ReliabilityResult(
                 query=query,
                 values=tuple(values[pair] for pair in query.pairs),
@@ -390,8 +510,15 @@ class Session:
                     samples=samples,
                     seed=seed,
                     backend="engine",
-                    shared_worlds=cached or len(members) > 1,
+                    shared_worlds=(
+                        batch_was_cached
+                        or len(members) > 1
+                        or world_source is None
+                    ),
                     timings=timings,
+                    world_source=world_source,
+                    cache_hits=cache_hits,
+                    cache_misses=cache_misses,
                 ),
             )
 
@@ -491,13 +618,30 @@ class Session:
             # pair_hit_fractions implements the same unknown-endpoint /
             # s==t semantics as the scalar estimators, so every
             # overlay-free evaluation reuses the session's cached batch.
+            # Overlay-free evaluations share the "mc" result-cache
+            # namespace with mc reliability queries: both are the same
+            # deterministic hit-fraction over the same (Z, seed) batch.
             self._sync_version()
-            plan, _ = self.plan()
-            batch, _, _ = self.world_batch(samples, seed)
-            values = pair_hit_fractions(
-                plan, batch, pairs, samples,
-                fuse_max_words=self.fuse_max_words,
-            )
+            values: Dict[Pair, float] = {}
+            if self.store is not None:
+                values = self.store.get_results(
+                    self.graph_hash(), "mc", pairs, samples, seed
+                )
+            missing = [
+                pair for pair in dict.fromkeys(pairs) if pair not in values
+            ]
+            if missing:
+                plan, _ = self.plan()
+                batch, _, _ = self.world_batch(samples, seed)
+                fresh = pair_hit_fractions(
+                    plan, batch, missing, samples,
+                    fuse_max_words=self.fuse_max_words,
+                )
+                values.update(fresh)
+                if self.store is not None:
+                    self.store.put_results(
+                        self.graph_hash(), "mc", fresh, samples, seed
+                    )
             return [values[pair] for pair in pairs]
         estimator = make_estimator("mc", samples, seed=seed)
         return estimator.reliability_many(

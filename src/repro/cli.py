@@ -15,7 +15,13 @@ Five subcommands cover the library's everyday workflows:
 ``repro serve``
     Start the coalescing HTTP JSON server (``POST /reliability``,
     ``POST /maximize``, ``POST /graph`` hot-swap, ``GET /healthz``) —
-    see :mod:`repro.serve`.
+    see :mod:`repro.serve`.  ``--store DIR`` attaches a persistent
+    reliability index so restarts warm-start from disk.
+``repro index``
+    Operate on a persistent reliability index directory
+    (:mod:`repro.index`): ``build`` pre-samples world batches for a
+    graph, ``inspect`` prints the catalog, ``vacuum`` reclaims
+    orphaned and temporary files.
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -163,6 +169,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .serve import ReliabilityServer  # local: keep base CLI light
 
     graph = _load_graph(args)
+    store = None
+    if args.store:
+        from .index import IndexStore  # local: keep base CLI light
+
+        store = IndexStore(args.store)
     server = ReliabilityServer(
         graph,
         host=args.host,
@@ -176,6 +187,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         fuse_max_words=args.fuse_max_words,
         r=args.r,
         l=args.l,
+        store=store,
     )
 
     async def _run() -> None:
@@ -190,6 +202,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("  GET  /healthz")
         print(f"coalescer: max_batch={args.max_batch}, "
               f"max_wait_ms={args.max_wait_ms}")
+        if store is not None:
+            stats = store.stats()
+            print(f"store: {stats.path} (schema v{stats.schema_version}, "
+                  f"{stats.num_batches} batches, {stats.num_results} "
+                  f"cached results)")
         try:
             await server.serve_forever()
         finally:
@@ -199,6 +216,51 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("shutting down")
+    return 0
+
+
+def cmd_index_build(args: argparse.Namespace) -> int:
+    """Pre-sample world batches for a graph into a store directory."""
+    from .index import IndexStore  # local: keep base CLI light
+
+    graph = _load_graph(args)
+    with IndexStore(args.store) as store:
+        session = Session(graph, seed=args.seed, store=store)
+        print(f"indexing {graph.name or 'graph'} "
+              f"(hash {session.graph_hash()[:12]}…) into {store.root}")
+        for samples in args.samples:
+            _, elapsed, source = session.world_batch(samples, args.seed)
+            verb = {"store": "already stored",
+                    "memory": "cached"}.get(source, "sampled")
+            print(f"  Z={samples:<8} seed={args.seed}: {verb} "
+                  f"({elapsed * 1000:.1f} ms)")
+        stats = store.stats()
+        print(f"store now holds {stats.num_batches} batches "
+              f"({stats.batch_bytes / 1e6:.1f} MB), "
+              f"{stats.num_results} cached results")
+    return 0
+
+
+def cmd_index_inspect(args: argparse.Namespace) -> int:
+    """Print a store's catalog (human-readable or ``--json``)."""
+    from .index import describe_store, dump_stats_json
+
+    print(dump_stats_json(args.store) if args.json
+          else describe_store(args.store))
+    return 0
+
+
+def cmd_index_vacuum(args: argparse.Namespace) -> int:
+    """Reap crash debris from a store directory."""
+    from .index import IndexStore
+
+    with IndexStore(args.store) as store:
+        dropped = store.clear_results() if args.drop_results else 0
+        report = store.vacuum()
+    print(f"removed {report.removed_tmp_files} tmp files, "
+          f"{report.removed_orphan_files} orphan files; "
+          f"pruned {report.pruned_rows} catalog rows" +
+          (f"; dropped {dropped} cached results" if args.drop_results else ""))
     return 0
 
 
@@ -299,11 +361,51 @@ def build_parser() -> argparse.ArgumentParser:
              "world-batch row is at most this many uint64 words "
              "(0 disables fusion; default: measured engine setting)",
     )
+    p_serve.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="attach a persistent reliability index at this directory "
+             "(created if absent); restarts warm-start from it",
+    )
     p_serve.add_argument("-r", type=int, default=100,
                          help="relevant nodes per side (Algorithm 4)")
     p_serve.add_argument("-l", type=int, default=30,
                          help="number of most reliable paths")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_index = subparsers.add_parser(
+        "index", help="operate on a persistent reliability index directory"
+    )
+    index_sub = p_index.add_subparsers(dest="index_command", required=True)
+
+    p_build = index_sub.add_parser(
+        "build", help="pre-sample world batches for a graph into a store"
+    )
+    _add_graph_arguments(p_build)
+    p_build.add_argument("--store", required=True, metavar="DIR",
+                         help="store directory (created if absent)")
+    p_build.add_argument(
+        "--samples", type=int, nargs="+", default=[1000],
+        metavar="Z", help="world-batch sizes to pre-sample (one batch each)",
+    )
+    p_build.set_defaults(func=cmd_index_build)
+
+    p_inspect = index_sub.add_parser(
+        "inspect", help="print a store's catalog and statistics"
+    )
+    p_inspect.add_argument("--store", required=True, metavar="DIR")
+    p_inspect.add_argument("--json", action="store_true",
+                           help="emit machine-readable JSON")
+    p_inspect.set_defaults(func=cmd_index_inspect)
+
+    p_vacuum = index_sub.add_parser(
+        "vacuum", help="reap crash debris (tmp/orphan files, stale rows)"
+    )
+    p_vacuum.add_argument("--store", required=True, metavar="DIR")
+    p_vacuum.add_argument(
+        "--drop-results", action="store_true",
+        help="also drop every cached result row (stale-namespace cleanup)",
+    )
+    p_vacuum.set_defaults(func=cmd_index_vacuum)
 
     return parser
 

@@ -21,9 +21,11 @@ from .kernel import (
     GATED_MIN_WORDS,
     WorldBatch,
     allocate_proportional,
+    batch_from_words,
     batch_reach,
     batch_reach_multi,
     batch_reach_resume,
+    batch_to_words,
     bernoulli_row,
     concat_batches,
     extend_batch,
@@ -55,9 +57,11 @@ __all__ = [
     "GATED_MIN_WORDS",
     "WorldBatch",
     "allocate_proportional",
+    "batch_from_words",
     "batch_reach",
     "batch_reach_multi",
     "batch_reach_resume",
+    "batch_to_words",
     "bernoulli_row",
     "concat_batches",
     "extend_batch",

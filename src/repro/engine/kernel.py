@@ -108,6 +108,55 @@ class WorldBatch:
         return int(self.valid.shape[0])
 
 
+def batch_to_words(batch: WorldBatch) -> np.ndarray:
+    """Serializable payload of a batch: its ``(num_edges, W)`` coin words.
+
+    The word matrix is the only state a :class:`WorldBatch` carries that
+    cannot be recomputed from ``num_samples`` — ``valid`` is always
+    :func:`valid_sample_mask`.  Persistent stores
+    (:mod:`repro.index`) save exactly this array and rebuild the batch
+    with :func:`batch_from_words`, so a round-trip is bit-for-bit.
+
+    Only standard prefix-layout batches serialize; a
+    :func:`concat_batches` result with interior pad bits is rejected
+    (its ``valid`` mask is not reconstructible from ``num_samples``).
+    """
+    expected = valid_sample_mask(batch.num_samples)
+    if (batch.valid.shape != expected.shape
+            or not bool(np.array_equal(batch.valid, expected))):
+        raise ValueError(
+            "only prefix-layout batches serialize; concatenated batches "
+            "with interior pad bits must be resampled, not stored"
+        )
+    return batch.alive
+
+
+def batch_from_words(words: np.ndarray, num_samples: int) -> WorldBatch:
+    """Rebuild a :class:`WorldBatch` from stored coin words.
+
+    ``words`` may be any ``(num_edges, W)`` uint64 array — including a
+    read-only memory map straight off an ``.npy`` file — because no
+    kernel path mutates ``alive`` in place (overlay rows concatenate via
+    :func:`extend_batch`).  The rebuilt batch is indistinguishable from
+    the one :func:`sample_worlds` produced before serialization.
+    """
+    if words.ndim != 2 or words.dtype != np.uint64:
+        raise ValueError(
+            f"batch words must be a 2-D uint64 array, got "
+            f"{words.dtype} with shape {words.shape}"
+        )
+    if words.shape[1] != num_words(num_samples):
+        raise ValueError(
+            f"word width {words.shape[1]} does not match Z={num_samples} "
+            f"(expected {num_words(num_samples)})"
+        )
+    return WorldBatch(
+        alive=words,
+        num_samples=num_samples,
+        valid=valid_sample_mask(num_samples),
+    )
+
+
 def sample_worlds(
     plan: QueryPlan,
     num_samples: int,

@@ -13,8 +13,10 @@ possible-world enumeration (for small graphs).
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import math
+import struct
 from collections import deque
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -127,6 +129,51 @@ class UncertainGraph:
         this counter so they recompile exactly when the graph changes.
         """
         return self._version
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the graph *content* (nodes, edges, probs).
+
+        Unlike :attr:`version` — a per-instance mutation counter on
+        which two distinct graph objects can collide — the content hash
+        identifies what the graph *is*: two graphs with the same node
+        set, the same edges and bit-identical probabilities hash equal
+        regardless of construction history or insertion order, and any
+        semantic difference changes the digest.  This is the key the
+        persistent reliability index (:mod:`repro.index`) files world
+        batches and cached results under, so an index survives process
+        restarts and ``POST /graph`` hot-swaps invalidate exactly when
+        the served graph really changed.
+
+        The digest is cached per :attr:`version`, so repeated calls
+        between mutations are free.
+
+        Examples
+        --------
+        >>> a = UncertainGraph.from_edges([(0, 1, 0.5), (1, 2, 0.9)])
+        >>> b = UncertainGraph.from_edges([(1, 2, 0.9), (0, 1, 0.5)])
+        >>> a.content_hash() == b.content_hash()
+        True
+        >>> b.add_edge(0, 2, 0.1)
+        >>> a.content_hash() == b.content_hash()
+        False
+        """
+        cached = getattr(self, "_content_hash_cache", None)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        digest = hashlib.sha256()
+        digest.update(b"repro-graph-v1|")
+        digest.update(b"directed|" if self.directed else b"undirected|")
+        # Probabilities hash by their exact float64 bits: estimates are
+        # deterministic functions of those bits, so equal hash => equal
+        # sampling behavior, and any reweighting invalidates.
+        for u, v, p in sorted(self.edges()):
+            digest.update(struct.pack("<qqd", u, v, p))
+        digest.update(b"|nodes|")
+        for u in sorted(self._succ):
+            digest.update(struct.pack("<q", u))
+        value = digest.hexdigest()
+        self._content_hash_cache = (self._version, value)
+        return value
 
     @property
     def num_nodes(self) -> int:

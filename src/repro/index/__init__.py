@@ -1,0 +1,55 @@
+"""Persistent reliability index + exact-match result cache.
+
+Offline indexing makes repeat-heavy traffic cheap: most production
+queries over an uncertain graph ask for pairs the process has answered
+before, over worlds it has already sampled (the observation behind the
+offline reliability indexing of Sasaki et al., "Efficient Network
+Reliability Computation in Uncertain Graphs").  This package is the
+disk layer that lets those answers survive process death:
+
+* :class:`IndexStore` — a store directory holding memory-mapped
+  ``.npy`` world-batch files plus a SQLite catalog, keyed by the graph
+  **content hash** (:meth:`repro.graph.UncertainGraph.content_hash`),
+  ``Z`` and seed, with an exact-match
+  ``(estimator, s, t, Z, seed) -> value`` result cache.
+* ``Session(graph, store=...)`` (:mod:`repro.api`) — the session's
+  world-batch tiering becomes memory → mmap → sample, and shared-world
+  reliability queries check the result cache first; newly sampled
+  batches and freshly computed values are persisted back.
+* ``repro serve --store`` / ``repro index build|inspect|vacuum`` — the
+  serving and operational surface.
+
+Everything is parity-gated: a store-backed session is bit-for-bit
+identical to a cold one (``tests/test_index_session.py``,
+``benchmarks/bench_index_warm.py``), and crash consistency is CI-gated
+(``tests/test_index_durability.py``).
+"""
+
+from .schema import SCHEMA, SCHEMA_VERSION
+from .store import (
+    DEFAULT_LOCK_TIMEOUT_S,
+    IndexStore,
+    SchemaMismatchError,
+    StoreCounters,
+    StoreError,
+    StoreLockTimeout,
+    StoreStats,
+    VacuumReport,
+    describe_store,
+    dump_stats_json,
+)
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "DEFAULT_LOCK_TIMEOUT_S",
+    "IndexStore",
+    "SchemaMismatchError",
+    "StoreCounters",
+    "StoreError",
+    "StoreLockTimeout",
+    "StoreStats",
+    "VacuumReport",
+    "describe_store",
+    "dump_stats_json",
+]

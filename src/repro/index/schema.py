@@ -1,0 +1,70 @@
+"""Catalog schema of the persistent reliability index.
+
+One SQLite database (``catalog.sqlite3``) describes everything in a
+store directory; the heavyweight payloads — bit-packed world-batch
+word matrices — live next to it as plain ``.npy`` files that are
+memory-mapped on load.  Three tables:
+
+``meta``
+    Key/value pairs, most importantly ``schema_version``.  A store
+    whose version differs from :data:`SCHEMA_VERSION` is **refused** at
+    open (:class:`~repro.index.store.SchemaMismatchError`) — the code
+    never guesses at an unknown layout, so a mismatched store can never
+    be corrupted by a newer or older reader.
+``batches``
+    One row per persisted world batch, keyed
+    ``(graph_hash, num_samples, seed)`` — the graph *content* hash
+    (:meth:`repro.graph.UncertainGraph.content_hash`), not the
+    in-process ``version`` counter, so the catalog survives restarts
+    and two distinct graphs can never collide.  ``nbytes`` is the exact
+    on-disk size of the finished ``.npy`` file; a file that does not
+    match is a torn write and is treated as absent.
+``results``
+    The exact-match result cache: one row per
+    ``(graph_hash, estimator, source, target, num_samples, seed)``
+    with the float64 estimate.  Estimates on this key are
+    deterministic, so a hit is bit-for-bit what recomputation would
+    produce.
+"""
+
+from __future__ import annotations
+
+#: Version of the on-disk layout.  Bump on any incompatible change to
+#: the tables below or to the batch-file format; old stores are then
+#: refused (never migrated in place silently, never corrupted).
+SCHEMA_VERSION = 1
+
+#: DDL executed when a new catalog is created.
+SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS batches (
+    graph_hash  TEXT    NOT NULL,
+    num_samples INTEGER NOT NULL,
+    seed        INTEGER NOT NULL,
+    num_edges   INTEGER NOT NULL,
+    num_words   INTEGER NOT NULL,
+    filename    TEXT    NOT NULL,
+    nbytes      INTEGER NOT NULL,
+    created_at  REAL    NOT NULL,
+    PRIMARY KEY (graph_hash, num_samples, seed)
+);
+
+CREATE TABLE IF NOT EXISTS results (
+    graph_hash  TEXT    NOT NULL,
+    estimator   TEXT    NOT NULL,
+    source      INTEGER NOT NULL,
+    target      INTEGER NOT NULL,
+    num_samples INTEGER NOT NULL,
+    seed        INTEGER NOT NULL,
+    value       REAL    NOT NULL,
+    created_at  REAL    NOT NULL,
+    PRIMARY KEY (graph_hash, estimator, source, target, num_samples, seed)
+);
+
+CREATE INDEX IF NOT EXISTS idx_batches_hash ON batches (graph_hash);
+CREATE INDEX IF NOT EXISTS idx_results_hash ON results (graph_hash);
+"""

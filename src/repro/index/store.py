@@ -1,0 +1,620 @@
+"""Persistent reliability index: mmap world batches + SQLite catalog.
+
+An :class:`IndexStore` is a directory::
+
+    <root>/
+      catalog.sqlite3      relational catalog (see repro.index.schema)
+      .lock                process-level writer lock (flock)
+      batches/
+        <hash>-Z<Z>-s<seed>.npy   bit-packed (num_edges, W) coin words
+
+Everything is keyed by the graph **content hash**
+(:meth:`repro.graph.UncertainGraph.content_hash`), never the
+in-process ``version`` counter, so the store survives restarts and two
+distinct graph objects can never alias each other's entries.
+
+Robustness discipline
+---------------------
+* **Atomic batch writes.**  A batch file is written to a ``.tmp`` name,
+  fsynced, then ``os.replace``-d into place, and its catalog row is
+  inserted only after the rename — at no point can a reader observe a
+  cataloged-but-incomplete file.  A crash leaves either a ``.tmp``
+  orphan or an uncataloged final file; both are invisible to readers
+  and reaped by :meth:`IndexStore.vacuum`.
+* **Refuse, don't corrupt.**  A catalog whose ``schema_version``
+  differs from :data:`~repro.index.schema.SCHEMA_VERSION` raises
+  :class:`SchemaMismatchError` at open and is left untouched.
+* **Detect, then resample.**  :meth:`IndexStore.load_batch` validates
+  size, dtype and shape against the catalog row before trusting a
+  file; anything torn or truncated is pruned and reported as a miss,
+  so callers transparently fall back to fresh sampling.
+* **One writer at a time.**  Batch persists take an ``flock`` on
+  ``<root>/.lock``; concurrent writers queue up to ``lock_timeout_s``
+  and then fail with :class:`StoreLockTimeout` instead of interleaving.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .schema import SCHEMA, SCHEMA_VERSION
+
+try:  # pragma: no cover - always available on the POSIX hosts CI runs
+    import fcntl
+    _HAVE_FLOCK = True
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+    _HAVE_FLOCK = False
+
+Pair = Tuple[int, int]
+
+#: How long :meth:`IndexStore.save_batch` waits for the writer lock by
+#: default before giving up with :class:`StoreLockTimeout`.
+DEFAULT_LOCK_TIMEOUT_S = 10.0
+
+_LOCK_POLL_S = 0.01
+
+
+class StoreError(Exception):
+    """Base class for persistent-index failures."""
+
+
+class SchemaMismatchError(StoreError):
+    """The on-disk catalog uses a different schema version.
+
+    Raised at :class:`IndexStore` open; the store is left byte-for-byte
+    untouched so the matching code version can still read it.
+    """
+
+
+class StoreLockTimeout(StoreError):
+    """Another process held the writer lock for longer than the timeout."""
+
+
+@dataclass
+class StoreCounters:
+    """In-process hit/miss accounting (what ``/healthz`` scrapes).
+
+    Counters describe *this process's* traffic against the store, not
+    the catalog's lifetime; catalog-level totals come from
+    :meth:`IndexStore.stats`.
+    """
+
+    batch_hits: int = 0
+    batch_misses: int = 0
+    batch_stores: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    result_stores: int = 0
+    corrupt_batches: int = 0
+    save_failures: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for JSON surfaces."""
+        return {
+            "batch_hits": self.batch_hits,
+            "batch_misses": self.batch_misses,
+            "batch_stores": self.batch_stores,
+            "result_hits": self.result_hits,
+            "result_misses": self.result_misses,
+            "result_stores": self.result_stores,
+            "corrupt_batches": self.corrupt_batches,
+            "save_failures": self.save_failures,
+        }
+
+
+@dataclass
+class StoreStats:
+    """Catalog-level totals of one store directory."""
+
+    path: str
+    schema_version: int
+    num_batches: int
+    num_results: int
+    batch_bytes: int
+    counters: StoreCounters = field(default_factory=StoreCounters)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for JSON surfaces (``/healthz``, CLI)."""
+        return {
+            "path": self.path,
+            "schema_version": self.schema_version,
+            "num_batches": self.num_batches,
+            "num_results": self.num_results,
+            "batch_bytes": self.batch_bytes,
+            "counters": self.counters.as_dict(),
+        }
+
+
+@dataclass
+class VacuumReport:
+    """What :meth:`IndexStore.vacuum` cleaned up."""
+
+    removed_tmp_files: int = 0
+    removed_orphan_files: int = 0
+    pruned_rows: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for the CLI."""
+        return {
+            "removed_tmp_files": self.removed_tmp_files,
+            "removed_orphan_files": self.removed_orphan_files,
+            "pruned_rows": self.pruned_rows,
+        }
+
+
+class IndexStore:
+    """On-disk reliability index: world batches + exact-match results.
+
+    Parameters
+    ----------
+    root : str or Path
+        Store directory; created (with parents) when absent.
+    lock_timeout_s : float, optional
+        How long batch persists wait for the process-level writer lock
+        before raising :class:`StoreLockTimeout`.
+
+    Raises
+    ------
+    SchemaMismatchError
+        The directory holds a catalog with a different schema version;
+        it is refused unmodified.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.graph import UncertainGraph
+    >>> from repro.api import Session
+    >>> from repro.index import IndexStore
+    >>> g = UncertainGraph.from_edges([(0, 1, 0.9), (1, 2, 0.6)])
+    >>> with tempfile.TemporaryDirectory() as root:
+    ...     with IndexStore(root) as store:
+    ...         warm = Session(g, seed=3, store=store)
+    ...         first = warm.reliability(0, target=2, samples=2000).value
+    ...     with IndexStore(root) as store:  # "restart": same answers
+    ...         again = Session(g, seed=3, store=store)
+    ...         second = again.reliability(0, target=2, samples=2000).value
+    >>> first == second
+    True
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        lock_timeout_s: float = DEFAULT_LOCK_TIMEOUT_S,
+    ) -> None:
+        self.root = Path(root)
+        self.lock_timeout_s = lock_timeout_s
+        self.counters = StoreCounters()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.batches_dir = self.root / "batches"
+        self.batches_dir.mkdir(exist_ok=True)
+        self._lock_path = self.root / ".lock"
+        self._mutex = threading.RLock()
+        self._conn = sqlite3.connect(
+            self.root / "catalog.sqlite3",
+            check_same_thread=False,
+            isolation_level=None,
+        )
+        try:
+            self._open_catalog()
+        except BaseException:
+            self._conn.close()
+            raise
+
+    def _open_catalog(self) -> None:
+        """Create a fresh catalog or verify an existing one's version."""
+        conn = self._conn
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            has_meta = conn.execute(
+                "SELECT 1 FROM sqlite_master WHERE type='table' AND name='meta'"
+            ).fetchone()
+        except sqlite3.DatabaseError as error:
+            raise StoreError(
+                f"{self.root}: catalog is not a SQLite database ({error})"
+            ) from None
+        if has_meta is None:
+            conn.executescript(SCHEMA)
+            conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)),
+            )
+            return
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        found = row[0] if row is not None else "<missing>"
+        if found != str(SCHEMA_VERSION):
+            raise SchemaMismatchError(
+                f"{self.root}: catalog schema version {found} != supported "
+                f"{SCHEMA_VERSION}; refusing to touch it (open it with a "
+                f"matching repro version, or point at a fresh directory)"
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the catalog connection (idempotent)."""
+        with self._mutex:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "IndexStore":
+        """Enter a context manager scope; returns self."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the store on context exit."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # writer lock
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def write_lock(self, timeout_s: Optional[float] = None):
+        """Hold the process-level writer lock for the ``with`` body.
+
+        The lock is an ``flock`` on ``<root>/.lock`` — advisory,
+        per-file-descriptor, so two :class:`IndexStore` objects exclude
+        each other whether they live in one process or several.  On
+        platforms without ``fcntl`` the lock degrades to a no-op (the
+        atomic rename discipline still keeps readers safe).
+        """
+        if timeout_s is None:
+            timeout_s = self.lock_timeout_s
+        if not _HAVE_FLOCK:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        fd = os.open(self._lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            deadline = time.monotonic() + timeout_s
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        raise StoreLockTimeout(
+                            f"{self.root}: another writer held the store "
+                            f"lock for more than {timeout_s:.1f}s"
+                        ) from None
+                    time.sleep(_LOCK_POLL_S)
+            try:
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------
+    # world batches
+    # ------------------------------------------------------------------
+    def _batch_filename(self, graph_hash: str, num_samples: int, seed: int) -> str:
+        return f"{graph_hash[:20]}-Z{num_samples}-s{seed}.npy"
+
+    def load_batch(
+        self,
+        graph_hash: str,
+        num_samples: int,
+        seed: int,
+        expected_edges: Optional[int] = None,
+    ) -> Optional[np.ndarray]:
+        """Memory-map the stored coin words for ``(hash, Z, seed)``.
+
+        Returns the read-only ``(num_edges, W)`` uint64 memmap, or
+        ``None`` on a miss.  A cataloged batch whose file is missing,
+        truncated, mis-shaped, or inconsistent with ``expected_edges``
+        is **pruned** (row dropped, file deleted best-effort), counted
+        in :attr:`StoreCounters.corrupt_batches`, and reported as a
+        miss — the caller resamples and the store heals itself.
+        """
+        with self._mutex:
+            row = self._conn.execute(
+                "SELECT filename, num_edges, num_words, nbytes FROM batches "
+                "WHERE graph_hash = ? AND num_samples = ? AND seed = ?",
+                (graph_hash, num_samples, seed),
+            ).fetchone()
+        if row is None:
+            self.counters.batch_misses += 1
+            return None
+        filename, num_edges, width, nbytes = row
+        path = self.batches_dir / filename
+        words: Optional[np.ndarray] = None
+        try:
+            if path.stat().st_size == nbytes:
+                words = np.load(path, mmap_mode="r", allow_pickle=False)
+        except (OSError, ValueError):
+            words = None
+        if words is not None and (
+            words.dtype != np.uint64
+            or words.ndim != 2
+            or words.shape != (num_edges, width)
+            or (expected_edges is not None and num_edges != expected_edges)
+        ):
+            words = None
+        if words is None:
+            self._prune_batch(graph_hash, num_samples, seed, path)
+            self.counters.corrupt_batches += 1
+            self.counters.batch_misses += 1
+            return None
+        self.counters.batch_hits += 1
+        return words
+
+    def _prune_batch(
+        self, graph_hash: str, num_samples: int, seed: int, path: Path
+    ) -> None:
+        """Drop a bad batch's catalog row and file (best-effort)."""
+        with self._mutex:
+            self._conn.execute(
+                "DELETE FROM batches "
+                "WHERE graph_hash = ? AND num_samples = ? AND seed = ?",
+                (graph_hash, num_samples, seed),
+            )
+        with contextlib.suppress(OSError):
+            path.unlink()
+
+    def save_batch(
+        self,
+        graph_hash: str,
+        num_samples: int,
+        seed: int,
+        words: np.ndarray,
+    ) -> bool:
+        """Persist one batch's coin words; returns False if already stored.
+
+        Write-then-rename: the ``.npy`` payload lands under a ``.tmp``
+        name, is fsynced, atomically renamed, and only then cataloged —
+        a crash at any point leaves the store consistent.  Serialized
+        across processes by :meth:`write_lock`.
+        """
+        if words.dtype != np.uint64 or words.ndim != 2:
+            raise ValueError("batch words must be a 2-D uint64 array")
+        filename = self._batch_filename(graph_hash, num_samples, seed)
+        path = self.batches_dir / filename
+        with self.write_lock():
+            with self._mutex:
+                exists = self._conn.execute(
+                    "SELECT 1 FROM batches "
+                    "WHERE graph_hash = ? AND num_samples = ? AND seed = ?",
+                    (graph_hash, num_samples, seed),
+                ).fetchone()
+            if exists is not None:
+                return False
+            tmp = path.with_name(f"{filename}.tmp.{os.getpid()}")
+            try:
+                with open(tmp, "wb") as fh:
+                    np.save(fh, np.ascontiguousarray(words),
+                            allow_pickle=False)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, path)
+            finally:
+                with contextlib.suppress(OSError):
+                    tmp.unlink()
+            self._fsync_dir(self.batches_dir)
+            nbytes = path.stat().st_size
+            with self._mutex:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO batches (graph_hash, num_samples, "
+                    "seed, num_edges, num_words, filename, nbytes, created_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (graph_hash, num_samples, seed, int(words.shape[0]),
+                     int(words.shape[1]), filename, nbytes, time.time()),
+                )
+        self.counters.batch_stores += 1
+        return True
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Make a rename durable by fsyncing the containing directory."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - exotic filesystems
+            pass
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------
+    # exact-match result cache
+    # ------------------------------------------------------------------
+    def get_results(
+        self,
+        graph_hash: str,
+        estimator: str,
+        pairs: Iterable[Pair],
+        num_samples: int,
+        seed: int,
+    ) -> Dict[Pair, float]:
+        """Cached values for exactly-matching pairs (missing pairs absent).
+
+        Counts one hit or miss per *distinct* requested pair.
+        """
+        found: Dict[Pair, float] = {}
+        distinct = list(dict.fromkeys(pairs))
+        with self._mutex:
+            for s, t in distinct:
+                row = self._conn.execute(
+                    "SELECT value FROM results WHERE graph_hash = ? AND "
+                    "estimator = ? AND source = ? AND target = ? AND "
+                    "num_samples = ? AND seed = ?",
+                    (graph_hash, estimator, s, t, num_samples, seed),
+                ).fetchone()
+                if row is not None:
+                    found[(s, t)] = row[0]
+        self.counters.result_hits += len(found)
+        self.counters.result_misses += len(distinct) - len(found)
+        return found
+
+    def put_results(
+        self,
+        graph_hash: str,
+        estimator: str,
+        values: Dict[Pair, float],
+        num_samples: int,
+        seed: int,
+    ) -> None:
+        """Cache freshly computed ``(s, t) -> value`` entries."""
+        if not values:
+            return
+        now = time.time()
+        rows = [
+            (graph_hash, estimator, s, t, num_samples, seed, value, now)
+            for (s, t), value in values.items()
+        ]
+        with self._mutex:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO results (graph_hash, estimator, "
+                "source, target, num_samples, seed, value, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+        self.counters.result_stores += len(rows)
+
+    def clear_results(self, graph_hash: Optional[str] = None) -> int:
+        """Drop cached results (all, or one graph's); returns rows removed.
+
+        The result cache is keyed by content hash, so a graph swap
+        invalidates *implicitly* — new hash, new namespace.  This
+        explicit form exists for operators who want stale namespaces
+        gone (``repro index vacuum --drop-results``) and for tests.
+        """
+        with self._mutex:
+            if graph_hash is None:
+                cursor = self._conn.execute("DELETE FROM results")
+            else:
+                cursor = self._conn.execute(
+                    "DELETE FROM results WHERE graph_hash = ?", (graph_hash,)
+                )
+            return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def stats(self) -> StoreStats:
+        """Catalog totals plus this process's traffic counters."""
+        with self._mutex:
+            num_batches = self._conn.execute(
+                "SELECT COUNT(*) FROM batches"
+            ).fetchone()[0]
+            num_results = self._conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()[0]
+            batch_bytes = self._conn.execute(
+                "SELECT COALESCE(SUM(nbytes), 0) FROM batches"
+            ).fetchone()[0]
+        return StoreStats(
+            path=str(self.root),
+            schema_version=SCHEMA_VERSION,
+            num_batches=num_batches,
+            num_results=num_results,
+            batch_bytes=batch_bytes,
+            counters=self.counters,
+        )
+
+    def list_batches(self) -> List[dict]:
+        """Catalog rows of every stored batch (for ``repro index inspect``)."""
+        with self._mutex:
+            rows = self._conn.execute(
+                "SELECT graph_hash, num_samples, seed, num_edges, num_words, "
+                "filename, nbytes, created_at FROM batches "
+                "ORDER BY graph_hash, num_samples, seed"
+            ).fetchall()
+        keys = ("graph_hash", "num_samples", "seed", "num_edges",
+                "num_words", "filename", "nbytes", "created_at")
+        return [dict(zip(keys, row)) for row in rows]
+
+    def vacuum(self) -> VacuumReport:
+        """Reap crash debris and reclaim space.
+
+        Removes ``.tmp`` leftovers and orphan batch files (written but
+        never cataloged), prunes catalog rows whose files are missing
+        or size-mismatched, and ``VACUUM``-s the catalog.  Safe to run
+        while readers are active; takes the writer lock.
+        """
+        report = VacuumReport()
+        with self.write_lock():
+            referenced = set()
+            for row in self.list_batches():
+                path = self.batches_dir / row["filename"]
+                try:
+                    ok = path.stat().st_size == row["nbytes"]
+                except OSError:
+                    ok = False
+                if ok:
+                    referenced.add(row["filename"])
+                else:
+                    self._prune_batch(
+                        row["graph_hash"], row["num_samples"], row["seed"],
+                        path,
+                    )
+                    report.pruned_rows += 1
+            for path in self.batches_dir.iterdir():
+                if path.name in referenced:
+                    continue
+                is_tmp = ".tmp." in path.name
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                    if is_tmp:
+                        report.removed_tmp_files += 1
+                    else:
+                        report.removed_orphan_files += 1
+            with self._mutex:
+                self._conn.execute("VACUUM")
+        return report
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"<IndexStore {str(self.root)!r} batches={stats.num_batches} "
+            f"results={stats.num_results}>"
+        )
+
+
+def describe_store(root: Union[str, Path]) -> str:
+    """Human-readable one-stop summary (``repro index inspect``)."""
+    with IndexStore(root) as store:
+        stats = store.stats()
+        lines = [
+            f"store:          {stats.path}",
+            f"schema version: {stats.schema_version}",
+            f"world batches:  {stats.num_batches} "
+            f"({stats.batch_bytes / 1e6:.1f} MB)",
+            f"cached results: {stats.num_results}",
+        ]
+        for row in store.list_batches():
+            lines.append(
+                f"  {row['graph_hash'][:12]}…  Z={row['num_samples']:<7} "
+                f"seed={row['seed']:<6} edges={row['num_edges']:<8} "
+                f"{row['nbytes'] / 1e6:.1f} MB"
+            )
+        return "\n".join(lines)
+
+
+def _json_default(value):  # pragma: no cover - debugging helper
+    return str(value)
+
+
+def dump_stats_json(root: Union[str, Path]) -> str:
+    """JSON form of :func:`describe_store` (``repro index inspect --json``)."""
+    with IndexStore(root) as store:
+        payload = store.stats().as_dict()
+        payload["batches"] = store.list_batches()
+    return json.dumps(payload, indent=2, default=_json_default)

@@ -302,6 +302,11 @@ class AsyncSession:
         plan and every cached world batch are evicted explicitly — two
         distinct graph objects may share a ``version`` counter value,
         so the version check alone cannot be trusted across a swap.
+        Entries in an attached persistent store need no eviction at
+        all: they are keyed by the graph's **content hash**
+        (:meth:`repro.graph.UncertainGraph.content_hash`), so the new
+        graph simply reads and writes its own namespace — the
+        version-collision hazard cannot reach the disk tier.
         """
         if self._closed:
             raise RuntimeError("AsyncSession is closed")
@@ -324,6 +329,18 @@ class AsyncSession:
     def graph(self) -> UncertainGraph:
         """The graph the wrapped session currently serves."""
         return self.session.graph
+
+    def store_stats(self) -> Optional[dict]:
+        """Persistent-index statistics of the wrapped session.
+
+        ``None`` when the session has no :class:`repro.index.IndexStore`
+        attached; otherwise the dict ``/healthz`` embeds under
+        ``"store"`` (catalog sizes plus hit/miss counters).  Reading
+        SQLite aggregates from the event-loop thread is safe: the
+        catalog connection is WAL-mode and the worker thread only ever
+        appends.
+        """
+        return self.session.store_stats()
 
     # ------------------------------------------------------------------
     # flushing

@@ -19,8 +19,10 @@ of third-party dependencies.  Four endpoints:
     response echoes the new graph's ``version`` — the key every cached
     plan and world batch is invalidated on.
 ``GET /healthz``
-    Liveness plus the served graph's identity/version and the
-    coalescer's batching counters.
+    Liveness plus the served graph's identity/version, the coalescer's
+    batching counters and — when a persistent index is attached
+    (``repro serve --store``) — the store's catalog sizes and hit/miss
+    counters.
 
 Concurrent requests hitting ``/reliability`` and ``/maximize`` within
 one coalescing window are folded into a single ``Session.run``
@@ -451,8 +453,16 @@ class ReliabilityServer:
         }
 
     def _healthz(self) -> dict:
-        """Body of the ``/healthz`` response."""
-        return {
+        """Body of the ``/healthz`` response.
+
+        When the wrapped session has a persistent index attached
+        (``repro serve --store``), a ``"store"`` section reports the
+        catalog sizes and hit/miss counters next to the coalescer's
+        batching counters; without one the key is absent entirely, so
+        monitors can distinguish "no store" from "store with no
+        traffic".
+        """
+        payload = {
             "status": "ok",
             "graph": self._graph_info(),
             "coalescer": {
@@ -461,6 +471,10 @@ class ReliabilityServer:
                 **self.serving.stats.as_dict(),
             },
         }
+        store = self.serving.store_stats()
+        if store is not None:
+            payload["store"] = store
+        return payload
 
 
 async def _read_request(reader: asyncio.StreamReader) -> Optional[_Request]:

@@ -65,6 +65,7 @@ def test_public_surface_docstring_examples():
     import repro.api.queries
     import repro.api.results
     import repro.api.session
+    import repro.index.store
     import repro.reliability.registry
     import repro.serve.async_session
     import repro.serve.http
@@ -73,6 +74,7 @@ def test_public_surface_docstring_examples():
         (repro.api.queries, 4),
         (repro.api.results, 4),
         (repro.api.session, 6),
+        (repro.index.store, 4),
         (repro.reliability.registry, 4),
         (repro.serve.async_session, 6),
         (repro.serve.http, 5),

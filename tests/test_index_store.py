@@ -1,0 +1,216 @@
+"""Tests for the persistent reliability index store (`repro.index`)."""
+
+import numpy as np
+import pytest
+
+from repro.index import (
+    SCHEMA_VERSION,
+    IndexStore,
+    SchemaMismatchError,
+    StoreError,
+    StoreLockTimeout,
+    describe_store,
+    dump_stats_json,
+)
+
+HASH_A = "a" * 64
+HASH_B = "b" * 64
+
+
+@pytest.fixture
+def store(tmp_path):
+    with IndexStore(tmp_path / "store") as s:
+        yield s
+
+
+def words(num_edges=5, width=2, fill=0x5A5A5A5A5A5A5A5A):
+    return np.full((num_edges, width), fill, dtype=np.uint64)
+
+
+class TestBatchRoundTrip:
+    def test_save_then_load_is_identical(self, store):
+        payload = words()
+        assert store.save_batch(HASH_A, 1000, 7, payload)
+        loaded = store.load_batch(HASH_A, 1000, 7)
+        assert loaded is not None
+        assert loaded.dtype == np.uint64
+        np.testing.assert_array_equal(np.asarray(loaded), payload)
+
+    def test_load_is_readonly_memmap(self, store):
+        store.save_batch(HASH_A, 1000, 7, words())
+        loaded = store.load_batch(HASH_A, 1000, 7)
+        assert isinstance(loaded, np.memmap)
+        with pytest.raises((ValueError, RuntimeError)):
+            loaded[0, 0] = 1
+
+    def test_missing_batch_is_a_miss(self, store):
+        assert store.load_batch(HASH_A, 1000, 7) is None
+        assert store.counters.batch_misses == 1
+
+    def test_key_is_hash_z_seed(self, store):
+        store.save_batch(HASH_A, 1000, 7, words(fill=1))
+        assert store.load_batch(HASH_B, 1000, 7) is None
+        assert store.load_batch(HASH_A, 2000, 7) is None
+        assert store.load_batch(HASH_A, 1000, 8) is None
+        assert store.load_batch(HASH_A, 1000, 7) is not None
+
+    def test_save_is_idempotent(self, store):
+        assert store.save_batch(HASH_A, 1000, 7, words(fill=1)) is True
+        assert store.save_batch(HASH_A, 1000, 7, words(fill=2)) is False
+        # The first write wins: a stored batch is immutable.
+        assert int(store.load_batch(HASH_A, 1000, 7)[0, 0]) == 1
+
+    def test_expected_edges_mismatch_prunes(self, store):
+        store.save_batch(HASH_A, 1000, 7, words(num_edges=5))
+        assert store.load_batch(HASH_A, 1000, 7, expected_edges=9) is None
+        assert store.counters.corrupt_batches == 1
+        # The row is gone entirely, not just skipped.
+        assert store.load_batch(HASH_A, 1000, 7, expected_edges=5) is None
+
+    def test_rejects_non_uint64(self, store):
+        with pytest.raises(ValueError):
+            store.save_batch(HASH_A, 1000, 7,
+                             np.zeros((2, 2), dtype=np.int64))
+
+    def test_survives_reopen(self, tmp_path):
+        payload = words(fill=3)
+        with IndexStore(tmp_path / "s") as store:
+            store.save_batch(HASH_A, 500, 1, payload)
+        with IndexStore(tmp_path / "s") as store:
+            np.testing.assert_array_equal(
+                np.asarray(store.load_batch(HASH_A, 500, 1)), payload
+            )
+
+
+class TestCorruptionDetection:
+    def _saved_path(self, store):
+        [row] = store.list_batches()
+        return store.batches_dir / row["filename"]
+
+    def test_truncated_file_pruned_and_missed(self, store):
+        store.save_batch(HASH_A, 1000, 7, words())
+        path = self._saved_path(store)
+        path.write_bytes(path.read_bytes()[:-16])
+        assert store.load_batch(HASH_A, 1000, 7) is None
+        assert store.counters.corrupt_batches == 1
+        assert not path.exists()
+        assert store.list_batches() == []
+
+    def test_deleted_file_pruned_and_missed(self, store):
+        store.save_batch(HASH_A, 1000, 7, words())
+        self._saved_path(store).unlink()
+        assert store.load_batch(HASH_A, 1000, 7) is None
+        assert store.counters.corrupt_batches == 1
+
+    def test_same_size_garbage_pruned(self, store):
+        store.save_batch(HASH_A, 1000, 7, words())
+        path = self._saved_path(store)
+        path.write_bytes(b"\x00" * path.stat().st_size)
+        assert store.load_batch(HASH_A, 1000, 7) is None
+        assert store.counters.corrupt_batches == 1
+
+
+class TestSchemaVersioning:
+    def test_mismatch_refused_untouched(self, tmp_path):
+        root = tmp_path / "s"
+        with IndexStore(root) as store:
+            store.save_batch(HASH_A, 100, 0, words())
+            store._conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(SCHEMA_VERSION + 1),),
+            )
+        before = sorted(p.name for p in root.rglob("*") if p.is_file())
+        with pytest.raises(SchemaMismatchError):
+            IndexStore(root)
+        after = sorted(p.name for p in root.rglob("*") if p.is_file())
+        assert after == before
+
+    def test_garbage_catalog_refused(self, tmp_path):
+        root = tmp_path / "s"
+        root.mkdir()
+        (root / "catalog.sqlite3").write_bytes(b"this is not sqlite at all")
+        with pytest.raises(StoreError):
+            IndexStore(root)
+
+
+class TestResultCache:
+    def test_put_get_roundtrip(self, store):
+        store.put_results(HASH_A, "mc", {(0, 1): 0.25, (0, 2): 0.5}, 1000, 7)
+        found = store.get_results(HASH_A, "mc", [(0, 1), (0, 2), (0, 3)],
+                                  1000, 7)
+        assert found == {(0, 1): 0.25, (0, 2): 0.5}
+        assert store.counters.result_hits == 2
+        assert store.counters.result_misses == 1
+
+    def test_key_includes_estimator_z_seed_hash(self, store):
+        store.put_results(HASH_A, "mc", {(0, 1): 0.25}, 1000, 7)
+        assert store.get_results(HASH_A, "lazy", [(0, 1)], 1000, 7) == {}
+        assert store.get_results(HASH_A, "mc", [(0, 1)], 2000, 7) == {}
+        assert store.get_results(HASH_A, "mc", [(0, 1)], 1000, 8) == {}
+        assert store.get_results(HASH_B, "mc", [(0, 1)], 1000, 7) == {}
+
+    def test_clear_results_scoped_by_hash(self, store):
+        store.put_results(HASH_A, "mc", {(0, 1): 0.1}, 1000, 7)
+        store.put_results(HASH_B, "mc", {(0, 1): 0.2}, 1000, 7)
+        assert store.clear_results(HASH_A) == 1
+        assert store.get_results(HASH_A, "mc", [(0, 1)], 1000, 7) == {}
+        assert store.get_results(HASH_B, "mc", [(0, 1)], 1000, 7) \
+            == {(0, 1): 0.2}
+        assert store.clear_results() == 1
+
+
+class TestWriterLock:
+    def test_lock_excludes_second_store(self, tmp_path):
+        root = tmp_path / "s"
+        with IndexStore(root) as first, IndexStore(root) as second:
+            with first.write_lock():
+                with pytest.raises(StoreLockTimeout):
+                    with second.write_lock(timeout_s=0.05):
+                        pass
+
+    def test_lock_released_after_use(self, tmp_path):
+        root = tmp_path / "s"
+        with IndexStore(root) as first, IndexStore(root) as second:
+            with first.write_lock():
+                pass
+            with second.write_lock(timeout_s=0.05):
+                pass  # acquires fine once released
+
+
+class TestMaintenance:
+    def test_vacuum_reaps_tmp_and_orphans(self, store):
+        store.save_batch(HASH_A, 1000, 7, words())
+        (store.batches_dir / "dead.npy.tmp.1234").write_bytes(b"partial")
+        (store.batches_dir / "orphan.npy").write_bytes(b"uncataloged")
+        report = store.vacuum()
+        assert report.removed_tmp_files == 1
+        assert report.removed_orphan_files == 1
+        assert report.pruned_rows == 0
+        assert store.load_batch(HASH_A, 1000, 7) is not None
+
+    def test_vacuum_prunes_stale_rows(self, store):
+        store.save_batch(HASH_A, 1000, 7, words())
+        [row] = store.list_batches()
+        (store.batches_dir / row["filename"]).unlink()
+        assert store.vacuum().pruned_rows == 1
+        assert store.list_batches() == []
+
+    def test_stats_totals(self, store):
+        store.save_batch(HASH_A, 1000, 7, words())
+        store.put_results(HASH_A, "mc", {(0, 1): 0.5}, 1000, 7)
+        stats = store.stats()
+        assert stats.num_batches == 1
+        assert stats.num_results == 1
+        assert stats.batch_bytes > 0
+        assert stats.schema_version == SCHEMA_VERSION
+        payload = stats.as_dict()
+        assert payload["counters"]["batch_stores"] == 1
+
+    def test_describe_and_json_helpers(self, tmp_path):
+        root = tmp_path / "s"
+        with IndexStore(root) as store:
+            store.save_batch(HASH_A, 1000, 7, words())
+        text = describe_store(root)
+        assert "world batches:  1" in text
+        payload = dump_stats_json(root)
+        assert '"num_batches": 1' in payload
