@@ -233,10 +233,53 @@ class Session:
         """Persistent-store catalog totals + hit/miss counters, or ``None``.
 
         JSON-ready (what ``GET /healthz`` reports under ``"store"``).
+        Best-effort like every other store interaction: a broken
+        catalog degrades to the in-process counters plus an ``"error"``
+        field instead of failing the health check.
         """
         if self.store is None:
             return None
-        return self.store.stats().as_dict()
+        try:
+            return self.store.stats().as_dict()
+        except StoreError as error:
+            return {
+                "error": str(error),
+                "counters": self.store.counters.as_dict(),
+            }
+
+    # ------------------------------------------------------------------
+    # best-effort store access
+    # ------------------------------------------------------------------
+    # The documented contract is "persistence is an optimization;
+    # serving must not fail".  IndexStore raises StoreError for every
+    # failure mode (lock timeouts, sqlite contention like 'database is
+    # locked' under multi-process result writes, a closed store), and
+    # these wrappers absorb it: reads degrade to misses, writes are
+    # dropped, and save_failures records that it happened.
+
+    def _store_get_results(
+        self, estimator: str, pairs: Sequence[Pair], samples: int, seed: int
+    ) -> Dict[Pair, float]:
+        """Result-cache read; a store failure is an ordinary miss."""
+        try:
+            return self.store.get_results(
+                self.graph_hash(), estimator, pairs, samples, seed
+            )
+        except StoreError:
+            self.store.counters.save_failures += 1
+            return {}
+
+    def _store_put_results(
+        self, estimator: str, values: Dict[Pair, float], samples: int,
+        seed: int,
+    ) -> None:
+        """Result-cache write-back; a store failure drops the entries."""
+        try:
+            self.store.put_results(
+                self.graph_hash(), estimator, values, samples, seed
+            )
+        except StoreError:
+            self.store.counters.save_failures += 1
 
     def _sync_version(self) -> None:
         if self._version != self.graph.version:
@@ -287,10 +330,16 @@ class Session:
             return cached[0], 0.0, "memory"
         if self.store is not None:
             start = time.perf_counter()
-            words = self.store.load_batch(
-                self.graph_hash(), samples, seed,
-                expected_edges=plan.num_edges,
-            )
+            try:
+                words = self.store.load_batch(
+                    self.graph_hash(), samples, seed,
+                    expected_edges=plan.num_edges,
+                )
+            except StoreError:
+                # A broken catalog reads as a miss: fall through to
+                # fresh sampling.
+                self.store.counters.save_failures += 1
+                words = None
             if words is not None:
                 batch = batch_from_words(words, samples)
                 elapsed = time.perf_counter() - start
@@ -460,8 +509,8 @@ class Session:
         cached_values: Dict[Pair, float] = {}
         start = time.perf_counter()
         if self.store is not None:
-            cached_values = self.store.get_results(
-                self.graph_hash(), name, all_pairs, samples, seed
+            cached_values = self._store_get_results(
+                name, all_pairs, samples, seed
             )
         missing = [
             pair for pair in dict.fromkeys(all_pairs)
@@ -483,9 +532,7 @@ class Session:
             solve_s = lookup_s + time.perf_counter() - start
             values.update(fresh)
             if self.store is not None:
-                self.store.put_results(
-                    self.graph_hash(), name, fresh, samples, seed
-                )
+                self._store_put_results(name, fresh, samples, seed)
         else:
             solve_s = lookup_s
 
@@ -624,9 +671,7 @@ class Session:
             self._sync_version()
             values: Dict[Pair, float] = {}
             if self.store is not None:
-                values = self.store.get_results(
-                    self.graph_hash(), "mc", pairs, samples, seed
-                )
+                values = self._store_get_results("mc", pairs, samples, seed)
             missing = [
                 pair for pair in dict.fromkeys(pairs) if pair not in values
             ]
@@ -639,9 +684,7 @@ class Session:
                 )
                 values.update(fresh)
                 if self.store is not None:
-                    self.store.put_results(
-                        self.graph_hash(), "mc", fresh, samples, seed
-                    )
+                    self._store_put_results("mc", fresh, samples, seed)
             return [values[pair] for pair in pairs]
         estimator = make_estimator("mc", samples, seed=seed)
         return estimator.reliability_many(

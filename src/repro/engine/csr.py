@@ -168,8 +168,15 @@ def _compile(graph: UncertainGraph) -> QueryPlan:
     arc_eid = np.empty(num_arcs, dtype=np.int64)
     edge_index: Dict[EdgeKey, Tuple[int, ...]] = {}
 
+    # Edge ids are assigned in sorted (u, v) order — the same canonical
+    # order UncertainGraph.content_hash() hashes edges in — never in
+    # insertion order.  The persistent index (repro.index) files world
+    # batches by content hash with one coin row per edge id, so two
+    # content-equal graphs MUST compile to the same edge-id layout or a
+    # store hit would hand one graph coin rows permuted against the
+    # other's probabilities.
     pos = 0
-    for eid, (u, v, p) in enumerate(graph.edges()):
+    for eid, (u, v, p) in enumerate(sorted(graph.edges())):
         probs[eid] = p
         key = canonical_key(directed, u, v)
         edge_index[key] = edge_index.get(key, ()) + (eid,)

@@ -166,6 +166,11 @@ class UncertainGraph:
         # Probabilities hash by their exact float64 bits: estimates are
         # deterministic functions of those bits, so equal hash => equal
         # sampling behavior, and any reweighting invalidates.
+        # The sorted order here is load-bearing: the engine compiler
+        # (repro.engine.csr._compile) assigns edge ids in the same
+        # sorted order, so equal hash => identical edge-id layout =>
+        # a persisted world batch's coin rows line up for every graph
+        # that hashes to it.
         for u, v, p in sorted(self.edges()):
             digest.update(struct.pack("<qqd", u, v, p))
         digest.update(b"|nodes|")

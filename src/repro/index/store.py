@@ -31,6 +31,12 @@ Robustness discipline
 * **One writer at a time.**  Batch persists take an ``flock`` on
   ``<root>/.lock``; concurrent writers queue up to ``lock_timeout_s``
   and then fail with :class:`StoreLockTimeout` instead of interleaving.
+* **Typed failures.**  Every catalog operation translates raw
+  ``sqlite3`` errors (e.g. ``database is locked`` under multi-process
+  result writes) into :class:`StoreError`, and a closed store raises
+  ``StoreError('store is closed')`` instead of ``AttributeError`` —
+  callers that treat persistence as best-effort only ever need to
+  catch one exception type.
 """
 
 from __future__ import annotations
@@ -97,6 +103,10 @@ class StoreCounters:
     result_misses: int = 0
     result_stores: int = 0
     corrupt_batches: int = 0
+    #: Store operations that raised :class:`StoreError` and were
+    #: absorbed best-effort by a caller (lock timeouts, catalog write
+    #: contention, reads against a broken catalog).  A non-zero value
+    #: means serving fell back to recomputation, never a wrong answer.
     save_failures: int = 0
 
     def as_dict(self) -> dict:
@@ -261,6 +271,27 @@ class IndexStore:
         """Close the store on context exit."""
         self.close()
 
+    @contextlib.contextmanager
+    def _catalog_op(self, operation: str):
+        """Serialized catalog access with typed failures.
+
+        Yields the live connection under the store mutex; raises
+        :class:`StoreError` when the store is closed, and translates
+        any ``sqlite3`` error (``database is locked``, disk I/O, …)
+        raised in the body into :class:`StoreError` so callers treating
+        persistence as best-effort can catch one exception type.
+        """
+        with self._mutex:
+            conn = self._conn
+            if conn is None:
+                raise StoreError(f"{self.root}: store is closed")
+            try:
+                yield conn
+            except sqlite3.Error as error:
+                raise StoreError(
+                    f"{self.root}: {operation} failed ({error})"
+                ) from error
+
     # ------------------------------------------------------------------
     # writer lock
     # ------------------------------------------------------------------
@@ -304,7 +335,10 @@ class IndexStore:
     # world batches
     # ------------------------------------------------------------------
     def _batch_filename(self, graph_hash: str, num_samples: int, seed: int) -> str:
-        return f"{graph_hash[:20]}-Z{num_samples}-s{seed}.npy"
+        # The full hash goes into the name: a truncated prefix would let
+        # two graphs with colliding prefixes and the same (Z, seed)
+        # silently clobber each other's files via os.replace.
+        return f"{graph_hash}-Z{num_samples}-s{seed}.npy"
 
     def load_batch(
         self,
@@ -322,8 +356,8 @@ class IndexStore:
         in :attr:`StoreCounters.corrupt_batches`, and reported as a
         miss — the caller resamples and the store heals itself.
         """
-        with self._mutex:
-            row = self._conn.execute(
+        with self._catalog_op("batch lookup") as conn:
+            row = conn.execute(
                 "SELECT filename, num_edges, num_words, nbytes FROM batches "
                 "WHERE graph_hash = ? AND num_samples = ? AND seed = ?",
                 (graph_hash, num_samples, seed),
@@ -358,8 +392,8 @@ class IndexStore:
         self, graph_hash: str, num_samples: int, seed: int, path: Path
     ) -> None:
         """Drop a bad batch's catalog row and file (best-effort)."""
-        with self._mutex:
-            self._conn.execute(
+        with self._catalog_op("batch prune") as conn:
+            conn.execute(
                 "DELETE FROM batches "
                 "WHERE graph_hash = ? AND num_samples = ? AND seed = ?",
                 (graph_hash, num_samples, seed),
@@ -386,8 +420,8 @@ class IndexStore:
         filename = self._batch_filename(graph_hash, num_samples, seed)
         path = self.batches_dir / filename
         with self.write_lock():
-            with self._mutex:
-                exists = self._conn.execute(
+            with self._catalog_op("batch lookup") as conn:
+                exists = conn.execute(
                     "SELECT 1 FROM batches "
                     "WHERE graph_hash = ? AND num_samples = ? AND seed = ?",
                     (graph_hash, num_samples, seed),
@@ -407,8 +441,8 @@ class IndexStore:
                     tmp.unlink()
             self._fsync_dir(self.batches_dir)
             nbytes = path.stat().st_size
-            with self._mutex:
-                self._conn.execute(
+            with self._catalog_op("batch catalog insert") as conn:
+                conn.execute(
                     "INSERT OR REPLACE INTO batches (graph_hash, num_samples, "
                     "seed, num_edges, num_words, filename, nbytes, created_at) "
                     "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
@@ -449,9 +483,9 @@ class IndexStore:
         """
         found: Dict[Pair, float] = {}
         distinct = list(dict.fromkeys(pairs))
-        with self._mutex:
+        with self._catalog_op("result-cache read") as conn:
             for s, t in distinct:
-                row = self._conn.execute(
+                row = conn.execute(
                     "SELECT value FROM results WHERE graph_hash = ? AND "
                     "estimator = ? AND source = ? AND target = ? AND "
                     "num_samples = ? AND seed = ?",
@@ -479,8 +513,8 @@ class IndexStore:
             (graph_hash, estimator, s, t, num_samples, seed, value, now)
             for (s, t), value in values.items()
         ]
-        with self._mutex:
-            self._conn.executemany(
+        with self._catalog_op("result-cache write") as conn:
+            conn.executemany(
                 "INSERT OR REPLACE INTO results (graph_hash, estimator, "
                 "source, target, num_samples, seed, value, created_at) "
                 "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
@@ -496,11 +530,11 @@ class IndexStore:
         explicit form exists for operators who want stale namespaces
         gone (``repro index vacuum --drop-results``) and for tests.
         """
-        with self._mutex:
+        with self._catalog_op("result-cache clear") as conn:
             if graph_hash is None:
-                cursor = self._conn.execute("DELETE FROM results")
+                cursor = conn.execute("DELETE FROM results")
             else:
-                cursor = self._conn.execute(
+                cursor = conn.execute(
                     "DELETE FROM results WHERE graph_hash = ?", (graph_hash,)
                 )
             return cursor.rowcount
@@ -510,14 +544,14 @@ class IndexStore:
     # ------------------------------------------------------------------
     def stats(self) -> StoreStats:
         """Catalog totals plus this process's traffic counters."""
-        with self._mutex:
-            num_batches = self._conn.execute(
+        with self._catalog_op("stats") as conn:
+            num_batches = conn.execute(
                 "SELECT COUNT(*) FROM batches"
             ).fetchone()[0]
-            num_results = self._conn.execute(
+            num_results = conn.execute(
                 "SELECT COUNT(*) FROM results"
             ).fetchone()[0]
-            batch_bytes = self._conn.execute(
+            batch_bytes = conn.execute(
                 "SELECT COALESCE(SUM(nbytes), 0) FROM batches"
             ).fetchone()[0]
         return StoreStats(
@@ -531,8 +565,8 @@ class IndexStore:
 
     def list_batches(self) -> List[dict]:
         """Catalog rows of every stored batch (for ``repro index inspect``)."""
-        with self._mutex:
-            rows = self._conn.execute(
+        with self._catalog_op("batch listing") as conn:
+            rows = conn.execute(
                 "SELECT graph_hash, num_samples, seed, num_edges, num_words, "
                 "filename, nbytes, created_at FROM batches "
                 "ORDER BY graph_hash, num_samples, seed"
@@ -576,8 +610,8 @@ class IndexStore:
                         report.removed_tmp_files += 1
                     else:
                         report.removed_orphan_files += 1
-            with self._mutex:
-                self._conn.execute("VACUUM")
+            with self._catalog_op("vacuum") as conn:
+                conn.execute("VACUUM")
         return report
 
     def __repr__(self) -> str:

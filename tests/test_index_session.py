@@ -149,6 +149,41 @@ class TestParity:
         )
         assert batch_warm.num_samples == batch_cold.num_samples
 
+    def test_insertion_order_cannot_permute_store_batches(self, store):
+        # Two content-equal graphs built in different edge insertion
+        # orders share a content hash, so they share store entries.
+        # The compiled edge-id layout must therefore be canonical
+        # (sorted, like the hash) or a warm load would pair one graph's
+        # coin rows with the other's edge probabilities.
+        import numpy as np
+
+        from repro.engine import compile_plan
+
+        edges = [(0, 1, 0.9), (1, 2, 0.1), (0, 3, 0.5), (3, 2, 0.7)]
+        a = UncertainGraph.from_edges(edges)
+        b = UncertainGraph.from_edges(list(reversed(edges)))
+        assert a.content_hash() == b.content_hash()
+        np.testing.assert_array_equal(
+            compile_plan(a).probs, compile_plan(b).probs
+        )
+
+        primed = Session(a, seed=17, store=store)
+        primed.world_batch(1024, 17)  # persist under the shared hash
+
+        warm = Session(b, seed=17, store=reopen(store))
+        batch, _, source = warm.world_batch(1024, 17)
+        assert source == "store"
+        cold_batch, _, _ = Session(b, seed=17).world_batch(1024, 17)
+        np.testing.assert_array_equal(
+            np.asarray(batch.alive), np.asarray(cold_batch.alive)
+        )
+        # And the values answered from the shared batch match B's own
+        # cold sampling bit-for-bit.
+        warm_result = warm.reliability(0, target=2, samples=1024)
+        cold_result = Session(b, seed=17).reliability(0, target=2,
+                                                      samples=1024)
+        assert warm_result.values == cold_result.values
+
     def test_evaluate_pairs_uses_result_cache(self, graph, store):
         pairs = [(0, 30), (1, 31)]
         cold = Session(graph, seed=9).evaluate_pairs(pairs, samples=2048,
@@ -203,6 +238,22 @@ class TestInvalidation:
         again = session.reliability(0, target=2, samples=4096)
         assert again.values == high.values
         assert again.provenance.cache_hits == 1
+
+    def test_broken_store_degrades_to_cold_serving(self, graph, store):
+        # "Persistence is an optimization; serving must not fail":
+        # break the catalog underneath a live session and every tier —
+        # result-cache read/write, batch load/save, /healthz stats —
+        # must degrade best-effort instead of raising.
+        session = Session(graph, seed=9, store=store)
+        store._conn.close()  # simulate a dead catalog, store not closed
+        result = session.reliability(0, target=30, samples=2048)
+        expected = Session(graph, seed=9).reliability(0, target=30,
+                                                      samples=2048)
+        assert result.values == expected.values
+        assert store.counters.save_failures > 0
+        stats = session.store_stats()
+        assert "error" in stats
+        assert stats["counters"]["save_failures"] > 0
 
     def test_store_requires_engine(self, graph, store, monkeypatch):
         import repro.api.session as session_module

@@ -159,6 +159,39 @@ class TestResultCache:
         assert store.clear_results() == 1
 
 
+class TestTypedFailures:
+    def test_closed_store_raises_store_error(self, tmp_path):
+        store = IndexStore(tmp_path / "s")
+        store.close()
+        with pytest.raises(StoreError, match="closed"):
+            store.load_batch(HASH_A, 1000, 7)
+        with pytest.raises(StoreError, match="closed"):
+            store.get_results(HASH_A, "mc", [(0, 1)], 1000, 7)
+        with pytest.raises(StoreError, match="closed"):
+            store.stats()
+        store.close()  # still idempotent
+
+    def test_sqlite_errors_become_store_errors(self, store):
+        # e.g. 'database is locked' under multi-process result writes:
+        # raw sqlite3 errors must surface as StoreError so best-effort
+        # callers need only one except clause.
+        store._conn.close()  # dead connection, store believes it's open
+        with pytest.raises(StoreError):
+            store.put_results(HASH_A, "mc", {(0, 1): 0.5}, 1000, 7)
+        with pytest.raises(StoreError):
+            store.get_results(HASH_A, "mc", [(0, 1)], 1000, 7)
+        with pytest.raises(StoreError):
+            store.save_batch(HASH_A, 1000, 7, words())
+        store._conn = None  # skip the double-close in the fixture
+
+    def test_batch_filename_uses_full_hash(self, store):
+        store.save_batch(HASH_A, 1000, 7, words())
+        [row] = store.list_batches()
+        # A truncated prefix would let two prefix-colliding graphs
+        # os.replace each other's files; the full hash rules that out.
+        assert row["filename"].startswith(HASH_A)
+
+
 class TestWriterLock:
     def test_lock_excludes_second_store(self, tmp_path):
         root = tmp_path / "s"
