@@ -106,7 +106,7 @@ def test_ablation_elimination_stages(benchmark):
     )
     # Each stage strictly shrinks the candidate universe.
     assert max(stage1_out) < min(stage1_in)
-    assert all(b <= a for a, b in zip(stage1_out, stage2_out))
+    assert all(b <= a for a, b in zip(stage1_out, stage2_out, strict=True))
 
 
 def test_random_floor(benchmark):

@@ -102,7 +102,7 @@ def compare(graph, pairs, samples: int, label: str):
     print(f"  speedup:           {speedup:9.1f}x")
     mismatches = [
         (pair, a, b)
-        for pair, a, b in zip(pairs, cold_values, session_values)
+        for pair, a, b in zip(pairs, cold_values, session_values, strict=True)
         if a != b
     ]
     return {

@@ -61,7 +61,7 @@ def test_extension_probability_budget(benchmark):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     afters = [rows[b][2] for b in BUDGETS]
     # A larger probability budget can never produce a worse MRP.
-    assert all(b >= a - 1e-9 for a, b in zip(afters, afters[1:]))
+    assert all(b >= a - 1e-9 for a, b in zip(afters, afters[1:], strict=False))
     # Every budget at least matches the no-addition MRP.
     for budget in BUDGETS:
         assert rows[budget][2] >= rows[budget][1] - 1e-9

@@ -83,7 +83,7 @@ def test_figures06_07(benchmark):
     # The paper's qualitative mechanism: the added links bridge into the
     # target's weakly-connected region (they touch the target side).
     graph = intel_lab.build()
-    for (label, solution), (_, s, t) in zip(outcomes, SCENARIOS):
+    for (label, solution), (_, s, t) in zip(outcomes, SCENARIOS, strict=True):
         touched = {u for u, v, _ in solution.edges} | {
             v for u, v, _ in solution.edges
         }

@@ -129,7 +129,7 @@ def run(smoke: bool, json_path: str | None) -> int:
 
     # The store is a cache of deterministic computations: a warm restart
     # must return exactly what the cold computation produced.
-    mismatches = sum(1 for a, b in zip(cold_values, warm_values) if a != b)
+    mismatches = sum(1 for a, b in zip(cold_values, warm_values, strict=True) if a != b)
 
     report = {
         "num_nodes": graph.num_nodes,

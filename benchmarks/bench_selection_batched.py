@@ -110,7 +110,7 @@ def check_parity(z: int, seed: int):
     """Selected edge sequences must match across both paths."""
     failures = []
     for name, graph, s, t, k, candidates, probs in parity_fixtures():
-        prob_model = lambda u, v: probs[(u, v)]  # noqa: E731
+        prob_model = lambda u, v, probs=probs: probs[(u, v)]
         per_candidate = hill_climbing(
             graph, s, t, k, candidates, prob_model,
             make_estimator("mc", z, seed=seed), vectorized=False,

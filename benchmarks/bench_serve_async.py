@@ -129,7 +129,7 @@ def run(smoke: bool, json_path: str | None) -> int:
     # The coalesced path must return exactly what one-off Session.run
     # calls return: same (Z, seed) worlds, same plan, same values.
     mismatches = sum(
-        1 for a, b in zip(sequential_values, coalesced_values) if a != b
+        1 for a, b in zip(sequential_values, coalesced_values, strict=True) if a != b
     )
 
     report = {

@@ -59,7 +59,7 @@ def run_table2():
 def test_table2_matches_paper(benchmark):
     results = benchmark.pedantic(run_table2, rounds=1, iterations=1)
     for (_, computed, paper) in results:
-        for mine, theirs in zip(computed, paper):
+        for mine, theirs in zip(computed, paper, strict=True):
             assert mine == pytest.approx(theirs, abs=1e-3)
     # The winning solution changes across rows (Observations 1 and 2).
     winners = [max(range(3), key=lambda i: computed[i])

@@ -30,8 +30,8 @@ def run():
         table = ResultTable(
             f"Tables 12/13: varying budget k ({name}-like, zeta=0.5, "
             f"r=15, l=15)",
-            ["k"] + [f"{method_label(m)} gain" for m in METHODS]
-            + [f"{method_label(m)} time (s)" for m in METHODS],
+            ["k", *[f"{method_label(m)} gain" for m in METHODS],
+             *[f"{method_label(m)} time (s)" for m in METHODS]],
         )
         per_k = {}
         for k in K_VALUES:

@@ -30,8 +30,8 @@ def run():
         table = ResultTable(
             f"Tables 14/15: varying new-edge probability zeta "
             f"({name}-like, k=5, r=15, l=15)",
-            ["zeta"] + [f"{method_label(m)} gain" for m in METHODS]
-            + [f"{method_label(m)} time (s)" for m in METHODS],
+            ["zeta", *[f"{method_label(m)} gain" for m in METHODS],
+             *[f"{method_label(m)} time (s)" for m in METHODS]],
         )
         per_zeta = {}
         for zeta in ZETA_VALUES:
@@ -59,7 +59,7 @@ def test_tables14_15(benchmark):
         # Strictly more probable new edges help strictly more (up to noise).
         assert gains[-1] > gains[0]
         assert gains == sorted(gains) or all(
-            b >= a - 0.05 for a, b in zip(gains, gains[1:])
+            b >= a - 0.05 for a, b in zip(gains, gains[1:], strict=False)
         )
         # zeta=1 dominates every other setting.
         assert gains[-1] == max(gains)

@@ -37,7 +37,7 @@ def run():
     queries = queries_for(graph, count=2, seed=37)
     table = ResultTable(
         "Table 16: random new-edge probabilities (twitter-like, k=5)",
-        ["New-edge model"] + [f"{method_label(m)} gain" for m in METHODS],
+        ["New-edge model", *[f"{method_label(m)} gain" for m in METHODS]],
     )
     results = {}
     for label, make_model in MODELS:

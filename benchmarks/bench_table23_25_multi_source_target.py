@@ -31,9 +31,9 @@ def run():
         table = ResultTable(
             f"Table {TABLE_IDS[aggregate]}: multi-source-target "
             f"({aggregate}), twitter-like, k=4, k1/k=25%",
-            ["#Src:#Tgt"]
-            + [f"{method_label(m)} gain" for m in METHODS]
-            + [f"{method_label(m)} time (s)" for m in METHODS],
+            ["#Src:#Tgt",
+             *[f"{method_label(m)} gain" for m in METHODS],
+             *[f"{method_label(m)} time (s)" for m in METHODS]],
         )
         per_size = {}
         for size in SET_SIZES:

@@ -1,0 +1,37 @@
+"""Repo-specific static analysis + runtime sanitizer (``repro check``).
+
+Two halves, one purpose — keep the determinism contracts that every
+layer of this repo depends on machine-enforced instead of
+tribal-knowledge:
+
+:mod:`repro.analysis.rules` / :mod:`repro.analysis.checker`
+    ``repro-check``, an stdlib-``ast`` lint pass with one named rule
+    per invariant (REP001-REP005: seeded RNG only, version bumps on
+    graph mutation, content-hash-keyed disk state, immutable world
+    batches, no wall clock in timings).  Run it as ``repro check`` or
+    ``python -m repro.analysis``; suppress a finding with a trailing
+    ``# repro-check: disable=REPxxx``.
+:mod:`repro.analysis.sanitize`
+    The runtime counterpart (``REPRO_SANITIZE=1`` or
+    :func:`~repro.analysis.sanitize.enable`): thread-affinity guards on
+    sessions and stores, read-only world-batch arrays, probability
+    range/NaN asserts at the kernel door.
+
+See the "Invariants" section of ``docs/architecture.md`` for what each
+rule protects and which layer depends on it.
+"""
+
+from . import sanitize
+from .checker import check_paths, check_source, main
+from .rules import ALL_RULES, Diagnostic, FileContext, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "FileContext",
+    "Rule",
+    "check_paths",
+    "check_source",
+    "main",
+    "sanitize",
+]

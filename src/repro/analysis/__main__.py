@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — alias for ``repro check``."""
+
+import sys
+
+from .checker import main
+
+if __name__ == "__main__":
+    sys.exit(main())

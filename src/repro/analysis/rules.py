@@ -1,0 +1,364 @@
+"""The ``repro-check`` rule set: one AST rule per determinism contract.
+
+Every layer of this repo — world-batch caching, the selection gain
+kernel, warm restarts from the persistent index — is correct only
+because a handful of invariants hold.  Each rule here turns one of them
+into a machine-checked contract with file/line diagnostics:
+
+REP001
+    No unseeded or module-level RNG inside ``src/repro``.  Sampling is
+    bit-for-bit deterministic in ``(graph content, estimator, Z, seed)``
+    only if every coin flip flows from an explicit seed.
+REP002
+    Every ``UncertainGraph`` method that writes edge/node state must
+    bump ``version`` — the in-process counter every cached plan and
+    world batch is invalidated on.
+REP003
+    Disk-tier code (``repro.index``) never touches ``.version``: two
+    distinct graph objects can collide on the counter, so persistent
+    state is keyed on ``content_hash()`` only.
+REP004
+    ``WorldBatch`` arrays (``alive``/``valid``/``words``) are immutable
+    snapshots shared across queries, cache tiers and the store's mmap
+    files; only ``engine/kernel.py`` may construct or fill them.
+REP005
+    No wall-clock ``time.time()`` in timed paths — timings use
+    ``time.perf_counter()``.  Genuine timestamps carry an explicit
+    ``# repro-check: disable=REP005``.
+
+Rules are pure functions over ``(ast.Module, FileContext)`` so the
+fixture suite (``tests/test_repro_check.py``) can drive each one against
+minimal violating and conforming sources.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+AnyFunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation at a file/line/column."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line:col: CODE message`` (1-based column)."""
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """What a rule may know about the file being checked.
+
+    ``display_path`` is what diagnostics print; ``package_path`` is the
+    path *inside* the ``repro`` package (``("index", "store.py")``) used
+    for applicability decisions, or ``None`` for files outside it.
+    """
+
+    display_path: str
+    package_path: Optional[Tuple[str, ...]]
+    aliases: Dict[str, str]
+
+
+RuleCheck = Callable[[ast.Module, FileContext], List[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named invariant check."""
+
+    code: str
+    summary: str
+    check: RuleCheck
+
+
+def module_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted module/object path they import.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy import
+    random`` maps ``random -> numpy.random`` (shadowing the stdlib
+    module, which is exactly why resolution must go through imports and
+    never through the bare name).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname is not None:
+                    aliases[name.asname] = name.name
+                else:
+                    head = name.name.split(".", 1)[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never carry stdlib/numpy RNG
+            for name in node.names:
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def dotted_path(node: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve an expression like ``np.random.default_rng`` to its
+    imported dotted path, or ``None`` when the base is not an import."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = aliases.get(node.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def _peel_subscripts(node: ast.expr) -> ast.expr:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+# ----------------------------------------------------------------------
+# REP001 — no unseeded / module-level RNG
+# ----------------------------------------------------------------------
+
+#: ``numpy.random`` members that are explicit generator machinery, not
+#: the module-level legacy RNG.  Constructors are fine *with* a seed;
+#: argless ``default_rng()``/``RandomState()`` still violate.
+_NP_GENERATOR_API = {
+    "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+}
+#: Calls that are seeded constructors when given arguments and global /
+#: OS-entropy RNG when argless.
+_SEEDED_WHEN_ARGED = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "random.Random",
+    "random.SystemRandom",
+}
+
+
+def check_rep001(tree: ast.Module, ctx: FileContext) -> List[Diagnostic]:
+    """Flag module-level and unseeded RNG calls."""
+    out: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        full = dotted_path(node.func, ctx.aliases)
+        if full is None:
+            continue
+        if full in _SEEDED_WHEN_ARGED:
+            if not node.args and not node.keywords:
+                out.append(Diagnostic(
+                    ctx.display_path, node.lineno, node.col_offset, "REP001",
+                    f"unseeded RNG: {full}() draws OS entropy; pass an "
+                    f"explicit seed so sampling stays deterministic in "
+                    f"(graph, estimator, Z, seed)",
+                ))
+            continue
+        if full.startswith("numpy.random."):
+            member = full[len("numpy.random."):]
+            if member not in _NP_GENERATOR_API:
+                out.append(Diagnostic(
+                    ctx.display_path, node.lineno, node.col_offset, "REP001",
+                    f"module-level RNG: {full}() uses numpy's global "
+                    f"state; use np.random.default_rng(seed) instead",
+                ))
+        elif full.startswith("random."):
+            out.append(Diagnostic(
+                ctx.display_path, node.lineno, node.col_offset, "REP001",
+                f"module-level RNG: {full}() uses the stdlib global "
+                f"state; use random.Random(seed) instead",
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# REP002 — UncertainGraph mutators must bump version
+# ----------------------------------------------------------------------
+
+#: Attributes holding the graph's edge/node state.  Writing any of them
+#: without bumping ``_version`` leaves cached plans and world batches
+#: silently stale.
+_GRAPH_STATE_ATTRS = {"_succ", "_pred", "_num_edges", "_nodes"}
+#: Calling one of these on ``self`` delegates the write (and its bump).
+_GRAPH_BUMPING_METHODS = {
+    "add_node", "add_edge", "remove_edge", "set_probability",
+}
+
+
+def _self_attr(node: ast.expr, self_name: str) -> Optional[str]:
+    """``self.<attr>`` (possibly through subscripts) -> attr name."""
+    node = _peel_subscripts(node)
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == self_name
+    ):
+        return node.attr
+    return None
+
+
+def _method_writes_state(func: AnyFunctionDef, self_name: str) -> bool:
+    for node in ast.walk(func):
+        targets: Sequence[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = node.targets
+        else:
+            continue
+        for target in targets:
+            if _self_attr(target, self_name) in _GRAPH_STATE_ATTRS:
+                return True
+    return False
+
+
+def _method_bumps_version(func: AnyFunctionDef, self_name: str) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if _self_attr(target, self_name) == "_version":
+                    return True
+        elif isinstance(node, ast.Call):
+            if _self_attr(node.func, self_name) in _GRAPH_BUMPING_METHODS:
+                return True
+    return False
+
+
+def check_rep002(tree: ast.Module, ctx: FileContext) -> List[Diagnostic]:
+    """Flag ``UncertainGraph`` methods that write state without a bump."""
+    out: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.ClassDef) and node.name == "UncertainGraph"):
+            continue
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = item.args.posonlyargs + item.args.args
+            self_name = args[0].arg if args else "self"
+            if _method_writes_state(item, self_name) and not _method_bumps_version(
+                item, self_name
+            ):
+                out.append(Diagnostic(
+                    ctx.display_path, item.lineno, item.col_offset, "REP002",
+                    f"UncertainGraph.{item.name} writes edge/node state "
+                    f"but never bumps self._version; cached plans and "
+                    f"world batches would go silently stale",
+                ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# REP003 — disk tier keys on content_hash(), never version
+# ----------------------------------------------------------------------
+
+def check_rep003(tree: ast.Module, ctx: FileContext) -> List[Diagnostic]:
+    """Flag ``.version`` access anywhere under ``repro/index/``."""
+    if ctx.package_path is None or ctx.package_path[:1] != ("index",):
+        return []
+    out: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr == "version":
+            out.append(Diagnostic(
+                ctx.display_path, node.lineno, node.col_offset, "REP003",
+                "disk-tier code must never read graph.version (two "
+                "distinct graphs can collide on the counter); key "
+                "persistent state on UncertainGraph.content_hash()",
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# REP004 — WorldBatch arrays are immutable outside engine/kernel.py
+# ----------------------------------------------------------------------
+
+_BATCH_ARRAY_ATTRS = {"alive", "valid", "words"}
+_KERNEL_FILE = ("engine", "kernel.py")
+
+
+def _batch_attr(node: ast.expr) -> Optional[str]:
+    node = _peel_subscripts(node)
+    if isinstance(node, ast.Attribute) and node.attr in _BATCH_ARRAY_ATTRS:
+        return node.attr
+    return None
+
+
+def check_rep004(tree: ast.Module, ctx: FileContext) -> List[Diagnostic]:
+    """Flag in-place writes to world-batch arrays outside the kernel."""
+    if ctx.package_path == _KERNEL_FILE:
+        return []
+    out: List[Diagnostic] = []
+
+    def flag(node: ast.AST, attr: str, how: str) -> None:
+        out.append(Diagnostic(
+            ctx.display_path, node.lineno, node.col_offset, "REP004",
+            f"in-place mutation of WorldBatch.{attr} ({how}); batch "
+            f"arrays are immutable snapshots shared across queries and "
+            f"cache tiers — only engine/kernel.py builds them",
+        ))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    attr = _batch_attr(target)
+                    if attr is not None:
+                        flag(node, attr, "assignment")
+        elif isinstance(node, ast.AugAssign):
+            attr = _batch_attr(node.target)
+            if attr is not None:
+                flag(node, attr, "augmented assignment")
+        elif isinstance(node, ast.Call):
+            full = dotted_path(node.func, ctx.aliases)
+            if full == "numpy.copyto" and node.args:
+                attr = _batch_attr(node.args[0])
+                if attr is not None:
+                    flag(node, attr, "np.copyto")
+    return out
+
+
+# ----------------------------------------------------------------------
+# REP005 — no wall clock in timed paths
+# ----------------------------------------------------------------------
+
+def check_rep005(tree: ast.Module, ctx: FileContext) -> List[Diagnostic]:
+    """Flag ``time.time()`` calls (timings must use ``perf_counter``)."""
+    out: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if dotted_path(node.func, ctx.aliases) == "time.time":
+            out.append(Diagnostic(
+                ctx.display_path, node.lineno, node.col_offset, "REP005",
+                "time.time() is wall clock (NTP steps break timings); "
+                "use time.perf_counter(), or suppress with "
+                "'# repro-check: disable=REP005' for a genuine timestamp",
+            ))
+    return out
+
+
+#: The active rule set, in code order.
+ALL_RULES: Tuple[Rule, ...] = (
+    Rule("REP001", "no unseeded or module-level RNG", check_rep001),
+    Rule("REP002", "UncertainGraph mutators must bump version", check_rep002),
+    Rule("REP003", "disk tier keys on content_hash(), never version",
+         check_rep003),
+    Rule("REP004", "WorldBatch arrays are immutable outside engine/kernel.py",
+         check_rep004),
+    Rule("REP005", "no wall-clock time.time() in timed paths", check_rep005),
+)

@@ -1,0 +1,78 @@
+"""Typed optional-dependency seam for the vectorized engine.
+
+The session layer runs with or without numpy: every engine-backed path
+is gated on :data:`HAVE_ENGINE` and falls back to the scalar estimators
+when the import fails.  Historically each consumer carried its own
+``try/except ImportError`` ladder with a ``type: ignore`` per rebound
+name; this module is the one typed seam replacing them.
+
+The trick: mypy analyzes only the ``TYPE_CHECKING`` branch, which
+imports the real, fully typed names.  At runtime the ``else`` branch
+runs, substituting stubs that raise a clear ``RuntimeError`` when numpy
+is absent — callers that respect :data:`HAVE_ENGINE` never reach them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+HAVE_ENGINE: bool
+
+if TYPE_CHECKING:  # pragma: no cover - mypy-facing branch
+    import numpy as np
+    from ..engine import (
+        SelectionGainKernel,
+        batch_from_words,
+        batch_to_words,
+        compile_plan,
+        pair_hit_fractions,
+        resolve_fuse_max_words,
+        sample_worlds,
+    )
+    from ..index.store import StoreError
+else:
+    def _missing(*_args: Any, **_kwargs: Any) -> Any:
+        raise RuntimeError("the vectorized engine requires numpy")
+
+    try:
+        import numpy as np
+
+        from ..engine import (
+            SelectionGainKernel,
+            batch_from_words,
+            batch_to_words,
+            compile_plan,
+            pair_hit_fractions,
+            resolve_fuse_max_words,
+            sample_worlds,
+        )
+        from ..index.store import StoreError
+
+        HAVE_ENGINE = True
+    except ImportError:  # pragma: no cover - numpy-less fallback
+        HAVE_ENGINE = False
+        np = None
+
+        class StoreError(Exception):
+            """Placeholder: the store cannot exist without numpy."""
+
+        compile_plan = _missing
+        pair_hit_fractions = _missing
+        sample_worlds = _missing
+        batch_from_words = _missing
+        batch_to_words = _missing
+        SelectionGainKernel = _missing
+        resolve_fuse_max_words = _missing
+
+__all__ = [
+    "HAVE_ENGINE",
+    "SelectionGainKernel",
+    "StoreError",
+    "batch_from_words",
+    "batch_to_words",
+    "compile_plan",
+    "np",
+    "pair_hit_fractions",
+    "resolve_fuse_max_words",
+    "sample_worlds",
+]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 import warnings
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..graph import UncertainGraph, fixed_new_edge_probability
 from ..reliability import ReliabilityEstimator, make_estimator
@@ -36,8 +36,13 @@ from ..core.facade import METHODS
 from .queries import MaximizeQuery
 from .results import MaximizeResult, Provenance, Timings
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .session import Session
 
-def resolve_selection_estimator(session, query: MaximizeQuery):
+
+def resolve_selection_estimator(
+    session: "Session", query: MaximizeQuery
+) -> Tuple[ReliabilityEstimator, str]:
     """The sampler driving selection loops for this query.
 
     Priority: an estimator instance on the query, a registry name on the
@@ -77,7 +82,7 @@ def resolve_selection_estimator(session, query: MaximizeQuery):
 
 
 def execute_maximize(
-    session,
+    session: "Session",
     query: MaximizeQuery,
     base_value: Optional[float] = None,
 ) -> MaximizeResult:
@@ -156,7 +161,7 @@ def execute_maximize(
 
 
 def _candidate_space(
-    session,
+    session: "Session",
     query: MaximizeQuery,
     estimator: ReliabilityEstimator,
     prob_model: NewEdgeProbability,
@@ -199,7 +204,7 @@ def dispatch_selection(
     estimator: ReliabilityEstimator,
     l: int,
     seed: int,
-    session=None,
+    session: Optional["Session"] = None,
 ) -> List[ProbEdge]:
     """Route one selection method to its implementation.
 

@@ -17,6 +17,7 @@ from .queries import MaximizeQuery, Pair, ReliabilityQuery
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.facade import Solution
+    from ..experiments.harness import ResultTable
 
 
 @dataclass
@@ -139,12 +140,12 @@ class ReliabilityResult:
     @property
     def by_target(self) -> Dict[int, float]:
         """Target node id -> estimated reliability."""
-        return dict(zip(self.query.targets, self.values))
+        return dict(zip(self.query.targets, self.values, strict=True))
 
     @property
     def pairs(self) -> List[Tuple[Pair, float]]:
         """((source, target), value) in query order."""
-        return list(zip(self.query.pairs, self.values))
+        return list(zip(self.query.pairs, self.values, strict=True))
 
 
 @dataclass
@@ -162,7 +163,7 @@ class MaximizeResult:
 
     # Convenience pass-throughs so renderers only need the result.
     @property
-    def edges(self):
+    def edges(self) -> List[Tuple[int, int, float]]:
         """The selected ``(u, v, p)`` edges (at most ``query.k``)."""
         return self.solution.edges
 
@@ -182,7 +183,10 @@ class MaximizeResult:
         return self.solution.new_reliability
 
 
-def results_table(results: Sequence[ReliabilityResult], title: str = "Reliability workload"):
+def results_table(
+    results: Sequence[ReliabilityResult],
+    title: str = "Reliability workload",
+) -> "ResultTable":
     """Render reliability results as an experiments-harness table.
 
     Returns a :class:`repro.experiments.ResultTable` with one row per

@@ -30,17 +30,41 @@ from __future__ import annotations
 
 import time
 import warnings
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+    cast,
+)
 
+from ..analysis import sanitize
 from ..graph import UncertainGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import QueryPlan, WorldBatch
     from ..index import IndexStore
 from ..reliability import (
     ReliabilityEstimator,
     estimator_spec,
     make_estimator,
     resolve_selection_backend,
+)
+from ._engine import (
+    HAVE_ENGINE as _HAVE_ENGINE,
+    SelectionGainKernel,
+    StoreError,
+    batch_from_words,
+    batch_to_words,
+    compile_plan,
+    np,
+    pair_hit_fractions,
+    resolve_fuse_max_words,
+    sample_worlds,
 )
 from .queries import MaximizeQuery, Pair, Query, ReliabilityQuery, Workload
 from .results import (
@@ -50,30 +74,10 @@ from .results import (
     Timings,
 )
 
-try:
-    import numpy as np
-
-    from ..engine import (
-        SelectionGainKernel,
-        batch_from_words,
-        batch_to_words,
-        compile_plan,
-        pair_hit_fractions,
-        resolve_fuse_max_words,
-        sample_worlds,
-    )
-    from ..index.store import StoreError
-    _HAVE_ENGINE = True
-except ImportError:  # pragma: no cover - numpy-less fallback
-    np = None  # type: ignore[assignment]
-    compile_plan = pair_hit_fractions = sample_worlds = None  # type: ignore
-    batch_from_words = batch_to_words = None  # type: ignore[assignment]
-    SelectionGainKernel = None  # type: ignore[assignment,misc]
-    resolve_fuse_max_words = None  # type: ignore[assignment]
-    StoreError = Exception  # type: ignore[assignment,misc]
-    _HAVE_ENGINE = False
-
 Result = Union[ReliabilityResult, MaximizeResult]
+
+#: Overlay edge: ``(u, v, probability)``.
+ProbEdge = Tuple[int, int, float]
 
 #: Paired-evaluation defaults shared with the legacy facade.
 DEFAULT_EVALUATION_SAMPLES = 1000
@@ -206,8 +210,16 @@ class Session:
         self.estimator: ReliabilityEstimator = estimator
 
         self._version: Optional[int] = None
-        self._plan = None
-        self._worlds: Dict[Tuple[int, int], Tuple[object, float]] = {}
+        self._plan: Optional["QueryPlan"] = None
+        self._worlds: Dict[Tuple[int, int], Tuple["WorldBatch", float]] = {}
+        # Sanitizer-mode race detector: sessions are single-threaded by
+        # contract (AsyncSession serializes onto one worker thread).
+        # The owner binds on first guarded use, not construction, so a
+        # serving layer may build here and hand off (see
+        # AsyncSession.__init__, which rebinds).
+        self._affinity = sanitize.ThreadAffinity(
+            f"Session(graph={graph.name!r})"
+        )
 
     # ------------------------------------------------------------------
     # cache management
@@ -237,14 +249,15 @@ class Session:
         catalog degrades to the in-process counters plus an ``"error"``
         field instead of failing the health check.
         """
-        if self.store is None:
+        store = self.store
+        if store is None:
             return None
         try:
-            return self.store.stats().as_dict()
+            return store.stats().as_dict()
         except StoreError as error:
             return {
                 "error": str(error),
-                "counters": self.store.counters.as_dict(),
+                "counters": store.counters.as_dict(),
             }
 
     # ------------------------------------------------------------------
@@ -261,12 +274,14 @@ class Session:
         self, estimator: str, pairs: Sequence[Pair], samples: int, seed: int
     ) -> Dict[Pair, float]:
         """Result-cache read; a store failure is an ordinary miss."""
+        store = self.store
+        assert store is not None  # callers gate on an attached store
         try:
-            return self.store.get_results(
+            return store.get_results(
                 self.graph_hash(), estimator, pairs, samples, seed
             )
         except StoreError:
-            self.store.counters.save_failures += 1
+            store.counters.save_failures += 1
             return {}
 
     def _store_put_results(
@@ -274,19 +289,21 @@ class Session:
         seed: int,
     ) -> None:
         """Result-cache write-back; a store failure drops the entries."""
+        store = self.store
+        assert store is not None  # callers gate on an attached store
         try:
-            self.store.put_results(
+            store.put_results(
                 self.graph_hash(), estimator, values, samples, seed
             )
         except StoreError:
-            self.store.counters.save_failures += 1
+            store.counters.save_failures += 1
 
     def _sync_version(self) -> None:
         if self._version != self.graph.version:
             self.invalidate()
             self._version = self.graph.version
 
-    def plan(self) -> Tuple[object, float]:
+    def plan(self) -> Tuple["QueryPlan", float]:
         """``(compiled plan, compile_seconds)`` for the current graph.
 
         ``compile_seconds`` is 0.0 on a cache hit — only the query that
@@ -294,6 +311,7 @@ class Session:
         """
         if not _HAVE_ENGINE:
             raise RuntimeError("the vectorized engine requires numpy")
+        self._affinity.check("Session.plan")
         self._sync_version()
         if self._plan is not None:
             return self._plan, 0.0
@@ -313,7 +331,9 @@ class Session:
         """
         return self.graph.content_hash()
 
-    def world_batch(self, samples: int, seed: int):
+    def world_batch(
+        self, samples: int, seed: int
+    ) -> Tuple["WorldBatch", float, str]:
         """``(batch, sample_seconds, source)`` for ``(Z, seed)``.
 
         ``source`` names the tier that answered: ``"memory"`` (session
@@ -323,22 +343,24 @@ class Session:
         batch a fresh engine seeded ``seed`` would sample — the
         property the parity tests pin down.
         """
+        self._affinity.check("Session.world_batch")
         plan, _ = self.plan()
         key = (samples, seed)
         cached = self._worlds.get(key)
         if cached is not None:
             return cached[0], 0.0, "memory"
-        if self.store is not None:
+        store = self.store
+        if store is not None:
             start = time.perf_counter()
             try:
-                words = self.store.load_batch(
+                words = store.load_batch(
                     self.graph_hash(), samples, seed,
                     expected_edges=plan.num_edges,
                 )
             except StoreError:
                 # A broken catalog reads as a miss: fall through to
                 # fresh sampling.
-                self.store.counters.save_failures += 1
+                store.counters.save_failures += 1
                 words = None
             if words is not None:
                 batch = batch_from_words(words, samples)
@@ -348,27 +370,40 @@ class Session:
         start = time.perf_counter()
         batch = sample_worlds(plan, samples, np.random.default_rng(seed))
         elapsed = time.perf_counter() - start
-        if self.store is not None:
+        if store is not None:
             try:
-                self.store.save_batch(
+                store.save_batch(
                     self.graph_hash(), samples, seed, batch_to_words(batch)
                 )
             except StoreError:
                 # Persistence is an optimization; serving must not fail
                 # because another writer holds the store lock.
-                self.store.counters.save_failures += 1
+                store.counters.save_failures += 1
         self._remember_batch(key, batch, elapsed)
         return batch, elapsed, "sampled"
 
-    def _remember_batch(self, key: Tuple[int, int], batch, elapsed: float) -> None:
-        """Insert a batch into the bounded in-memory cache."""
+    def _remember_batch(
+        self, key: Tuple[int, int], batch: "WorldBatch", elapsed: float
+    ) -> None:
+        """Insert a batch into the bounded in-memory cache.
+
+        Cached batches are shared by every later query with the same
+        ``(Z, seed)`` — their arrays are frozen read-only so an aliased
+        in-place write fails fast instead of silently corrupting every
+        sharer (the mmap store tier is read-only already; this closes
+        the memory tier).
+        """
+        sanitize.freeze(batch.alive)
+        sanitize.freeze(batch.valid)
         while len(self._worlds) >= self.max_cached_batches:
             # FIFO eviction keeps long-lived heterogeneous sessions
             # bounded; dict preserves insertion order.
             self._worlds.pop(next(iter(self._worlds)))
         self._worlds[key] = (batch, elapsed)
 
-    def selection_kernel(self, estimator: ReliabilityEstimator):
+    def selection_kernel(
+        self, estimator: ReliabilityEstimator
+    ) -> Optional["SelectionGainKernel"]:
         """Batched gain kernel over the session's cached plan and worlds.
 
         Returns a :class:`~repro.engine.selection.SelectionGainKernel`
@@ -422,6 +457,7 @@ class Session:
         """
         if not isinstance(workload, Workload):
             workload = Workload(workload)
+        self._affinity.check("Session.run")
         self._sync_version()
         results: List[Optional[Result]] = [None] * len(workload)
 
@@ -452,7 +488,8 @@ class Session:
                         stacklevel=2,
                     )
                 self._run_individual(name, samples, seed, members, results)
-        return results  # type: ignore[return-value]
+        # Every index was filled by exactly one of the dispatchers above.
+        return cast(List[Result], results)
 
     def _run_maximize_batch(
         self,
@@ -475,7 +512,7 @@ class Session:
         base_values = self.evaluate_pairs(
             [(query.source, query.target) for _, query in members]
         )
-        for (index, query), base in zip(members, base_values):
+        for (index, query), base in zip(members, base_values, strict=True):
             results[index] = execute_maximize(self, query, base_value=base)
 
     def _run_shared(
@@ -634,6 +671,7 @@ class Session:
         """Execute one maximize query (see :mod:`repro.api.maximize`)."""
         from .maximize import execute_maximize  # local: keep import light
 
+        self._affinity.check("Session.maximize")
         self._sync_version()
         return execute_maximize(self, query)
 
@@ -643,7 +681,7 @@ class Session:
     def evaluate_pairs(
         self,
         pairs: Sequence[Pair],
-        extra_edges=None,
+        extra_edges: Optional[Sequence[ProbEdge]] = None,
         samples: Optional[int] = None,
         seed: Optional[int] = None,
     ) -> List[float]:
@@ -656,6 +694,7 @@ class Session:
         ``(Z, seed)`` would, so gains stay comparable across methods,
         sessions and the legacy facade.
         """
+        self._affinity.check("Session.evaluate_pairs")
         samples = samples if samples is not None else self.evaluation_samples
         seed = seed if seed is not None else self.evaluation_seed
         pairs = list(pairs)
@@ -695,7 +734,7 @@ class Session:
         self,
         source: int,
         target: int,
-        extra_edges=None,
+        extra_edges: Optional[Sequence[ProbEdge]] = None,
         samples: Optional[int] = None,
         seed: Optional[int] = None,
     ) -> float:

@@ -69,7 +69,7 @@ def hill_climbing(
         best_value = -1.0
         for index, edge in enumerate(remaining):
             value = estimator.reliability(
-                graph, source, target, selected + [edge]
+                graph, source, target, [*selected, edge]
             )
             if value > best_value:
                 best_value = value

@@ -22,6 +22,10 @@ Five subcommands cover the library's everyday workflows:
     (:mod:`repro.index`): ``build`` pre-samples world batches for a
     graph, ``inspect`` prints the catalog, ``vacuum`` reclaims
     orphaned and temporary files.
+``repro check``
+    Run the repo-specific invariant lint pass (:mod:`repro.analysis`)
+    over source files: seeded-RNG discipline, cache-version bumps,
+    batch immutability, monotonic timing.
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -31,7 +35,8 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence
 
 from . import datasets
 from .api import MaximizeQuery, ReliabilityQuery, Session, Workload
@@ -241,27 +246,65 @@ def cmd_index_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_store_dir(store: str) -> bool:
+    """True when ``store`` is an existing directory; report otherwise.
+
+    ``inspect`` and ``vacuum`` are read/repair operations on a store
+    somebody already built — opening them must never conjure an empty
+    store out of a typo'd path (:class:`repro.index.IndexStore` creates
+    its root on open, which is right for ``build``/``serve`` only).
+    """
+    if Path(store).is_dir():
+        return True
+    print(f"repro index: {store}: no such store directory", file=sys.stderr)
+    return False
+
+
 def cmd_index_inspect(args: argparse.Namespace) -> int:
     """Print a store's catalog (human-readable or ``--json``)."""
-    from .index import describe_store, dump_stats_json
+    from .index import StoreError, describe_store, dump_stats_json
 
-    print(dump_stats_json(args.store) if args.json
-          else describe_store(args.store))
+    if not _require_store_dir(args.store):
+        return 2
+    try:
+        print(dump_stats_json(args.store) if args.json
+              else describe_store(args.store))
+    except StoreError as error:
+        print(f"repro index: {error}", file=sys.stderr)
+        return 1
     return 0
 
 
 def cmd_index_vacuum(args: argparse.Namespace) -> int:
     """Reap crash debris from a store directory."""
-    from .index import IndexStore
+    from .index import IndexStore, StoreError
 
-    with IndexStore(args.store) as store:
-        dropped = store.clear_results() if args.drop_results else 0
-        report = store.vacuum()
+    if not _require_store_dir(args.store):
+        return 2
+    try:
+        with IndexStore(args.store) as store:
+            dropped = store.clear_results() if args.drop_results else 0
+            report = store.vacuum()
+    except StoreError as error:
+        print(f"repro index: {error}", file=sys.stderr)
+        return 1
     print(f"removed {report.removed_tmp_files} tmp files, "
           f"{report.removed_orphan_files} orphan files; "
           f"pruned {report.pruned_rows} catalog rows" +
           (f"; dropped {dropped} cached results" if args.drop_results else ""))
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the invariant lint pass (delegates to :mod:`repro.analysis`)."""
+    from .analysis import main as check_main  # local: keep base CLI light
+
+    forwarded: List[str] = list(args.paths)
+    for code in args.select or []:
+        forwarded += ["--select", code]
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return check_main(forwarded)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -406,6 +449,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="also drop every cached result row (stale-namespace cleanup)",
     )
     p_vacuum.set_defaults(func=cmd_index_vacuum)
+
+    p_check = subparsers.add_parser(
+        "check", help="lint sources against the repo's determinism "
+                      "invariants (REP001–REP005)"
+    )
+    p_check.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to check (default: src/repro)",
+    )
+    p_check.add_argument(
+        "--select", action="append", metavar="CODE",
+        help="only run these rule codes (repeatable)",
+    )
+    p_check.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule code and summary, then exit",
+    )
+    p_check.set_defaults(func=cmd_check)
 
     return parser
 

@@ -124,7 +124,7 @@ class MultiSourceTargetMaximizer:
         values = estimator.reliability_many(
             graph, pairs, list(extra_edges) if extra_edges else None
         )
-        return dict(zip(pairs, values))
+        return dict(zip(pairs, values, strict=True))
 
     def candidate_space(
         self,

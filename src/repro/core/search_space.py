@@ -68,7 +68,7 @@ def top_r_nodes(reachability: Dict[int, float], r: int, must_include: int) -> Li
     ranked = sorted(reachability.items(), key=lambda item: (-item[1], item[0]))
     chosen = [node for node, _ in ranked[:r]]
     if must_include not in chosen:
-        chosen = [must_include] + chosen[: max(r - 1, 0)]
+        chosen = [must_include, *chosen[: max(r - 1, 0)]]
     return chosen
 
 
@@ -174,7 +174,7 @@ def select_top_l_paths(
     for nodes, prob in raw_paths:
         cand_on_path: Set[Edge] = set()
         existing: List[Edge] = []
-        for a, b in zip(nodes, nodes[1:]):
+        for a, b in zip(nodes, nodes[1:], strict=False):
             key = (a, b) if graph.directed or a <= b else (b, a)
             if graph.has_edge(a, b):
                 existing.append(key)

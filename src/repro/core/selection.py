@@ -73,7 +73,7 @@ def individual_path_selection(
             if len(selected_edges | path.candidate_edges) > k:
                 continue
             value = _evaluate_path_set(
-                graph, source, target, chosen + [path], candidate_probs, estimator
+                graph, source, target, [*chosen, path], candidate_probs, estimator
             )
             if value > best_value:
                 best_value = value

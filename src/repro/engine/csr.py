@@ -179,7 +179,7 @@ def _compile(graph: UncertainGraph) -> QueryPlan:
     for eid, (u, v, p) in enumerate(sorted(graph.edges())):
         probs[eid] = p
         key = canonical_key(directed, u, v)
-        edge_index[key] = edge_index.get(key, ()) + (eid,)
+        edge_index[key] = (*edge_index.get(key, ()), eid)
         ui, vi = index_of[u], index_of[v]
         arc_src[pos] = ui
         arc_dst[pos] = vi
@@ -275,7 +275,7 @@ def extend_with_overlay(
         eid = base.num_edges + offset
         probs[offset] = p
         key = canonical_key(directed, u, v)
-        edge_index[key] = edge_index.get(key, ()) + (eid,)
+        edge_index[key] = (*edge_index.get(key, ()), eid)
         ui, vi = intern(u), intern(v)
         arc_src[pos] = ui
         arc_dst[pos] = vi

@@ -25,6 +25,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis import sanitize
 from .csr import QueryPlan
 
 WORD_BITS = 64
@@ -150,10 +151,15 @@ def batch_from_words(words: np.ndarray, num_samples: int) -> WorldBatch:
             f"word width {words.shape[1]} does not match Z={num_samples} "
             f"(expected {num_words(num_samples)})"
         )
+    # Deserialized batches are shared across queries (and, store-backed,
+    # across restarts): freeze the words so aliased in-place mutation
+    # fails fast instead of corrupting every reader.  Store mmaps arrive
+    # read-only already; this closes the hole for in-memory arrays.
+    sanitize.freeze(words)
     return WorldBatch(
         alive=words,
         num_samples=num_samples,
-        valid=valid_sample_mask(num_samples),
+        valid=sanitize.freeze(valid_sample_mask(num_samples)),
     )
 
 
@@ -170,6 +176,8 @@ def sample_worlds(
     all samples — the stratified sampler's conditioning mechanism.
     Probability-1 edges are always present, probability-0 never.
     """
+    if sanitize.enabled():
+        sanitize.check_probabilities(plan.probs, "sample_worlds: plan.probs")
     num_edges = plan.num_edges
     words = num_words(num_samples)
     valid = valid_sample_mask(num_samples)
@@ -214,6 +222,8 @@ def bernoulli_row(
     pad bits sit *between* blocks.  For a prefix mask both paths
     produce bit-identical rows.
     """
+    if sanitize.enabled():
+        sanitize.check_probabilities(p, "bernoulli_row: p")
     if valid is None:
         if p <= 0.0:
             return np.zeros(num_words(num_samples), dtype=np.uint64)
@@ -239,6 +249,8 @@ def bernoulli_row_at(
     ``flatnonzero(unpack_word_row(valid))`` scan out of the per-row
     loop and call this directly.
     """
+    if sanitize.enabled():
+        sanitize.check_probabilities(p, "bernoulli_row_at: p")
     if p <= 0.0:
         return np.zeros(width_bits // WORD_BITS, dtype=np.uint64)
     positions = positions[:num_samples]
@@ -322,7 +334,8 @@ def sample_worlds_stratified(
     """
     counts = allocate_proportional([w for _, _, w in strata], num_samples)
     blocks: List[WorldBatch] = []
-    for (forced_true, forced_false, _w), count in zip(strata, counts):
+    for (forced_true, forced_false, _w), count in zip(
+            strata, counts, strict=True):
         if count <= 0:
             continue
         blocks.append(

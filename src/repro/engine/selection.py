@@ -125,7 +125,7 @@ _AGGREGATES = {
 }
 
 
-def _edge_entropy(u, v) -> int:
+def _edge_entropy(u: object, v: object) -> int:
     """Stable non-negative entropy word for a candidate's endpoints.
 
     Identity is the endpoint pair — not the candidate's list position —

@@ -2,6 +2,7 @@
 
 from .metrics import Measurement, measure
 from .harness import MethodStats, ResultTable, mean
+from .report import build_report, collect_result_tables, write_report
 from .tables import (
     SingleStProtocol,
     compare_methods_multi,
@@ -23,8 +24,7 @@ __all__ = [
     "default_estimator_factory",
     "elimination_timings",
     "mc_estimator_factory",
+    "build_report",
+    "collect_result_tables",
+    "write_report",
 ]
-
-from .report import build_report, collect_result_tables, write_report
-
-__all__ += ["build_report", "collect_result_tables", "write_report"]

@@ -36,10 +36,12 @@ class ResultTable:
                 widths[i] = max(widths[i], len(cell))
         sep = "-+-".join("-" * w for w in widths)
         lines = [self.title, "=" * len(self.title)]
-        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(" | ".join(
+            h.ljust(w) for h, w in zip(self.headers, widths, strict=True)))
         lines.append(sep)
         for row in self.rows:
-            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+            lines.append(" | ".join(
+                c.ljust(w) for c, w in zip(row, widths, strict=False)))
         for note in self.notes:
             lines.append(f"  note: {note}")
         return "\n".join(lines)

@@ -293,7 +293,7 @@ def _multi_hill_climbing(
     while len(selected) < k and remaining:
         best_index, best_value = -1, -1.0
         for index, edge in enumerate(remaining):
-            value = objective(selected + [edge])
+            value = objective([*selected, edge])
             if value > best_value:
                 best_value, best_index = value, index
         selected.append(remaining.pop(best_index))

@@ -57,7 +57,7 @@ def erdos_renyi(
         batch = max(1024, target - len(edges))
         us = rng.integers(0, n, size=batch)
         vs = rng.integers(0, n, size=batch)
-        for u, v in zip(us.tolist(), vs.tolist()):
+        for u, v in zip(us.tolist(), vs.tolist(), strict=True):
             if u == v:
                 continue
             key = (u, v) if directed else (min(u, v), max(u, v))

@@ -359,7 +359,7 @@ class UncertainGraph:
         for mask in itertools.product((False, True), repeat=len(edge_list)):
             prob = 1.0
             present: Set[Edge] = set()
-            for include, (u, v, p) in zip(mask, edge_list):
+            for include, (u, v, p) in zip(mask, edge_list, strict=True):
                 if include:
                     prob *= p
                     present.add((u, v))

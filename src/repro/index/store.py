@@ -49,10 +49,12 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from types import TracebackType
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type, Union
 
 import numpy as np
 
+from ..analysis import sanitize
 from .schema import SCHEMA, SCHEMA_VERSION
 
 try:  # pragma: no cover - always available on the POSIX hosts CI runs
@@ -211,6 +213,13 @@ class IndexStore:
         self.batches_dir.mkdir(exist_ok=True)
         self._lock_path = self.root / ".lock"
         self._mutex = threading.RLock()
+        # Sanitizer-mode race detector on the *write* paths only: reads
+        # (stats/list_batches/load_batch) are sanctioned cross-thread —
+        # /healthz reports store stats from the event-loop thread while
+        # the serving worker owns the writes.
+        self._write_affinity = sanitize.ThreadAffinity(
+            f"IndexStore({self.root})"
+        )
         self._conn = sqlite3.connect(
             self.root / "catalog.sqlite3",
             check_same_thread=False,
@@ -267,12 +276,17 @@ class IndexStore:
         """Enter a context manager scope; returns self."""
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         """Close the store on context exit."""
         self.close()
 
     @contextlib.contextmanager
-    def _catalog_op(self, operation: str):
+    def _catalog_op(self, operation: str) -> Iterator[sqlite3.Connection]:
         """Serialized catalog access with typed failures.
 
         Yields the live connection under the store mutex; raises
@@ -296,7 +310,7 @@ class IndexStore:
     # writer lock
     # ------------------------------------------------------------------
     @contextlib.contextmanager
-    def write_lock(self, timeout_s: Optional[float] = None):
+    def write_lock(self, timeout_s: Optional[float] = None) -> Iterator[None]:
         """Hold the process-level writer lock for the ``with`` body.
 
         The lock is an ``flock`` on ``<root>/.lock`` — advisory,
@@ -415,6 +429,7 @@ class IndexStore:
         a crash at any point leaves the store consistent.  Serialized
         across processes by :meth:`write_lock`.
         """
+        self._write_affinity.check("IndexStore.save_batch")
         if words.dtype != np.uint64 or words.ndim != 2:
             raise ValueError("batch words must be a 2-D uint64 array")
         filename = self._batch_filename(graph_hash, num_samples, seed)
@@ -447,7 +462,9 @@ class IndexStore:
                     "seed, num_edges, num_words, filename, nbytes, created_at) "
                     "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                     (graph_hash, num_samples, seed, int(words.shape[0]),
-                     int(words.shape[1]), filename, nbytes, time.time()),
+                     int(words.shape[1]), filename, nbytes,
+                     # catalog timestamp, not a timing
+                     time.time()),  # repro-check: disable=REP005
                 )
         self.counters.batch_stores += 1
         return True
@@ -506,9 +523,12 @@ class IndexStore:
         seed: int,
     ) -> None:
         """Cache freshly computed ``(s, t) -> value`` entries."""
+        self._write_affinity.check("IndexStore.put_results")
         if not values:
             return
-        now = time.time()
+        # Catalog timestamp (what `repro index inspect` shows), not a
+        # timing measurement — wall clock is the point here.
+        now = time.time()  # repro-check: disable=REP005
         rows = [
             (graph_hash, estimator, s, t, num_samples, seed, value, now)
             for (s, t), value in values.items()
@@ -530,6 +550,7 @@ class IndexStore:
         explicit form exists for operators who want stale namespaces
         gone (``repro index vacuum --drop-results``) and for tests.
         """
+        self._write_affinity.check("IndexStore.clear_results")
         with self._catalog_op("result-cache clear") as conn:
             if graph_hash is None:
                 cursor = conn.execute("DELETE FROM results")
@@ -573,7 +594,7 @@ class IndexStore:
             ).fetchall()
         keys = ("graph_hash", "num_samples", "seed", "num_edges",
                 "num_words", "filename", "nbytes", "created_at")
-        return [dict(zip(keys, row)) for row in rows]
+        return [dict(zip(keys, row, strict=True)) for row in rows]
 
     def vacuum(self) -> VacuumReport:
         """Reap crash debris and reclaim space.
@@ -583,6 +604,7 @@ class IndexStore:
         or size-mismatched, and ``VACUUM``-s the catalog.  Safe to run
         while readers are active; takes the writer lock.
         """
+        self._write_affinity.check("IndexStore.vacuum")
         report = VacuumReport()
         with self.write_lock():
             referenced = set()
@@ -642,7 +664,7 @@ def describe_store(root: Union[str, Path]) -> str:
         return "\n".join(lines)
 
 
-def _json_default(value):  # pragma: no cover - debugging helper
+def _json_default(value: object) -> str:  # pragma: no cover - debug helper
     return str(value)
 
 

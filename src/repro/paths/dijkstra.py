@@ -29,7 +29,7 @@ def path_probability(graph: UncertainGraph, path: Sequence[int],
     undirected graphs.
     """
     prob = 1.0
-    for u, v in zip(path, path[1:]):
+    for u, v in zip(path, path[1:], strict=False):
         if graph.has_edge(u, v):
             prob *= graph.probability(u, v)
         elif extra_probs is not None:

@@ -105,7 +105,7 @@ def paths_induced_edges(
     """Edge set (canonical orientation) induced by a collection of paths."""
     edges: Set[Tuple[int, int]] = set()
     for path in paths:
-        for u, v in zip(path, path[1:]):
+        for u, v in zip(path, path[1:], strict=False):
             if not graph.directed and v < u:
                 edges.add((v, u))
             else:

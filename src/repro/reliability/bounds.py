@@ -71,7 +71,7 @@ def reliability_lower_bound(
     for path, prob in candidates:
         path_edges = {
             (u, v) if graph.directed or u <= v else (v, u)
-            for u, v in zip(path, path[1:])
+            for u, v in zip(path, path[1:], strict=False)
         }
         if path_edges & used:
             continue

@@ -146,7 +146,7 @@ def register_estimator(
         # alias cannot leave a half-registered entry behind.
         if key in _REGISTRY or key in _ALIASES:
             raise ValueError(f"estimator {name!r} is already registered")
-        for alias, alias_key in zip(aliases, alias_keys):
+        for alias, alias_key in zip(aliases, alias_keys, strict=True):
             if alias_key in _REGISTRY or alias_key in _ALIASES:
                 raise ValueError(
                     f"estimator alias {alias!r} is already taken"

@@ -251,7 +251,7 @@ class RecursiveStratifiedSampler(ReliabilityEstimator):
         estimate = 0.0
         prefix_absent = 1.0
         forced_base = dict(forced)
-        for u, v, p, key in strata_edges:
+        for _u, _v, p, key in strata_edges:
             pi = prefix_absent * p
             stratum_forced = dict(forced_base)
             stratum_forced[key] = True
@@ -309,7 +309,7 @@ class RecursiveStratifiedSampler(ReliabilityEstimator):
             return
         prefix_absent = 1.0
         forced_base = dict(forced)
-        for u, v, p, key in strata_edges:
+        for _u, _v, p, key in strata_edges:
             pi = prefix_absent * p
             if pi > 1e-12:
                 stratum_forced = dict(forced_base)

@@ -31,7 +31,8 @@ from __future__ import annotations
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from types import TracebackType
+from typing import Any, List, Optional, Sequence, Tuple, Type, Union
 
 from ..api import Query, Session, Workload
 from ..api.queries import MaximizeQuery, ReliabilityQuery
@@ -173,7 +174,7 @@ class AsyncSession:
         target: Union[UncertainGraph, Session],
         max_batch: int = DEFAULT_MAX_BATCH,
         max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
-        **session_kwargs,
+        **session_kwargs: Any,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
@@ -198,6 +199,15 @@ class AsyncSession:
             max_workers=1, thread_name_prefix="repro-serve"
         )
         self._closed = False
+        # Ownership hand-off for the sanitizer's race detector: from
+        # here on, the single worker thread owns the session (and its
+        # store's write paths) — a wrapped session that was used on the
+        # constructing thread before is explicitly re-homed.  Reads the
+        # coalescer itself performs from the event loop (store_stats,
+        # graph identity) stay unguarded by design.
+        self.session._affinity.rebind()
+        if self.session.store is not None:
+            self.session.store._write_affinity.rebind()
 
     # ------------------------------------------------------------------
     # submission
@@ -388,7 +398,7 @@ class AsyncSession:
             for query in queries:
                 try:
                     outcomes.append(self.session.run(Workload([query]))[0])
-                except Exception as error:  # noqa: BLE001 - per-caller fault
+                except Exception as error:  # per-caller fault isolation
                     outcomes.append(_Failure(error))
             return outcomes
 
@@ -411,7 +421,7 @@ class AsyncSession:
                 if not future.done():
                     future.set_exception(error)
             return
-        for future, result in zip(futures, done.result()):
+        for future, result in zip(futures, done.result(), strict=True):
             if future.done():
                 continue
             if isinstance(result, _Failure):
@@ -442,7 +452,12 @@ class AsyncSession:
         """Enter the async context manager; returns self."""
         return self
 
-    async def __aexit__(self, exc_type, exc, tb) -> None:
+    async def __aexit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         """Close the session on context exit."""
         await self.close()
 

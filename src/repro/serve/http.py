@@ -34,7 +34,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import asdict
-from typing import Optional, Tuple, Union
+from typing import Any, Optional, Tuple, Union
 
 from ..api import Session
 from ..api.queries import MaximizeQuery, ReliabilityQuery
@@ -72,7 +72,9 @@ class HttpError(Exception):
 class _Request:
     """One parsed HTTP request (method, path, body)."""
 
-    def __init__(self, method: str, path: str, body: bytes, keep_alive: bool):
+    def __init__(
+        self, method: str, path: str, body: bytes, keep_alive: bool
+    ) -> None:
         self.method = method
         self.path = path
         self.body = body
@@ -137,7 +139,9 @@ def maximize_response(result: MaximizeResult) -> dict:
     }
 
 
-def _as_int(payload: dict, field: str, default=None) -> Optional[int]:
+def _as_int(
+    payload: dict, field: str, default: Optional[int] = None
+) -> Optional[int]:
     """Strict integer field: JSON floats and booleans are 400s.
 
     ``int(0.9)`` would silently truncate to node 0 and ``int(True)`` to
@@ -297,7 +301,7 @@ class ReliabilityServer:
         max_batch: int = DEFAULT_MAX_BATCH,
         max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
         read_timeout_s: Optional[float] = DEFAULT_READ_TIMEOUT_S,
-        **session_kwargs,
+        **session_kwargs: Any,
     ) -> None:
         if isinstance(target, AsyncSession):
             if session_kwargs:
@@ -396,7 +400,7 @@ class ReliabilityServer:
                     status, payload = await self._dispatch(request)
                 except HttpError as error:
                     status, payload = error.status, {"error": error.message}
-                except Exception as error:  # noqa: BLE001 - server boundary
+                except Exception as error:  # server boundary: catch-all by design
                     status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
                 # The write is bounded too: a client that stops reading
                 # must not pin this task in drain() forever.

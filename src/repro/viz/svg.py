@@ -75,7 +75,7 @@ def render_network_svg(
             f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
             f'stroke="#999" stroke-width="{stroke:.2f}" opacity="0.7"/>'
         )
-    for u, v, p in new_edges or ():
+    for u, v, _p in new_edges or ():
         if u not in scaled or v not in scaled:
             continue
         (x1, y1), (x2, y2) = scaled[u], scaled[v]

@@ -81,7 +81,7 @@ class TestSessionParity:
             pairs, estimator=name, samples=256, seed=13
         )
         results = session.run(workload)
-        for (s, t), result in zip(pairs, results):
+        for (s, t), result in zip(pairs, results, strict=True):
             solo = make_estimator(name, 256, seed=13).reliability(graph, s, t)
             assert result.values[0] == solo, (
                 f"{name}: session={result.values[0]} solo={solo}"
@@ -283,7 +283,7 @@ class TestMaximizeThroughSession:
         batched = Session(graph, seed=3, r=8, l=8).run(Workload(queries))
         sequential_session = Session(graph, seed=3, r=8, l=8)
         sequential = [sequential_session.maximize(q) for q in queries]
-        for got, want in zip(batched, sequential):
+        for got, want in zip(batched, sequential, strict=True):
             assert got.solution.edges == want.solution.edges
             assert got.solution.base_reliability == want.solution.base_reliability
             assert got.solution.new_reliability == want.solution.new_reliability

@@ -1,0 +1,160 @@
+"""Tests for the ``repro index`` and ``repro check`` CLI surfaces.
+
+The operational commands (``inspect``, ``vacuum``) must behave like
+good unix citizens: machine-readable output on request, nonzero exits
+with a stderr diagnostic on a missing or foreign store, and — above
+all — never conjure an empty store directory out of a typo'd path.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.cli import main
+from repro.graph import UncertainGraph, write_edge_list
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    graph = UncertainGraph.from_edges(
+        [(0, 1, 0.8), (1, 2, 0.5), (0, 2, 0.3)]
+    )
+    path = tmp_path / "g.edges"
+    write_edge_list(graph, path)
+    return str(path)
+
+
+@pytest.fixture
+def built_store(tmp_path, edge_file):
+    """A store directory populated via ``repro index build``."""
+    store = tmp_path / "store"
+    code = main([
+        "index", "build", "--file", edge_file, "--store", str(store),
+        "--samples", "128", "256",
+    ])
+    assert code == 0
+    return store
+
+
+class TestIndexInspect:
+    def test_human_readable(self, capsys, built_store):
+        assert main(["index", "inspect", "--store", str(built_store)]) == 0
+        out = capsys.readouterr().out
+        assert "schema version:" in out
+        assert "world batches:  2" in out
+
+    def test_json_shape(self, capsys, built_store):
+        capsys.readouterr()  # flush the build fixture's progress output
+        assert main([
+            "index", "inspect", "--store", str(built_store), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_batches"] == 2
+        assert payload["num_results"] == 0
+        assert payload["schema_version"] == 1
+        assert payload["batch_bytes"] > 0
+        assert len(payload["batches"]) == 2
+        row = payload["batches"][0]
+        assert {"graph_hash", "num_samples", "seed",
+                "num_edges", "nbytes"} <= set(row)
+        assert sorted(r["num_samples"] for r in payload["batches"]) \
+            == [128, 256]
+
+    def test_missing_store_exits_nonzero(self, capsys, tmp_path):
+        missing = tmp_path / "nope"
+        code = main(["index", "inspect", "--store", str(missing)])
+        assert code != 0
+        assert "no such store directory" in capsys.readouterr().err
+        # The typo'd path must NOT have been created as an empty store.
+        assert not missing.exists()
+
+    def test_foreign_schema_exits_nonzero(self, capsys, built_store):
+        with sqlite3.connect(built_store / "catalog.sqlite3") as conn:
+            conn.execute(
+                "UPDATE meta SET value = '999' "
+                "WHERE key = 'schema_version'"
+            )
+        code = main(["index", "inspect", "--store", str(built_store)])
+        assert code != 0
+        assert "schema version 999" in capsys.readouterr().err
+
+    def test_corrupt_catalog_exits_nonzero(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "catalog.sqlite3").write_text("this is not sqlite")
+        code = main(["index", "inspect", "--store", str(store)])
+        assert code != 0
+        assert "not a SQLite database" in capsys.readouterr().err
+
+
+class TestIndexVacuum:
+    def test_vacuum_clean_store(self, capsys, built_store):
+        assert main(["index", "vacuum", "--store", str(built_store)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0 tmp files" in out
+        assert "dropped" not in out
+
+    def test_vacuum_drop_results(self, capsys, built_store, edge_file):
+        # Populate the result cache through a store-backed session.
+        from repro.api import Session
+        from repro.graph import read_edge_list
+        from repro.index import IndexStore
+
+        with IndexStore(built_store) as store:
+            session = Session(read_edge_list(edge_file), seed=0, store=store)
+            session.reliability(0, target=2, samples=128)
+        capsys.readouterr()
+        assert main([
+            "index", "vacuum", "--store", str(built_store), "--drop-results",
+        ]) == 0
+        assert "dropped" in capsys.readouterr().out
+        assert main([
+            "index", "inspect", "--store", str(built_store), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_results"] == 0
+        assert payload["num_batches"] == 2  # batches survive --drop-results
+
+    def test_missing_store_exits_nonzero(self, capsys, tmp_path):
+        missing = tmp_path / "gone"
+        code = main(["index", "vacuum", "--store", str(missing)])
+        assert code != 0
+        assert "no such store directory" in capsys.readouterr().err
+        assert not missing.exists()
+
+    def test_foreign_schema_exits_nonzero(self, capsys, built_store):
+        with sqlite3.connect(built_store / "catalog.sqlite3") as conn:
+            conn.execute(
+                "UPDATE meta SET value = '999' "
+                "WHERE key = 'schema_version'"
+            )
+        code = main(["index", "vacuum", "--store", str(built_store)])
+        assert code != 0
+        assert "schema version 999" in capsys.readouterr().err
+
+
+class TestCheckSubcommand:
+    def test_clean_tree_exits_zero(self, capsys, tmp_path):
+        clean = tmp_path / "ok.py"
+        clean.write_text("import numpy as np\n"
+                         "rng = np.random.default_rng(7)\n")
+        assert main(["check", str(clean)]) == 0
+
+    def test_findings_exit_one(self, capsys, tmp_path):
+        dirty = tmp_path / "bad.py"
+        dirty.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        assert main(["check", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+
+    def test_select_filters_rules(self, capsys, tmp_path):
+        dirty = tmp_path / "bad.py"
+        dirty.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        assert main(["check", str(dirty), "--select", "REP005"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert code in out

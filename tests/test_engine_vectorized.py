@@ -156,7 +156,7 @@ class TestScalarParity:
         ).reliability_many(medium_graph, pairs)
         assert len(vec) == len(pairs)
         assert vec[3] == scalar[3] == 1.0  # s == t
-        for a, b in zip(vec, scalar):
+        for a, b in zip(vec, scalar, strict=True):
             assert a == pytest.approx(b, abs=0.05)
 
     def test_mc_multi_source(self, diamond):

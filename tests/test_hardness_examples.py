@@ -6,6 +6,7 @@ the paper, using exact reliability computation.
 """
 
 import itertools
+from typing import ClassVar
 
 import pytest
 
@@ -41,8 +42,8 @@ class TestFigure2Lemma1:
         y = [(s, t), (s, a)]
         r_x = exact_reliability(self.build(x), s, t)
         r_y = exact_reliability(self.build(y), s, t)
-        r_x_plus = exact_reliability(self.build(x + [(a, t)]), s, t)
-        r_y_plus = exact_reliability(self.build(y + [(a, t)]), s, t)
+        r_x_plus = exact_reliability(self.build([*x, (a, t)]), s, t)
+        r_y_plus = exact_reliability(self.build([*y, (a, t)]), s, t)
         assert r_x == pytest.approx(0.5)
         assert r_y == pytest.approx(0.5)
         assert r_x_plus == pytest.approx(0.5)
@@ -56,8 +57,8 @@ class TestFigure2Lemma1:
         y = [(s, a), (s, t)]
         r_x = exact_reliability(self.build(x), s, t)
         r_y = exact_reliability(self.build(y), s, t)
-        r_x_plus = exact_reliability(self.build(x + [(a, t)]), s, t)
-        r_y_plus = exact_reliability(self.build(y + [(a, t)]), s, t)
+        r_x_plus = exact_reliability(self.build([*x, (a, t)]), s, t)
+        r_y_plus = exact_reliability(self.build([*y, (a, t)]), s, t)
         assert r_x == pytest.approx(0.0)
         assert r_y == pytest.approx(0.5)
         assert r_x_plus == pytest.approx(0.25)
@@ -69,7 +70,7 @@ class TestFigure2Lemma1:
 class TestTable2Characterization:
     """Reliability of the three k=2 solutions under (alpha, zeta)."""
 
-    CASES = [
+    CASES: ClassVar = [
         # alpha, zeta, R({sA,sB}), R({sA,Bt}), R({sB,Bt})
         (0.5, 0.7, 0.403, 0.473, 0.543),
         (0.5, 0.3, 0.203, 0.173, 0.143),

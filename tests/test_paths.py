@@ -182,7 +182,7 @@ class TestTopLPaths:
         brute = all_simple_paths(0, n - 1)
         yen = [pr for _, pr in top_l_most_reliable_paths(g, 0, n - 1, 50)]
         assert len(yen) == len(brute)
-        for a, b in zip(yen, brute):
+        for a, b in zip(yen, brute, strict=True):
             assert a == pytest.approx(b)
 
     def test_overlay_candidates_usable(self, diamond):

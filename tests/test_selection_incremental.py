@@ -229,7 +229,7 @@ class TestConditionedBackendRouting:
     @pytest.mark.parametrize("method", [hill_climbing, individual_top_k])
     def test_routed_selection_matches_scalar_loop(self, name, method):
         for label, graph, s, t, k, candidates, probs in forced_fixtures():
-            prob_model = lambda u, v: probs[(u, v)]  # noqa: E731
+            prob_model = lambda u, v, probs=probs: probs[(u, v)]
             scalar = method(
                 graph, s, t, k, candidates, prob_model,
                 make_estimator(name, 400, seed=SEED, vectorized=False),

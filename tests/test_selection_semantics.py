@@ -1,5 +1,7 @@
 """Deeper semantics tests for the batch-selection machinery."""
 
+from typing import ClassVar
+
 from repro.graph import UncertainGraph, fixed_new_edge_probability
 from repro.reliability import ExactEstimator, make_estimator
 from repro.core import (
@@ -117,7 +119,7 @@ class TestGreedyTieBreakParity:
     identical coin rows by construction).
     """
 
-    CANDIDATES = [(2, 3), (0, 5), (1, 4)]
+    CANDIDATES: ClassVar = [(2, 3), (0, 5), (1, 4)]
 
     def custom_prob(self, u, v):
         return {(2, 3): 1.0, (0, 5): 0.5, (1, 4): 0.25}[(u, v)]

@@ -53,7 +53,7 @@ def test_concurrent_submits_coalesce_and_match_one_off():
     for result in results:
         assert result.provenance.shared_worlds  # coalesced into one group
 
-    for got, expected in zip(results, one_off_results(graph, queries)):
+    for got, expected in zip(results, one_off_results(graph, queries), strict=True):
         assert got.values == expected.values  # bit-for-bit
         assert got.provenance.estimator == expected.provenance.estimator
         assert got.provenance.samples == expected.provenance.samples
@@ -97,7 +97,7 @@ def test_mixed_z_seed_requests_split_into_separate_world_batches():
     results, stats = asyncio.run(scenario())
     assert stats.batches == 1  # one flush, session splits internally
 
-    for got, expected in zip(results, one_off_results(graph, queries)):
+    for got, expected in zip(results, one_off_results(graph, queries), strict=True):
         assert got.values == expected.values
     # Provenance reflects each query's own sampling configuration.
     assert [r.provenance.seed for r in results] == [1, 1, 2, 1]
@@ -231,7 +231,7 @@ def test_maximize_queries_coalesce_and_match_session_maximize():
     # own batching is pinned to.
     session = Session(graph, seed=7, r=15, l=10)
     expected = [session.maximize(q) for q in queries]
-    for got, want in zip(results, expected):
+    for got, want in zip(results, expected, strict=True):
         assert got.solution.edges == want.solution.edges
         assert got.solution.base_reliability == want.solution.base_reliability
         assert got.solution.new_reliability == want.solution.new_reliability
