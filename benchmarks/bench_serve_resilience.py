@@ -1,0 +1,228 @@
+"""Benchmark: serving resilience under overload — shed fast, serve steady.
+
+The resilience layer's claim (:mod:`repro.serve`): bounded admission
+(``max_pending``) keeps an overloaded server *predictable* — excess
+requests are rejected in microseconds with a typed
+:class:`~repro.serve.OverloadedError` (HTTP 503 + Retry-After) instead
+of queueing without bound, and the requests that *are* admitted see
+latencies close to an unloaded server.  This benchmark fires a burst of
+``4 x max_pending`` concurrent clients at one coalescing
+:class:`~repro.serve.AsyncSession` and measures both populations,
+plus the per-call cost of a disarmed fault seam (the "zero overhead
+when disarmed" contract every hot path relies on).
+
+Gates (the PR gate, enforced in nightly CI):
+
+* exactly ``max_pending`` requests admitted, the rest shed;
+* shed requests rejected fast: p99 rejection latency <= 50 ms and
+  under half the accepted p99;
+* accepted p99 latency <= 2x the unloaded baseline p99;
+* every accepted response **bit-for-bit equal** to a one-off
+  ``Session.run`` of the same query;
+* a disarmed ``fault_point`` costs < 2 us per call.
+
+Usage::
+
+    python benchmarks/bench_serve_resilience.py             # full gate
+    python benchmarks/bench_serve_resilience.py --smoke     # quick CI check
+    python benchmarks/bench_serve_resilience.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import faults  # noqa: E402
+from repro.api import ReliabilityQuery, Session, Workload  # noqa: E402
+from repro.graph import assign_uniform, erdos_renyi  # noqa: E402
+from repro.serve import AsyncSession, OverloadedError  # noqa: E402
+
+
+def build_graph(num_nodes: int, num_edges: int, seed: int = 0):
+    graph = erdos_renyi(num_nodes, num_edges=num_edges, seed=seed)
+    return assign_uniform(graph, 0.05, 0.5, seed=seed + 1)
+
+
+def client_queries(graph, num_clients: int, samples: int):
+    n = graph.num_nodes
+    return [
+        ReliabilityQuery(
+            (i * 7) % (n // 2), target=n - 1 - (i * 5) % (n // 2),
+            samples=samples,
+        )
+        for i in range(num_clients)
+    ]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def timed_submit(serving, query):
+    """Submit one query; classify and time the outcome."""
+    start = time.perf_counter()
+    try:
+        result = await serving.submit(query)
+        return "accepted", time.perf_counter() - start, result
+    except OverloadedError:
+        return "shed", time.perf_counter() - start, None
+
+
+def run_burst(graph, queries, seed: int, max_pending: int | None,
+              wait_ms: float):
+    """Fire every query concurrently; return per-outcome latencies."""
+
+    async def _run():
+        async with AsyncSession(
+            graph, seed=seed, max_wait_ms=wait_ms, max_pending=max_pending
+        ) as serving:
+            outcomes = await asyncio.gather(
+                *(timed_submit(serving, q) for q in queries)
+            )
+            return outcomes, serving.stats.as_dict()
+
+    return asyncio.run(_run())
+
+
+def disarmed_seam_overhead(calls: int = 200_000) -> float:
+    """Per-call seconds for a fault_point with the registry disarmed."""
+    assert not faults.armed()
+    fault_point = faults.fault_point
+    start = time.perf_counter()
+    for _ in range(calls):
+        fault_point("bench.overhead")
+    return (time.perf_counter() - start) / calls
+
+
+def run(smoke: bool, json_path: str | None) -> int:
+    if smoke:
+        num_nodes, num_edges, z = 200, 600, 256
+        max_pending = 4
+    else:
+        num_nodes, num_edges, z = 1000, 3000, 1000
+        max_pending = 16
+    burst = 4 * max_pending
+
+    graph = build_graph(num_nodes, num_edges)
+    queries = client_queries(graph, burst, z)
+    print(f"graph: n={graph.num_nodes} m={graph.num_edges} Z={z} "
+          f"burst={burst} max_pending={max_pending}")
+
+    # Unloaded baseline: max_pending concurrent clients, no shedding.
+    baseline_outcomes, _ = run_burst(
+        graph, queries[:max_pending], seed=17, max_pending=None, wait_ms=10.0
+    )
+    baseline_latencies = [t for kind, t, _ in baseline_outcomes]
+    baseline_p99 = percentile(baseline_latencies, 0.99)
+
+    # Overload burst: 4x max_pending clients in one tick.
+    outcomes, stats = run_burst(
+        graph, queries, seed=17, max_pending=max_pending, wait_ms=10.0
+    )
+    accepted = [(t, r) for kind, t, r in outcomes if kind == "accepted"]
+    shed = [t for kind, t, _ in outcomes if kind == "shed"]
+    accepted_p99 = percentile([t for t, _ in accepted], 0.99)
+    shed_p99 = percentile(shed, 0.99) if shed else 0.0
+
+    print(f"  unloaded p99:          {baseline_p99 * 1000:9.1f} ms "
+          f"({max_pending} clients)")
+    print(f"  accepted under burst:  {accepted_p99 * 1000:9.1f} ms p99 "
+          f"({len(accepted)} requests)")
+    print(f"  shed under burst:      {shed_p99 * 1000:9.3f} ms p99 "
+          f"({len(shed)} requests)")
+
+    # Accepted answers must still be bit-for-bit one-off results.
+    accepted_queries = [
+        q for (kind, _, _), q in zip(outcomes, queries, strict=True)
+        if kind == "accepted"
+    ]
+    mismatches = 0
+    for (_, result), query in zip(accepted, accepted_queries, strict=True):
+        session = Session(graph, seed=17)
+        [expected] = session.run(Workload([query]))
+        if result.values != expected.values:
+            mismatches += 1
+
+    overhead_s = disarmed_seam_overhead()
+    print(f"  disarmed fault_point:  {overhead_s * 1e9:9.1f} ns/call")
+
+    report = {
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "num_samples": z,
+        "max_pending": max_pending,
+        "burst_clients": burst,
+        "baseline_p99_seconds": baseline_p99,
+        "accepted_p99_seconds": accepted_p99,
+        "shed_p99_seconds": shed_p99,
+        "accepted_requests": len(accepted),
+        "shed_requests": len(shed),
+        "value_mismatches": mismatches,
+        "disarmed_seam_ns_per_call": overhead_s * 1e9,
+        "coalescer": stats,
+    }
+    if json_path:
+        Path(json_path).write_text(json.dumps(report, indent=2))
+        print(f"wrote {json_path}")
+
+    failures = []
+    if len(accepted) != max_pending or len(shed) != burst - max_pending:
+        failures.append(
+            f"admission drifted: {len(accepted)} accepted / "
+            f"{len(shed)} shed (expected {max_pending} / "
+            f"{burst - max_pending})"
+        )
+    if mismatches:
+        failures.append(
+            f"{mismatches} accepted responses differ from one-off "
+            f"Session.run results"
+        )
+    if shed and shed_p99 > min(0.050, accepted_p99 / 2):
+        failures.append(
+            f"shed rejection too slow: p99 {shed_p99 * 1000:.1f} ms "
+            f"(cap: min(50 ms, accepted_p99/2))"
+        )
+    if accepted_p99 > 2.0 * baseline_p99:
+        failures.append(
+            f"accepted p99 {accepted_p99 * 1000:.1f} ms exceeds 2x "
+            f"unloaded baseline {baseline_p99 * 1000:.1f} ms"
+        )
+    if overhead_s > 2e-6:
+        failures.append(
+            f"disarmed fault_point costs {overhead_s * 1e9:.0f} ns/call "
+            f"(cap 2000 ns)"
+        )
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small graph / small burst quick check for CI",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the timing report as JSON",
+    )
+    args = parser.parse_args()
+    return run(smoke=args.smoke, json_path=args.json)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

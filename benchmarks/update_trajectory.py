@@ -33,6 +33,11 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: Benchmarks the trajectory tracks -> headline-metric extractor.
 EXTRACTORS = {}
 
+#: Reports that fold into another benchmark's trajectory file.  The
+#: resilience run is a facet of the serving story, so its entries land
+#: in BENCH_serve.json next to the coalescing speedups.
+TRAJECTORY_FILES = {"serve_resilience": "serve"}
+
 
 def extractor(name):
     def register(fn):
@@ -82,6 +87,18 @@ def _serve(report: dict) -> dict:
     }
 
 
+@extractor("serve_resilience")
+def _serve_resilience(report: dict) -> dict:
+    return {
+        "benchmark": "serve_resilience",
+        "max_pending": report["max_pending"],
+        "burst_clients": report["burst_clients"],
+        "accepted_p99_seconds": report["accepted_p99_seconds"],
+        "shed_p99_seconds": report["shed_p99_seconds"],
+        "disarmed_seam_ns_per_call": report["disarmed_seam_ns_per_call"],
+    }
+
+
 @extractor("index")
 def _index(report: dict) -> dict:
     return {
@@ -125,7 +142,9 @@ def current_commit() -> str | None:
 
 def append_entry(name: str, report_path: Path, label: str) -> Path:
     report = json.loads(report_path.read_text())
-    trajectory_path = REPO_ROOT / f"BENCH_{name}.json"
+    trajectory_path = (
+        REPO_ROOT / f"BENCH_{TRAJECTORY_FILES.get(name, name)}.json"
+    )
     if trajectory_path.exists():
         trajectory = json.loads(trajectory_path.read_text())
     else:

@@ -6,7 +6,7 @@ tribal-knowledge:
 
 :mod:`repro.analysis.rules` / :mod:`repro.analysis.checker`
     ``repro-check``, an stdlib-``ast`` lint pass with one named rule
-    per invariant (REP001-REP005: seeded RNG only, version bumps on
+    per invariant (REP001-REP006: seeded RNG only, version bumps on
     graph mutation, content-hash-keyed disk state, immutable world
     batches, no wall clock in timings).  Run it as ``repro check`` or
     ``python -m repro.analysis``; suppress a finding with a trailing

@@ -150,7 +150,7 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     """CLI: print diagnostics, exit 1 when any survive suppression."""
     parser = argparse.ArgumentParser(
         prog="repro check",
-        description="Lint the repo's determinism contracts (REP001-REP005).",
+        description="Lint the repo's determinism contracts (REP001-REP006).",
     )
     parser.add_argument(
         "paths", nargs="*",

@@ -25,6 +25,13 @@ REP005
     No wall-clock ``time.time()`` in timed paths — timings use
     ``time.perf_counter()``.  Genuine timestamps carry an explicit
     ``# repro-check: disable=REP005``.
+REP006
+    Fault seams are statically enumerable and zero-cost when disarmed:
+    every ``fault_point`` call outside ``repro/faults/`` passes a
+    string-literal dotted seam name and at most a bare class reference
+    for ``error=``, and injected failures are raised only through the
+    armed-gated registry, never by instantiating ``FaultError``
+    directly.
 
 Rules are pure functions over ``(ast.Module, FileContext)`` so the
 fixture suite (``tests/test_repro_check.py``) can drive each one against
@@ -34,6 +41,7 @@ minimal violating and conforming sources.
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -352,6 +360,97 @@ def check_rep005(tree: ast.Module, ctx: FileContext) -> List[Diagnostic]:
     return out
 
 
+# ----------------------------------------------------------------------
+# REP006 — fault seams are static, literal, and allocation-free
+# ----------------------------------------------------------------------
+
+#: Seam names at call sites are exact dotted identifiers — no wildcards,
+#: so ``grep fault_point`` enumerates the complete seam table.
+_SEAM_LITERAL = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+_FAULTS_PACKAGE = ("faults",)
+
+
+def _is_fault_point_call(func: ast.expr, aliases: Dict[str, str]) -> bool:
+    """Match ``fault_point(...)`` however the registry was imported.
+
+    Relative imports (``from ..faults import fault_point``) never make
+    it into the alias map, so the bare call name is matched directly.
+    """
+    full = dotted_path(func, aliases)
+    if full is not None and (full == "fault_point" or full.endswith(".fault_point")):
+        return True
+    if isinstance(func, ast.Name) and func.id == "fault_point":
+        return True
+    return isinstance(func, ast.Attribute) and func.attr == "fault_point"
+
+
+def check_rep006(tree: ast.Module, ctx: FileContext) -> List[Diagnostic]:
+    """Flag dynamic seam names, allocating call sites, and direct raises."""
+    if ctx.package_path is not None and ctx.package_path[:1] == _FAULTS_PACKAGE:
+        return []
+    out: List[Diagnostic] = []
+
+    def flag(node: ast.AST, message: str) -> None:
+        out.append(Diagnostic(
+            ctx.display_path, node.lineno, node.col_offset, "REP006", message,
+        ))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Raise) and isinstance(node.exc, ast.Call):
+            func = node.exc.func
+            raised = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            if raised == "FaultError":
+                flag(node, (
+                    "injected failures must fire through the armed-gated "
+                    "registry (fault_point(...)), never by raising "
+                    "FaultError directly — a direct raise fires even when "
+                    "faults are disarmed"
+                ))
+        if not isinstance(node, ast.Call):
+            continue
+        if not _is_fault_point_call(node.func, ctx.aliases):
+            continue
+        head = node.args[0] if node.args else None
+        if (
+            not isinstance(head, ast.Constant)
+            or not isinstance(head.value, str)
+        ):
+            flag(node, (
+                "fault_point seam name must be a string literal so the "
+                "seam table is statically enumerable and the disarmed "
+                "call allocates nothing"
+            ))
+        elif not _SEAM_LITERAL.match(head.value):
+            flag(node, (
+                f"seam name {head.value!r} is not a dotted lowercase "
+                f"identifier (layer.operation); wildcards belong in fault "
+                f"specs, not at call sites"
+            ))
+        if len(node.args) > 2 or any(
+            isinstance(arg, ast.Starred) for arg in node.args
+        ):
+            flag(node, "fault_point takes only (name, error)")
+        extra_values = [arg for arg in node.args[1:2]]
+        extra_values += [
+            kw.value for kw in node.keywords if kw.arg in (None, "error")
+        ]
+        for kw in node.keywords:
+            if kw.arg not in (None, "error"):
+                flag(node, f"fault_point got unexpected keyword {kw.arg!r}")
+        for value in extra_values:
+            if not isinstance(value, (ast.Name, ast.Attribute)):
+                flag(node, (
+                    "fault_point error= must be a bare class reference "
+                    "(Name or Attribute), not an expression — disarmed "
+                    "call sites must not allocate or evaluate anything"
+                ))
+    return out
+
+
 #: The active rule set, in code order.
 ALL_RULES: Tuple[Rule, ...] = (
     Rule("REP001", "no unseeded or module-level RNG", check_rep001),
@@ -361,4 +460,6 @@ ALL_RULES: Tuple[Rule, ...] = (
     Rule("REP004", "WorldBatch arrays are immutable outside engine/kernel.py",
          check_rep004),
     Rule("REP005", "no wall-clock time.time() in timed paths", check_rep005),
+    Rule("REP006", "fault seams are literal, allocation-free, and "
+         "armed-gated", check_rep006),
 )

@@ -27,6 +27,12 @@ from ..reliability import ReliabilityEstimator, estimator_spec
 Pair = Tuple[int, int]
 
 
+def _check_deadline(deadline_ms: Optional[float]) -> None:
+    # `not (x > 0)` rather than `x <= 0`: NaN must fail validation too.
+    if deadline_ms is not None and not deadline_ms > 0:
+        raise ValueError(f"deadline_ms must be > 0, got {deadline_ms!r}")
+
+
 def _normalize_targets(
     target: Optional[int],
     targets: Optional[Sequence[int]],
@@ -62,6 +68,13 @@ class ReliabilityQuery:
         Per-query seed override; ``None`` inherits the session seed.
         Queries with equal ``(estimator, samples, seed)`` share sampled
         worlds when the estimator's registry entry allows it.
+    deadline_ms:
+        Serving-layer budget: when set, an ``AsyncSession`` expires the
+        request at flush time if it has waited longer than this, so a
+        stale request never costs a shared batch any work (HTTP maps
+        expiry to 504).  Ignored by direct ``Session.run`` execution.
+        Excluded from equality: a retry with a fresh deadline is the
+        same query.
 
     Examples
     --------
@@ -80,6 +93,7 @@ class ReliabilityQuery:
     estimator: str = "mc"
     samples: int = 1000
     seed: Optional[int] = None
+    deadline_ms: Optional[float] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         normalized = _normalize_targets(self.target, self.targets)
@@ -91,6 +105,7 @@ class ReliabilityQuery:
             # execution time; fail here instead, before the query can
             # enter a shared batch.
             raise ValueError("seed must be non-negative")
+        _check_deadline(self.deadline_ms)
         estimator_spec(self.estimator)  # fail fast on unknown names
 
     @property
@@ -111,6 +126,8 @@ class MaximizeQuery:
     ``new_edge_prob``, ``candidate_space`` and ``eliminate`` mirror the
     advanced knobs of the legacy facade (sharing one Algorithm 4 run
     across methods, reproducing the no-elimination tables).
+    ``deadline_ms`` carries the same serving-layer budget semantics as
+    :attr:`ReliabilityQuery.deadline_ms`.
 
     Examples
     --------
@@ -137,6 +154,7 @@ class MaximizeQuery:
     new_edge_prob: Optional[object] = field(default=None, compare=False)
     candidate_space: Optional[object] = field(default=None, compare=False)
     eliminate: bool = True
+    deadline_ms: Optional[float] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         from ..core.facade import METHODS  # local: avoid import cycle
@@ -155,6 +173,7 @@ class MaximizeQuery:
             raise ValueError("samples must be positive")
         if self.seed is not None and self.seed < 0:
             raise ValueError("seed must be non-negative")
+        _check_deadline(self.deadline_ms)
         if isinstance(self.estimator, str):
             estimator_spec(self.estimator)  # fail fast on unknown names
 

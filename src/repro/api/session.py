@@ -48,6 +48,8 @@ from ..graph import UncertainGraph
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine import QueryPlan, WorldBatch
     from ..index import IndexStore
+    from ..index.breaker import CircuitBreaker
+from ..faults import fault_point
 from ..reliability import (
     ReliabilityEstimator,
     estimator_spec,
@@ -174,6 +176,7 @@ class Session:
         max_cached_batches: int = 8,
         fuse_max_words: Optional[int] = None,
         store: Optional["IndexStore"] = None,
+        store_breaker: Optional["CircuitBreaker"] = None,
     ) -> None:
         if max_cached_batches < 1:
             raise ValueError("max_cached_batches must be positive")
@@ -185,6 +188,16 @@ class Session:
         self.graph = graph
         self.seed = seed
         self.store = store
+        # Circuit breaker in front of the best-effort store wrappers: a
+        # dead store stops costing a round-trip per request.  Attached
+        # by default whenever a store is; pass an explicit breaker to
+        # tune thresholds (or inject a test clock).
+        self.store_breaker: Optional["CircuitBreaker"] = None
+        if store is not None:
+            if store_breaker is None:
+                from ..index.breaker import CircuitBreaker
+                store_breaker = CircuitBreaker()
+            self.store_breaker = store_breaker
         if _HAVE_ENGINE:
             # Validate eagerly (like max_cached_batches) so a bad knob
             # fails at construction, not at the first grouped query;
@@ -253,12 +266,15 @@ class Session:
         if store is None:
             return None
         try:
-            return store.stats().as_dict()
+            payload = store.stats().as_dict()
         except StoreError as error:
-            return {
+            payload = {
                 "error": str(error),
                 "counters": store.counters.as_dict(),
             }
+        if self.store_breaker is not None:
+            payload["breaker"] = self.store_breaker.stats()
+        return payload
 
     # ------------------------------------------------------------------
     # best-effort store access
@@ -268,7 +284,27 @@ class Session:
     # failure mode (lock timeouts, sqlite contention like 'database is
     # locked' under multi-process result writes, a closed store), and
     # these wrappers absorb it: reads degrade to misses, writes are
-    # dropped, and save_failures records that it happened.
+    # dropped, and save_failures records that it happened.  The circuit
+    # breaker turns *consecutive* failures into skipped calls (same
+    # degraded semantics, none of the round-trip latency) until a
+    # half-open probe succeeds.  Each wrapper carries a fault seam so
+    # chaos tests drive these paths through the registry instead of
+    # monkeypatching.
+
+    def _store_allowed(self) -> bool:
+        """Whether the breaker admits a store call right now."""
+        breaker = self.store_breaker
+        return breaker is None or breaker.allow()
+
+    def _store_ok(self) -> None:
+        breaker = self.store_breaker
+        if breaker is not None:
+            breaker.record_success()
+
+    def _store_failed(self) -> None:
+        breaker = self.store_breaker
+        if breaker is not None:
+            breaker.record_failure()
 
     def _store_get_results(
         self, estimator: str, pairs: Sequence[Pair], samples: int, seed: int
@@ -276,13 +312,19 @@ class Session:
         """Result-cache read; a store failure is an ordinary miss."""
         store = self.store
         assert store is not None  # callers gate on an attached store
+        if not self._store_allowed():
+            return {}
         try:
-            return store.get_results(
+            fault_point("session.store.get_results", StoreError)
+            found = store.get_results(
                 self.graph_hash(), estimator, pairs, samples, seed
             )
         except StoreError:
             store.counters.save_failures += 1
+            self._store_failed()
             return {}
+        self._store_ok()
+        return found
 
     def _store_put_results(
         self, estimator: str, values: Dict[Pair, float], samples: int,
@@ -291,12 +333,18 @@ class Session:
         """Result-cache write-back; a store failure drops the entries."""
         store = self.store
         assert store is not None  # callers gate on an attached store
+        if not self._store_allowed():
+            return
         try:
+            fault_point("session.store.put_results", StoreError)
             store.put_results(
                 self.graph_hash(), estimator, values, samples, seed
             )
         except StoreError:
             store.counters.save_failures += 1
+            self._store_failed()
+            return
+        self._store_ok()
 
     def _sync_version(self) -> None:
         if self._version != self.graph.version:
@@ -350,9 +398,10 @@ class Session:
         if cached is not None:
             return cached[0], 0.0, "memory"
         store = self.store
-        if store is not None:
+        if store is not None and self._store_allowed():
             start = time.perf_counter()
             try:
+                fault_point("session.store.load_batch", StoreError)
                 words = store.load_batch(
                     self.graph_hash(), samples, seed,
                     expected_edges=plan.num_edges,
@@ -361,7 +410,10 @@ class Session:
                 # A broken catalog reads as a miss: fall through to
                 # fresh sampling.
                 store.counters.save_failures += 1
+                self._store_failed()
                 words = None
+            else:
+                self._store_ok()
             if words is not None:
                 batch = batch_from_words(words, samples)
                 elapsed = time.perf_counter() - start
@@ -370,8 +422,9 @@ class Session:
         start = time.perf_counter()
         batch = sample_worlds(plan, samples, np.random.default_rng(seed))
         elapsed = time.perf_counter() - start
-        if store is not None:
+        if store is not None and self._store_allowed():
             try:
+                fault_point("session.store.save_batch", StoreError)
                 store.save_batch(
                     self.graph_hash(), samples, seed, batch_to_words(batch)
                 )
@@ -379,6 +432,9 @@ class Session:
                 # Persistence is an optimization; serving must not fail
                 # because another writer holds the store lock.
                 store.counters.save_failures += 1
+                self._store_failed()
+            else:
+                self._store_ok()
         self._remember_batch(key, batch, elapsed)
         return batch, elapsed, "sampled"
 

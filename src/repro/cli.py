@@ -170,7 +170,14 @@ def cmd_mrp(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Start the coalescing HTTP server over one long-lived session."""
+    """Start the coalescing HTTP server over one long-lived session.
+
+    SIGTERM/SIGINT trigger a graceful drain: stop accepting, finish
+    in-flight batches, exit 0.  A second signal forces an immediate
+    exit with a non-zero status (130).
+    """
+    import signal
+
     from .serve import ReliabilityServer  # local: keep base CLI light
 
     graph = _load_graph(args)
@@ -185,6 +192,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        max_pending=args.max_pending or None,
         seed=args.seed,
         estimator=args.estimator,
         selection_samples=args.samples,
@@ -195,33 +203,67 @@ def cmd_serve(args: argparse.Namespace) -> int:
         store=store,
     )
 
-    async def _run() -> None:
+    async def _run() -> int:
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+
+        def _on_signal() -> None:
+            if not stop_requested.is_set():
+                print("\nsignal received: draining "
+                      "(send again to force quit)", flush=True)
+                stop_requested.set()
+            else:
+                print("\nsecond signal: forcing exit", flush=True)
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+
+        installed = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, _on_signal)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-POSIX loop: fall back to KeyboardInterrupt
         host, port = await server.start()
         name = graph.name or "graph"
         print(f"serving {name} (n={graph.num_nodes}, m={graph.num_edges}, "
-              f"version={graph.version}) on http://{host}:{port}")
+              f"version={graph.version}) on http://{host}:{port}",
+              flush=True)
         print("  POST /reliability  {source, target|targets, samples, "
               "estimator, seed}")
         print("  POST /maximize     {source, target, k, zeta, method, ...}")
         print("  POST /graph        {edges: [[u, v, p], ...], directed, name}")
         print("  GET  /healthz")
         print(f"coalescer: max_batch={args.max_batch}, "
-              f"max_wait_ms={args.max_wait_ms}")
+              f"max_wait_ms={args.max_wait_ms}, "
+              f"max_pending={args.max_pending or 'unbounded'}", flush=True)
         if store is not None:
             stats = store.stats()
             print(f"store: {stats.path} (schema v{stats.schema_version}, "
                   f"{stats.num_batches} batches, {stats.num_results} "
-                  f"cached results)")
+                  f"cached results)", flush=True)
+        serve_task = asyncio.ensure_future(server.serve_forever())
         try:
-            await server.serve_forever()
+            await stop_requested.wait()
+            await server.stop()  # graceful: drains in-flight batches
+            serve_task.cancel()
+            await asyncio.gather(serve_task, return_exceptions=True)
+        except asyncio.CancelledError:
+            # Forced by a second signal: abandon the drain.
+            return 130
         finally:
-            await server.stop()
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            if store is not None:
+                store.close()
+        print("drained cleanly", flush=True)
+        return 0
 
     try:
-        asyncio.run(_run())
-    except KeyboardInterrupt:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:  # non-POSIX fallback path
         print("shutting down")
-    return 0
+        return 0
 
 
 def cmd_index_build(args: argparse.Namespace) -> int:
@@ -392,6 +434,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="coalescing window: max extra latency per request",
     )
     p_serve.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="admission bound: shed requests (503 + Retry-After) once "
+             "this many queries are pending or executing; 0 disables "
+             "shedding",
+    )
+    p_serve.add_argument(
         "--estimator", choices=estimator_names(), default="rss",
         help="selection estimator for /maximize queries",
     )
@@ -452,7 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_check = subparsers.add_parser(
         "check", help="lint sources against the repo's determinism "
-                      "invariants (REP001–REP005)"
+                      "invariants (REP001–REP006)"
     )
     p_check.add_argument(
         "paths", nargs="*", metavar="PATH",

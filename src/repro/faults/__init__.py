@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the serving and storage layers.
+
+Public surface of the registry (see :mod:`repro.faults.registry` for
+the full model): :func:`fault_point` marks a seam, :func:`arm` /
+:func:`disarm` / :func:`inject` control what fires, and
+:func:`seam_report` exposes the per-seam fire counters chaos tests
+assert on.  Disarmed — the default — every seam is a single global
+check, so production behavior is byte-identical to a build without
+seams.
+"""
+
+from .registry import (
+    ENV_VAR,
+    FaultError,
+    FaultSpec,
+    ProfileError,
+    arm,
+    armed,
+    disarm,
+    fault_point,
+    fires,
+    inject,
+    parse_profile,
+    reset_counters,
+    seam_report,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FaultError",
+    "FaultSpec",
+    "ProfileError",
+    "arm",
+    "armed",
+    "disarm",
+    "fault_point",
+    "fires",
+    "inject",
+    "parse_profile",
+    "reset_counters",
+    "seam_report",
+]

@@ -1,0 +1,347 @@
+"""Deterministic fault-injection registry with named seams.
+
+The serving and persistence layers carry *fault seams*: named call
+sites (``fault_point("store.catalog", ...)``) where this registry may
+inject a failure or latency.  The registry follows the
+:mod:`repro.analysis.sanitize` arm/disarm pattern — disarmed (the
+default), :func:`fault_point` is a single module-global check and an
+immediate return, so production code pays no measurable overhead and
+behaves byte-identically to a build without seams.
+
+Armed, every injected fault is drawn from a seeded
+:class:`random.Random`, which extends the repo's determinism contract
+to chaos runs: the same profile string (same seed, same specs) against
+the same workload fires the same faults.  Two ways to arm:
+
+* the ``REPRO_FAULTS`` environment variable, parsed at import time —
+  e.g. ``REPRO_FAULTS="seed=7;store.*:p=0.05,latency_ms=2"``;
+* programmatically via :func:`arm` / :func:`disarm` or the composable
+  :func:`inject` context manager used throughout the test suite.
+
+Profile syntax (``;``-separated clauses)::
+
+    seed=<int>                         seed for all per-spec RNGs
+    <pattern>                          always fail at matching seams
+    <pattern>:k=v,k=v                  keys: p, count, latency_ms, fail
+
+``pattern`` is an :mod:`fnmatch`-style glob over seam names
+(``store.*``), ``p`` the per-call fire probability, ``count`` a cap on
+total fires, ``latency_ms`` a sleep injected before returning or
+raising, and ``fail=0`` makes a spec latency-only.  Specs are evaluated
+in profile order; the first *failing* match stops evaluation (latency
+from earlier matching specs still applies).
+
+Exact-pattern specs give the strongest reproducibility: each seam draw
+consumes from that spec's own RNG stream.  A wildcard spec shares one
+RNG across every seam it matches, so under concurrency the
+interleaving decides *which* call fires — each call still fires with
+probability ``p``, and single-threaded runs remain bit-for-bit
+reproducible.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import os
+import random
+import re
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type, Union
+
+ENV_VAR = "REPRO_FAULTS"
+
+#: Seam names are static dotted identifiers (``layer.operation``); spec
+#: patterns may additionally use fnmatch wildcards.
+_PATTERN_RE = re.compile(r"^[a-z0-9_*?\[\]]+(\.[a-z0-9_*?\[\]]+)*$")
+
+_SPEC_KEYS = ("p", "count", "latency_ms", "fail")
+
+
+class FaultError(RuntimeError):
+    """Default error raised when an armed seam fires.
+
+    Seams that sit inside an existing error-handling contract pass a
+    more specific class (``fault_point(name, error=StoreError)``) so
+    the injected failure exercises the same recovery path a real one
+    would.
+    """
+
+
+class ProfileError(ValueError):
+    """Raised when a ``REPRO_FAULTS`` profile string cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule: where, how often, and what to inject.
+
+    ``pattern`` globs over seam names; ``p`` is the per-call fire
+    probability; ``count`` caps total fires (``None`` = unlimited);
+    ``latency_ms`` sleeps before returning or raising; ``fail=False``
+    makes the spec latency-only.
+    """
+
+    pattern: str
+    p: float = 1.0
+    count: Optional[int] = None
+    latency_ms: float = 0.0
+    fail: bool = True
+
+    def __post_init__(self) -> None:
+        if not _PATTERN_RE.match(self.pattern):
+            raise ProfileError(
+                f"invalid seam pattern {self.pattern!r}: expected dotted "
+                "lowercase identifiers, optionally with fnmatch wildcards"
+            )
+        if not 0.0 <= self.p <= 1.0:
+            raise ProfileError(f"fault probability must be in [0, 1], got {self.p!r}")
+        if self.count is not None and self.count < 1:
+            raise ProfileError(f"fault count must be >= 1, got {self.count!r}")
+        if self.latency_ms < 0.0:
+            raise ProfileError(
+                f"fault latency_ms must be >= 0, got {self.latency_ms!r}"
+            )
+        if not self.fail and self.latency_ms == 0.0:
+            raise ProfileError(
+                f"spec {self.pattern!r} with fail=0 and no latency injects nothing"
+            )
+
+
+class _ActiveSpec:
+    """Runtime state for one armed spec: its RNG stream and fire budget."""
+
+    __slots__ = ("spec", "rng", "remaining")
+
+    def __init__(self, spec: FaultSpec, seed: int, index: int) -> None:
+        self.spec = spec
+        self.rng = _derive_rng(seed, spec.pattern, index)
+        self.remaining = spec.count  # None = unlimited
+
+
+def _derive_rng(seed: int, pattern: str, index: int) -> random.Random:
+    """Give each spec its own deterministic stream, stable across runs.
+
+    ``hashlib`` rather than ``hash()``: the builtin is salted per
+    process, which would break same-seed reproducibility across runs.
+    """
+    digest = hashlib.sha256(f"{seed}|{index}|{pattern}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+# Module-global armed flag, read unlocked on the hot path.  Arming and
+# disarming happen under _LOCK; the flag flip is atomic in CPython and
+# a stale read during an arm/disarm race (test-only territory) costs at
+# worst one locked re-check inside _hit.
+_ARMED = False
+_LOCK = threading.Lock()
+_SPECS: Tuple[_ActiveSpec, ...] = ()
+_SEED = 0
+_FIRES: Dict[str, int] = {}
+
+
+def fault_point(name: str, error: Optional[Type[BaseException]] = None) -> None:
+    """Declare a named injection seam; no-op unless the registry is armed.
+
+    Call sites pass a constant string literal for ``name`` (enforced
+    statically by ``repro check`` rule REP006) and optionally the error
+    class the surrounding contract expects, so disarmed calls allocate
+    nothing.  Armed, a matching spec may sleep ``latency_ms`` and then
+    raise ``error`` (default :class:`FaultError`).
+    """
+    if not _ARMED:
+        return
+    _hit(name, error)
+
+
+def _hit(name: str, error: Optional[Type[BaseException]]) -> None:
+    """Slow path of :func:`fault_point`: match specs, sleep, maybe raise."""
+    latency_ms = 0.0
+    fire_fail = False
+    with _LOCK:
+        if not _ARMED:  # disarmed between the unlocked check and here
+            return
+        for active in _SPECS:
+            if active.remaining == 0:
+                continue
+            if not fnmatch.fnmatchcase(name, active.spec.pattern):
+                continue
+            if active.spec.p < 1.0 and active.rng.random() >= active.spec.p:
+                continue
+            if active.remaining is not None:
+                active.remaining -= 1
+            _FIRES[name] = _FIRES.get(name, 0) + 1
+            latency_ms += active.spec.latency_ms
+            if active.spec.fail:
+                fire_fail = True
+                break  # first failing match wins
+    if latency_ms > 0.0:
+        time.sleep(latency_ms / 1000.0)
+    if fire_fail:
+        raise (error or FaultError)(f"injected fault at seam {name!r}")
+
+
+def parse_profile(text: str) -> Tuple[int, Tuple[FaultSpec, ...]]:
+    """Parse a ``REPRO_FAULTS`` profile string into ``(seed, specs)``."""
+    seed = 0
+    specs: List[FaultSpec] = []
+    for raw_clause in text.split(";"):
+        clause = raw_clause.strip()
+        if not clause:
+            continue
+        if clause.startswith("seed="):
+            try:
+                seed = int(clause[len("seed="):])
+            except ValueError:
+                raise ProfileError(f"invalid seed clause {clause!r}") from None
+            continue
+        pattern, _, raw_opts = clause.partition(":")
+        options: Dict[str, Union[float, int, bool, None]] = {}
+        if raw_opts:
+            for raw_opt in raw_opts.split(","):
+                key, sep, value = raw_opt.strip().partition("=")
+                if not sep or key not in _SPEC_KEYS:
+                    raise ProfileError(
+                        f"invalid option {raw_opt!r} in clause {clause!r}: "
+                        f"expected one of {', '.join(_SPEC_KEYS)}"
+                    )
+                try:
+                    if key == "p":
+                        options[key] = float(value)
+                    elif key == "count":
+                        options[key] = int(value)
+                    elif key == "latency_ms":
+                        options[key] = float(value)
+                    else:  # fail
+                        options[key] = _parse_bool(value)
+                except ValueError as exc:
+                    raise ProfileError(
+                        f"invalid value for {key!r} in clause {clause!r}: {exc}"
+                    ) from None
+        specs.append(FaultSpec(pattern.strip(), **options))  # type: ignore[arg-type]
+    return seed, tuple(specs)
+
+
+def _parse_bool(value: str) -> bool:
+    lowered = value.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"expected a boolean, got {value!r}")
+
+
+def arm(
+    profile: Union[str, Sequence[FaultSpec]],
+    seed: Optional[int] = None,
+) -> None:
+    """Arm the registry with a profile string or a sequence of specs.
+
+    A string is parsed with :func:`parse_profile` (its ``seed=`` clause
+    applies unless overridden by the ``seed`` argument).  Arming
+    replaces any previous specs and resets fire counters.
+    """
+    if isinstance(profile, str):
+        parsed_seed, specs = parse_profile(profile)
+        if seed is None:
+            seed = parsed_seed
+    else:
+        specs = tuple(profile)
+    if seed is None:
+        seed = 0
+    global _ARMED, _SPECS, _SEED
+    with _LOCK:
+        _SEED = seed
+        _SPECS = tuple(
+            _ActiveSpec(spec, seed, index) for index, spec in enumerate(specs)
+        )
+        _FIRES.clear()
+        _ARMED = bool(_SPECS)
+
+
+def disarm() -> None:
+    """Disarm the registry: every seam returns to the zero-cost no-op."""
+    global _ARMED, _SPECS
+    with _LOCK:
+        _ARMED = False
+        _SPECS = ()
+        _FIRES.clear()
+
+
+def armed() -> bool:
+    """Return whether any fault specs are currently armed."""
+    return _ARMED
+
+
+@contextmanager
+def inject(
+    pattern: str,
+    *,
+    p: float = 1.0,
+    count: Optional[int] = None,
+    latency_ms: float = 0.0,
+    fail: bool = True,
+    seed: Optional[int] = None,
+    exclusive: bool = False,
+) -> Iterator[FaultSpec]:
+    """Arm one spec for the duration of a ``with`` block.
+
+    Composes with whatever is already armed (nested ``inject`` blocks,
+    an env profile); ``exclusive=True`` suspends the surrounding specs
+    instead, for tests that assert exact fire sequences and must not
+    inherit ambient chaos from ``REPRO_FAULTS``.  On exit the previous
+    registry state is restored.
+    """
+    spec = FaultSpec(
+        pattern, p=p, count=count, latency_ms=latency_ms, fail=fail
+    )
+    global _ARMED, _SPECS, _SEED
+    with _LOCK:
+        saved = (_ARMED, _SPECS, _SEED, dict(_FIRES))
+        base_seed = _SEED if seed is None else seed
+        prior = () if exclusive else _SPECS
+        if exclusive:
+            _FIRES.clear()
+        _SEED = base_seed
+        _SPECS = prior + (_ActiveSpec(spec, base_seed, len(prior)),)
+        _ARMED = True
+    try:
+        yield spec
+    finally:
+        with _LOCK:
+            _ARMED, _SPECS, _SEED = saved[0], saved[1], saved[2]
+            _FIRES.clear()
+            _FIRES.update(saved[3])
+
+
+def seam_report() -> Dict[str, int]:
+    """Return a copy of the per-seam fire counters."""
+    with _LOCK:
+        return dict(_FIRES)
+
+
+def fires(name: Optional[str] = None) -> int:
+    """Return fires at one seam, or total fires when ``name`` is None."""
+    with _LOCK:
+        if name is not None:
+            return _FIRES.get(name, 0)
+        return sum(_FIRES.values())
+
+
+def reset_counters() -> None:
+    """Zero the per-seam fire counters (specs and budgets unchanged)."""
+    with _LOCK:
+        _FIRES.clear()
+
+
+def _arm_from_env() -> None:
+    """Arm from ``REPRO_FAULTS`` at import; invalid profiles fail loudly."""
+    text = os.environ.get(ENV_VAR, "")
+    if text.strip():
+        arm(text)
+
+
+_arm_from_env()

@@ -25,6 +25,7 @@ identical to a cold one (``tests/test_index_session.py``,
 (``tests/test_index_durability.py``).
 """
 
+from .breaker import CircuitBreaker
 from .schema import SCHEMA, SCHEMA_VERSION
 from .store import (
     DEFAULT_LOCK_TIMEOUT_S,
@@ -42,6 +43,7 @@ from .store import (
 __all__ = [
     "SCHEMA",
     "SCHEMA_VERSION",
+    "CircuitBreaker",
     "DEFAULT_LOCK_TIMEOUT_S",
     "IndexStore",
     "SchemaMismatchError",

@@ -1,0 +1,146 @@
+"""Circuit breaker guarding the Session -> IndexStore degradation path.
+
+PR 6 made every store interaction best-effort: reads degrade to
+misses, writes are dropped, and ``save_failures`` counts what was
+lost.  That contract survives a flaky store but not a *dead* one —
+each request still pays the full store round-trip (and its timeout)
+before degrading.  The breaker sits in front of the session's store
+wrappers and converts consecutive failures into a fast local "skip
+the store" decision:
+
+* **closed** — normal operation; every call goes to the store.
+* **open** — after ``failure_threshold`` consecutive failures; calls
+  are skipped without touching the store until the reset timeout
+  elapses.  Skipped reads are misses, skipped writes are dropped —
+  exactly the degraded behavior the wrappers already define, minus
+  the latency.
+* **half-open** — one probe call is allowed through after the
+  timeout; success closes the breaker, failure reopens it with the
+  timeout doubled (capped at ``max_reset_timeout_s``).
+
+The clock is injectable (default :func:`time.monotonic`) so tests
+drive the open -> half-open -> closed ladder deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Union
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probe and backoff."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 1.0,
+        max_reset_timeout_s: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Create a closed breaker.
+
+        ``failure_threshold`` consecutive failures open it;
+        ``reset_timeout_s`` is the initial open interval, doubled on
+        each failed probe up to ``max_reset_timeout_s``.
+        """
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold!r}"
+            )
+        if reset_timeout_s <= 0.0:
+            raise ValueError(
+                f"reset_timeout_s must be > 0, got {reset_timeout_s!r}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.max_reset_timeout_s = max(max_reset_timeout_s, reset_timeout_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._current_timeout_s = reset_timeout_s
+        self._opened_at = 0.0
+        self._opens = 0
+        self._skips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state: ``closed``, ``open``, or ``half_open``."""
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """Return whether the caller may touch the store right now.
+
+        Open and past the reset timeout, the breaker transitions to
+        half-open and admits this call as the probe; open and within
+        the timeout it returns ``False`` (counted as a skip).
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self._current_timeout_s:
+                    self._state = HALF_OPEN
+                    return True
+                self._skips += 1
+                return False
+            # Half-open: one probe is already in flight; further calls
+            # keep skipping until it reports success or failure.
+            self._skips += 1
+            return False
+
+    def record_success(self) -> None:
+        """Report a successful store call: close and reset the backoff."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._current_timeout_s = self.reset_timeout_s
+
+    def record_failure(self) -> None:
+        """Report a failed store call; may open (or reopen) the breaker."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # Failed probe: reopen with the backoff doubled.
+                self._current_timeout_s = min(
+                    self._current_timeout_s * 2.0, self.max_reset_timeout_s
+                )
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        """Open the breaker (caller holds the lock)."""
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._opens += 1
+
+    def stats(self) -> Dict[str, Union[str, int, float]]:
+        """Return a JSON-friendly snapshot for ``store_stats()``/healthz."""
+        with self._lock:
+            remaining = 0.0
+            if self._state == OPEN:
+                remaining = max(
+                    0.0,
+                    self._current_timeout_s - (self._clock() - self._opened_at),
+                )
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "opens": self._opens,
+                "skips": self._skips,
+                "reset_timeout_s": self._current_timeout_s,
+                "open_remaining_s": remaining,
+            }

@@ -55,6 +55,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type, Union
 import numpy as np
 
 from ..analysis import sanitize
+from ..faults import fault_point
 from .schema import SCHEMA, SCHEMA_VERSION
 
 try:  # pragma: no cover - always available on the POSIX hosts CI runs
@@ -299,6 +300,7 @@ class IndexStore:
             conn = self._conn
             if conn is None:
                 raise StoreError(f"{self.root}: store is closed")
+            fault_point("store.catalog", StoreError)
             try:
                 yield conn
             except sqlite3.Error as error:
@@ -370,6 +372,7 @@ class IndexStore:
         in :attr:`StoreCounters.corrupt_batches`, and reported as a
         miss — the caller resamples and the store heals itself.
         """
+        fault_point("store.load_batch", StoreError)
         with self._catalog_op("batch lookup") as conn:
             row = conn.execute(
                 "SELECT filename, num_edges, num_words, nbytes FROM batches "
@@ -430,6 +433,7 @@ class IndexStore:
         across processes by :meth:`write_lock`.
         """
         self._write_affinity.check("IndexStore.save_batch")
+        fault_point("store.save_batch", StoreError)
         if words.dtype != np.uint64 or words.ndim != 2:
             raise ValueError("batch words must be a 2-D uint64 array")
         filename = self._batch_filename(graph_hash, num_samples, seed)

@@ -29,6 +29,9 @@ from .async_session import (
     DEFAULT_MAX_WAIT_MS,
     AsyncSession,
     CoalescerStats,
+    DeadlineExceededError,
+    OverloadedError,
+    SessionClosedError,
     split_batchable,
 )
 from .http import (
@@ -47,6 +50,9 @@ __all__ = [
     "DEFAULT_MAX_WAIT_MS",
     "AsyncSession",
     "CoalescerStats",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "SessionClosedError",
     "split_batchable",
     "HttpError",
     "ReliabilityServer",

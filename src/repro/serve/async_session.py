@@ -29,6 +29,7 @@ a batch sees either the old graph or the new one, never a mix.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from types import TracebackType
@@ -37,6 +38,7 @@ from typing import Any, List, Optional, Sequence, Tuple, Type, Union
 from ..api import Query, Session, Workload
 from ..api.queries import MaximizeQuery, ReliabilityQuery
 from ..api.results import MaximizeResult, ReliabilityResult
+from ..faults import fault_point
 from ..graph import UncertainGraph
 
 Result = Union[ReliabilityResult, MaximizeResult]
@@ -49,6 +51,37 @@ DEFAULT_MAX_WAIT_MS = 2.0
 #: Default batch-size cap: a full batch flushes immediately instead of
 #: waiting out the window.
 DEFAULT_MAX_BATCH = 64
+
+
+class SessionClosedError(RuntimeError):
+    """Submitted to an :class:`AsyncSession` that is (or went) closed.
+
+    Raised both at submission time and for requests caught mid-close by
+    the submit/close race: a query whose batch can no longer reach the
+    worker fails fast with this instead of hanging.  HTTP maps it to
+    503.  Subclasses ``RuntimeError`` for backward compatibility with
+    callers that caught the old untyped error.
+    """
+
+
+class OverloadedError(RuntimeError):
+    """Admission control shed this request: too many pending queries.
+
+    Raised by :meth:`AsyncSession.submit` when ``max_pending`` queries
+    are already waiting or executing.  The request never entered a
+    batch; retrying after a short backoff is safe (HTTP maps this to
+    503 with a ``Retry-After`` header).
+    """
+
+
+class DeadlineExceededError(TimeoutError):
+    """The request's ``deadline_ms`` expired before its batch started.
+
+    Deadlines are enforced at flush time: an expired query is failed
+    with this error *instead of* entering the shared workload, so its
+    batch companions pay nothing for it and their results are
+    bit-for-bit unchanged.  HTTP maps it to 504.
+    """
 
 
 @dataclass
@@ -70,6 +103,11 @@ class CoalescerStats:
         Size of the largest single workload.
     graph_swaps : int
         Completed :meth:`AsyncSession.swap_graph` calls.
+    shed : int
+        Submissions rejected by admission control (``max_pending``).
+    deadline_expired : int
+        Queries whose ``deadline_ms`` ran out before their batch
+        started; they were failed at flush time without executing.
     """
 
     requests: int = 0
@@ -78,6 +116,8 @@ class CoalescerStats:
     batched_requests: int = 0
     largest_batch: int = 0
     graph_swaps: int = 0
+    shed: int = 0
+    deadline_expired: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -96,15 +136,23 @@ class CoalescerStats:
             "largest_batch": self.largest_batch,
             "mean_batch_size": self.mean_batch_size,
             "graph_swaps": self.graph_swaps,
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
         }
 
 
 @dataclass
 class _PendingRequest:
-    """One submitted query waiting for its coalesced batch to run."""
+    """One submitted query waiting for its coalesced batch to run.
+
+    ``expires_at`` is the absolute :func:`time.monotonic` deadline
+    derived from the query's ``deadline_ms`` at submission, or ``None``
+    for no deadline.
+    """
 
     query: Query
     future: "asyncio.Future[Result]" = field(repr=False)
+    expires_at: Optional[float] = None
 
 
 class _Failure:
@@ -133,6 +181,11 @@ class AsyncSession:
         companions before its batch is flushed.  ``0`` flushes on the
         next event-loop tick — concurrent submitters still coalesce,
         but no extra latency is ever added.
+    max_pending : int, optional
+        Admission-control bound: when this many queries are already
+        waiting or executing, further submissions are shed with
+        :class:`OverloadedError` instead of growing the queue without
+        bound.  ``None`` (the default) disables shedding.
     **session_kwargs
         Forwarded to the :class:`~repro.api.Session` constructor when
         ``target`` is a graph (``seed``, ``estimator``,
@@ -174,12 +227,15 @@ class AsyncSession:
         target: Union[UncertainGraph, Session],
         max_batch: int = DEFAULT_MAX_BATCH,
         max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        max_pending: Optional[int] = None,
         **session_kwargs: Any,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be non-negative")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be positive (or None)")
         if isinstance(target, Session):
             if session_kwargs:
                 raise TypeError(
@@ -191,10 +247,14 @@ class AsyncSession:
             self.session = Session(target, **session_kwargs)
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        self.max_pending = max_pending
         self.stats = CoalescerStats()
         self._pending: List[_PendingRequest] = []
         self._timer: Optional[asyncio.TimerHandle] = None
         self._inflight: List["asyncio.Future"] = []
+        # Queries dispatched to the worker whose results have not fanned
+        # out yet — the executing half of the admission-control load.
+        self._inflight_requests = 0
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve"
         )
@@ -229,14 +289,39 @@ class AsyncSession:
         -------
         ReliabilityResult or MaximizeResult
             Exactly what ``Session.run(Workload([query]))[0]`` returns.
+
+        Raises
+        ------
+        SessionClosedError
+            The coalescer is closed (or closed while this query was
+            pending).
+        OverloadedError
+            ``max_pending`` queries are already waiting or executing;
+            this one was shed without entering a batch.
+        DeadlineExceededError
+            The query's ``deadline_ms`` expired before its batch
+            started executing.
         """
         if self._closed:
-            raise RuntimeError("AsyncSession is closed")
+            raise SessionClosedError("AsyncSession is closed")
         Workload._check(query)
+        self.stats.requests += 1
+        if self.max_pending is not None:
+            load = len(self._pending) + self._inflight_requests
+            if load >= self.max_pending:
+                self.stats.shed += 1
+                raise OverloadedError(
+                    f"{load} queries already pending or executing "
+                    f"(max_pending={self.max_pending}); request shed"
+                )
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[Result]" = loop.create_future()
-        self._pending.append(_PendingRequest(query, future))
-        self.stats.requests += 1
+        deadline_ms = query.deadline_ms
+        expires_at = (
+            None if deadline_ms is None
+            else time.monotonic() + deadline_ms / 1000.0
+        )
+        self._pending.append(_PendingRequest(query, future, expires_at))
         if len(self._pending) >= self.max_batch:
             self._flush(loop)
         elif self._timer is None:
@@ -319,7 +404,7 @@ class AsyncSession:
         version-collision hazard cannot reach the disk tier.
         """
         if self._closed:
-            raise RuntimeError("AsyncSession is closed")
+            raise SessionClosedError("AsyncSession is closed")
         loop = asyncio.get_running_loop()
         if self._pending:
             # Pin pre-swap submissions to the old graph: their batch is
@@ -356,12 +441,30 @@ class AsyncSession:
     # flushing
     # ------------------------------------------------------------------
     def _flush(self, loop: asyncio.AbstractEventLoop) -> None:
-        """Execute every pending (non-cancelled) query as one workload."""
+        """Execute every pending (non-cancelled) query as one workload.
+
+        Deadlines are enforced here, at the last moment before the
+        batch is committed to the worker: an expired query fails with
+        :class:`DeadlineExceededError` and never joins the workload, so
+        companions' results are bit-for-bit what they would have been
+        without it.
+        """
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        batch = [p for p in self._pending if not p.future.cancelled()]
-        self.stats.cancelled += len(self._pending) - len(batch)
+        now = time.monotonic()
+        batch: List[_PendingRequest] = []
+        for p in self._pending:
+            if p.future.cancelled():
+                self.stats.cancelled += 1
+            elif p.expires_at is not None and now >= p.expires_at:
+                self.stats.deadline_expired += 1
+                p.future.set_exception(DeadlineExceededError(
+                    f"deadline_ms={p.query.deadline_ms} expired before "
+                    f"the batch started"
+                ))
+            else:
+                batch.append(p)
         self._pending.clear()
         if not batch:
             return
@@ -370,7 +473,22 @@ class AsyncSession:
         self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
         queries = [p.query for p in batch]
         futures = [p.future for p in batch]
-        task = loop.run_in_executor(self._executor, self._run_batch, queries)
+        try:
+            task = loop.run_in_executor(
+                self._executor, self._run_batch, queries
+            )
+        except RuntimeError:
+            # Submit/close race: the executor shut down between this
+            # flush being scheduled and running.  Fail the batch fast
+            # and typed instead of stranding its awaiting callers.
+            error = SessionClosedError(
+                "AsyncSession closed while the batch was pending"
+            )
+            for future in futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        self._inflight_requests += len(futures)
         self._inflight.append(task)
         task.add_done_callback(
             lambda done, futures=futures: self._fan_out(done, futures)
@@ -392,6 +510,7 @@ class AsyncSession:
         keep failures out of shared batches.
         """
         try:
+            fault_point("serve.worker")
             return self.session.run(Workload(queries))
         except Exception:
             outcomes: List[object] = []
@@ -408,6 +527,7 @@ class AsyncSession:
         futures: List["asyncio.Future[Result]"],
     ) -> None:
         """Deliver a finished batch to its awaiting callers."""
+        self._inflight_requests -= len(futures)
         if done in self._inflight:
             self._inflight.remove(done)
         if done.cancelled():
@@ -436,7 +556,9 @@ class AsyncSession:
         """Flush pending queries, drain in-flight batches, shut down.
 
         Idempotent.  Queries submitted after ``close`` raise
-        ``RuntimeError``.
+        :class:`SessionClosedError`; a query racing ``close`` either
+        lands in the final flush (and completes normally) or fails
+        fast with the same typed error — it never hangs.
         """
         if self._closed:
             return

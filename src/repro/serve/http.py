@@ -39,11 +39,15 @@ from typing import Any, Optional, Tuple, Union
 from ..api import Session
 from ..api.queries import MaximizeQuery, ReliabilityQuery
 from ..api.results import MaximizeResult, ReliabilityResult
+from ..faults import fault_point
 from ..graph import UncertainGraph
 from .async_session import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_WAIT_MS,
     AsyncSession,
+    DeadlineExceededError,
+    OverloadedError,
+    SessionClosedError,
 )
 
 #: Largest accepted request body (a graph upload dominates sizing).
@@ -61,12 +65,22 @@ DEFAULT_READ_TIMEOUT_S = 60.0
 
 
 class HttpError(Exception):
-    """A request failure carrying the HTTP status to respond with."""
+    """A request failure carrying the HTTP status to respond with.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``headers`` carries extra response headers (e.g. ``Retry-After``
+    on a 503 shed response).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: Optional[dict] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = headers
 
 
 class _Request:
@@ -99,7 +113,14 @@ _STATUS_TEXT = {
     404: "Not Found",
     405: "Method Not Allowed",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+#: ``Retry-After`` seconds suggested on shed (503) responses: the
+#: coalescing window plus a beat — by then the burst that caused the
+#: shed has flushed.
+RETRY_AFTER_S = 1
 
 
 def provenance_dict(result: Union[ReliabilityResult, MaximizeResult]) -> dict:
@@ -155,6 +176,16 @@ def _as_int(
     return value
 
 
+def _as_number(payload: dict, field: str) -> Optional[float]:
+    """Optional numeric field (int or float); booleans are 400s."""
+    value = payload.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise HttpError(400, f"{field} must be a number, got {value!r}")
+    return float(value)
+
+
 def parse_reliability_query(payload: dict) -> ReliabilityQuery:
     """Build a :class:`ReliabilityQuery` from a JSON payload; 400 on bad input."""
     targets = payload.get("targets")
@@ -177,6 +208,7 @@ def parse_reliability_query(payload: dict) -> ReliabilityQuery:
             estimator=str(payload.get("estimator", "mc")),
             samples=_as_int(payload, "samples", 1000),
             seed=_as_int(payload, "seed"),
+            deadline_ms=_as_number(payload, "deadline_ms"),
         )
     except HttpError:
         raise
@@ -214,6 +246,7 @@ def parse_maximize_query(payload: dict) -> MaximizeQuery:
             samples=_as_int(payload, "samples"),
             seed=_as_int(payload, "seed"),
             eliminate=bool(payload.get("eliminate", True)),
+            deadline_ms=_as_number(payload, "deadline_ms"),
         )
     except HttpError:
         raise
@@ -259,9 +292,11 @@ class ReliabilityServer:
         Bind address.  ``port=0`` picks a free port (the default, for
         tests); :attr:`address` reports the bound endpoint after
         :meth:`start`.
-    max_batch, max_wait_ms : int, float, optional
+    max_batch, max_wait_ms, max_pending : int, float, int, optional
         Coalescer settings (see :class:`AsyncSession`); ignored when an
-        ``AsyncSession`` is passed in directly.
+        ``AsyncSession`` is passed in directly.  ``max_pending`` bounds
+        admission: excess requests are shed with ``503`` plus a
+        ``Retry-After`` header instead of queueing without bound.
     read_timeout_s : float or None, optional
         Close a connection whose next request is not fully received
         within this many seconds (slow-loris guard).  ``None`` disables
@@ -300,6 +335,7 @@ class ReliabilityServer:
         port: int = 0,
         max_batch: int = DEFAULT_MAX_BATCH,
         max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        max_pending: Optional[int] = None,
         read_timeout_s: Optional[float] = DEFAULT_READ_TIMEOUT_S,
         **session_kwargs: Any,
     ) -> None:
@@ -316,6 +352,7 @@ class ReliabilityServer:
                 target,
                 max_batch=max_batch,
                 max_wait_ms=max_wait_ms,
+                max_pending=max_pending,
                 **session_kwargs,
             )
             self._owns_serving = True
@@ -323,6 +360,12 @@ class ReliabilityServer:
         self.port = port
         self.read_timeout_s = read_timeout_s
         self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        # Open connections and whether each is mid-request: drain
+        # closes the idle ones immediately and waits (bounded) for the
+        # busy ones to finish their response.
+        self._connections: dict = {}
+        self._handler_tasks: set = set()
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -354,19 +397,44 @@ class ReliabilityServer:
         except asyncio.CancelledError:  # pragma: no cover - shutdown path
             pass
 
-    async def stop(self) -> None:
-        """Stop accepting connections; close the coalescer if we own it.
+    async def stop(self, drain_timeout_s: float = 10.0) -> None:
+        """Gracefully drain and shut down.
+
+        The drain ladder: stop accepting new connections, close idle
+        keep-alive connections, let the coalescer flush and finish its
+        in-flight batches (via ``AsyncSession.close`` when we own it),
+        then wait up to ``drain_timeout_s`` for busy handlers to write
+        their final responses before force-cancelling stragglers.  A
+        request already submitted when the drain starts still gets its
+        real answer; responses written during the drain carry
+        ``Connection: close``.
 
         A caller-provided :class:`AsyncSession` is left open — its
         owner may keep submitting to it after the HTTP front end goes
         away.
         """
+        self._draining = True
         if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+            self._server.close()  # stop accepting; sockets unbind now
+        for writer, busy in list(self._connections.items()):
+            if not busy:
+                # Idle keep-alive connections: their pending read wakes
+                # with EOF and the handler exits cleanly.
+                writer.close()
         if self._owns_serving:
             await self.serving.close()
+        pending = {task for task in self._handler_tasks if not task.done()}
+        if pending:
+            _, stragglers = await asyncio.wait(
+                pending, timeout=drain_timeout_s
+            )
+            for task in stragglers:
+                task.cancel()
+            if stragglers:
+                await asyncio.gather(*stragglers, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
 
     # ------------------------------------------------------------------
     # request handling
@@ -377,9 +445,14 @@ class ReliabilityServer:
         writer: asyncio.StreamWriter,
     ) -> None:
         """Serve one client connection (HTTP/1.1 keep-alive loop)."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+        self._connections[writer] = False  # idle until a request lands
         try:
             while True:
                 try:
+                    fault_point("serve.http.read", ConnectionError)
                     request = await asyncio.wait_for(
                         _read_request(reader), timeout=self.read_timeout_s
                     )
@@ -389,34 +462,45 @@ class ReliabilityServer:
                     await asyncio.wait_for(
                         _write_response(
                             writer, error.status, {"error": error.message},
-                            keep_alive=False,
+                            keep_alive=False, headers=error.headers,
                         ),
                         timeout=self.read_timeout_s,
                     )
                     break
                 if request is None:
                     break
+                self._connections[writer] = True  # busy: drain must wait
+                headers: Optional[dict] = None
                 try:
                     status, payload = await self._dispatch(request)
                 except HttpError as error:
                     status, payload = error.status, {"error": error.message}
+                    headers = error.headers
                 except Exception as error:  # server boundary: catch-all by design
                     status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
+                # Responses written mid-drain say Connection: close so
+                # the client re-connects elsewhere instead of idling on
+                # a server that is going away.
+                keep_alive = request.keep_alive and not self._draining
                 # The write is bounded too: a client that stops reading
                 # must not pin this task in drain() forever.
                 await asyncio.wait_for(
                     _write_response(
                         writer, status, payload,
-                        keep_alive=request.keep_alive,
+                        keep_alive=keep_alive, headers=headers,
                     ),
                     timeout=self.read_timeout_s,
                 )
-                if not request.keep_alive:
+                self._connections[writer] = False
+                if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError,
                 asyncio.TimeoutError):
             pass
         finally:
+            self._connections.pop(writer, None)
+            if task is not None:
+                self._handler_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -430,20 +514,42 @@ class ReliabilityServer:
             return 200, self._healthz()
         if route == ("POST", "/reliability"):
             query = parse_reliability_query(request.json())
-            result = await self.serving.submit(query)
+            result = await self._submit(query)
             return 200, reliability_response(result)
         if route == ("POST", "/maximize"):
             query = parse_maximize_query(request.json())
-            result = await self.serving.submit(query)
+            result = await self._submit(query)
             return 200, maximize_response(result)
         if route == ("POST", "/graph"):
             graph = parse_graph(request.json())
-            version = await self.serving.swap_graph(graph)
+            try:
+                version = await self.serving.swap_graph(graph)
+            except SessionClosedError as error:
+                raise HttpError(503, str(error)) from None
             return 200, {"status": "swapped", "graph": self._graph_info(version)}
         if request.path in ("/healthz", "/reliability", "/maximize", "/graph"):
             raise HttpError(405, f"method {request.method} not allowed "
                                  f"for {request.path}")
         raise HttpError(404, f"unknown path {request.path}")
+
+    async def _submit(self, query: Any) -> Any:
+        """Submit to the coalescer, mapping resilience errors to HTTP.
+
+        Shedding (``OverloadedError``) becomes 503 with a
+        ``Retry-After`` header, a closed/draining coalescer
+        (``SessionClosedError``) a plain 503, and an expired
+        per-request deadline (``DeadlineExceededError``) a 504.
+        """
+        try:
+            return await self.serving.submit(query)
+        except OverloadedError as error:
+            raise HttpError(
+                503, str(error), headers={"Retry-After": str(RETRY_AFTER_S)}
+            ) from None
+        except SessionClosedError as error:
+            raise HttpError(503, str(error)) from None
+        except DeadlineExceededError as error:
+            raise HttpError(504, str(error)) from None
 
     def _graph_info(self, version: Optional[int] = None) -> dict:
         """Identity of the currently served graph (for /healthz, /graph)."""
@@ -467,11 +573,12 @@ class ReliabilityServer:
         traffic".
         """
         payload = {
-            "status": "ok",
+            "status": "draining" if self._draining else "ok",
             "graph": self._graph_info(),
             "coalescer": {
                 "max_batch": self.serving.max_batch,
                 "max_wait_ms": self.serving.max_wait_ms,
+                "max_pending": self.serving.max_pending,
                 **self.serving.stats.as_dict(),
             },
         }
@@ -544,16 +651,22 @@ async def _write_response(
     status: int,
     payload: dict,
     keep_alive: bool,
+    headers: Optional[dict] = None,
 ) -> None:
     """Serialize one JSON response and flush it."""
+    fault_point("serve.http.write", ConnectionError)
     body = json.dumps(payload).encode("utf-8")
     reason = _STATUS_TEXT.get(status, "Unknown")
     connection = "keep-alive" if keep_alive else "close"
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {connection}\r\n"
+        f"{extra}"
         f"\r\n"
     ).encode("ascii")
     writer.write(head + body)

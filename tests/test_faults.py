@@ -1,0 +1,240 @@
+"""Unit tests for the deterministic fault-injection registry.
+
+The registry's own contract, independent of any seam: profile parsing,
+seeded reproducibility, probability/count/latency semantics, pattern
+matching, composable/exclusive ``inject`` blocks, and the
+zero-when-disarmed guarantee every production code path relies on.
+"""
+
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultError, FaultSpec, ProfileError
+from repro.faults.registry import _ARMED  # noqa: F401 - existence check
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+# ----------------------------------------------------------------------
+# profile parsing
+# ----------------------------------------------------------------------
+
+def test_parse_profile_full_syntax():
+    seed, specs = faults.parse_profile(
+        "seed=7; store.*:p=0.25,count=3,latency_ms=1.5; serve.worker"
+    )
+    assert seed == 7
+    assert specs == (
+        FaultSpec("store.*", p=0.25, count=3, latency_ms=1.5),
+        FaultSpec("serve.worker"),
+    )
+
+
+def test_parse_profile_latency_only_clause():
+    _, specs = faults.parse_profile("store.catalog:latency_ms=2,fail=0")
+    assert specs[0].fail is False
+    assert specs[0].latency_ms == 2.0
+
+
+def test_parse_profile_empty_clauses_skipped():
+    seed, specs = faults.parse_profile(" ; ;seed=3; ")
+    assert seed == 3
+    assert specs == ()
+
+
+@pytest.mark.parametrize("text", [
+    "seed=abc",
+    "store.catalog:nope=1",
+    "store.catalog:p=2.0",
+    "store.catalog:p",
+    "store.catalog:count=0",
+    "store.catalog:latency_ms=-1",
+    "store.catalog:fail=0",        # fail=0 with no latency injects nothing
+    "store.catalog:fail=maybe",
+    "Bad.Name",
+    "noDots",
+])
+def test_parse_profile_rejects_bad_input(text):
+    with pytest.raises(ProfileError):
+        faults.parse_profile(text)
+
+
+def test_env_arming_round_trip(monkeypatch):
+    from repro.faults import registry
+
+    monkeypatch.setenv(registry.ENV_VAR, "seed=5;store.catalog:p=0.5")
+    registry._arm_from_env()
+    assert faults.armed()
+    faults.disarm()
+    monkeypatch.setenv(registry.ENV_VAR, "   ")
+    registry._arm_from_env()
+    assert not faults.armed()
+    monkeypatch.setenv(registry.ENV_VAR, "p=:::")
+    with pytest.raises(ProfileError):
+        registry._arm_from_env()
+
+
+# ----------------------------------------------------------------------
+# firing semantics
+# ----------------------------------------------------------------------
+
+def test_disarmed_fault_point_is_a_noop():
+    assert not faults.armed()
+    faults.fault_point("store.catalog", RuntimeError)
+    assert faults.fires() == 0
+    assert faults.seam_report() == {}
+
+
+def test_always_fail_spec_raises_fault_error():
+    faults.arm("store.catalog")
+    with pytest.raises(FaultError, match="store.catalog"):
+        faults.fault_point("store.catalog")
+    assert faults.fires("store.catalog") == 1
+
+
+def test_error_class_override():
+    class CustomError(Exception):
+        pass
+
+    faults.arm("store.catalog")
+    with pytest.raises(CustomError):
+        faults.fault_point("store.catalog", CustomError)
+
+
+def test_non_matching_seam_untouched():
+    faults.arm("store.catalog")
+    faults.fault_point("serve.worker")  # no match: must not raise
+    assert faults.fires() == 0
+
+
+def test_wildcard_pattern_matches_prefix():
+    faults.arm("store.*")
+    with pytest.raises(FaultError):
+        faults.fault_point("store.load_batch")
+    faults.fault_point("session.store.load_batch")  # '*' stops at dots? no —
+    # fnmatch '*' crosses dots, but the pattern anchors at the start, so
+    # the 'session.' prefix never matches 'store.*'.
+    assert faults.fires() == 1
+
+
+def test_count_caps_total_fires():
+    faults.arm("serve.worker:count=2")
+    for _ in range(2):
+        with pytest.raises(FaultError):
+            faults.fault_point("serve.worker")
+    faults.fault_point("serve.worker")  # budget exhausted: no-op
+    assert faults.fires("serve.worker") == 2
+
+
+def test_probability_stream_is_deterministic_per_seed():
+    def fire_mask(seed):
+        faults.arm("serve.worker:p=0.4", seed=seed)
+        mask = []
+        for _ in range(64):
+            try:
+                faults.fault_point("serve.worker")
+                mask.append(False)
+            except FaultError:
+                mask.append(True)
+        return mask
+
+    first, second = fire_mask(11), fire_mask(11)
+    assert first == second                      # same seed, same faults
+    assert 0 < sum(first) < 64                  # actually probabilistic
+    assert fire_mask(12) != first               # seed participates
+
+
+def test_latency_only_spec_sleeps_without_raising():
+    faults.arm("serve.worker:latency_ms=30,fail=0")
+    start = time.perf_counter()
+    faults.fault_point("serve.worker")
+    elapsed = time.perf_counter() - start
+    assert elapsed >= 0.025
+    assert faults.fires("serve.worker") == 1
+
+
+def test_first_failing_spec_wins_in_order():
+    faults.arm([
+        FaultSpec("store.*", latency_ms=0.01, fail=False),
+        FaultSpec("store.catalog"),
+    ])
+    with pytest.raises(FaultError):
+        faults.fault_point("store.catalog")
+    # Both specs matched: the latency-only one and the failing one.
+    assert faults.fires("store.catalog") == 2
+
+
+# ----------------------------------------------------------------------
+# inject() context manager
+# ----------------------------------------------------------------------
+
+def test_inject_scopes_arming_to_the_block():
+    assert not faults.armed()
+    with faults.inject("store.catalog"):
+        assert faults.armed()
+        with pytest.raises(FaultError):
+            faults.fault_point("store.catalog")
+    assert not faults.armed()
+    faults.fault_point("store.catalog")  # disarmed again: no-op
+    assert faults.fires() == 0
+
+
+def test_inject_composes_with_ambient_specs():
+    faults.arm("store.catalog", seed=1)
+    with faults.inject("serve.worker"):
+        with pytest.raises(FaultError):
+            faults.fault_point("store.catalog")  # ambient spec still active
+        with pytest.raises(FaultError):
+            faults.fault_point("serve.worker")
+    assert faults.armed()  # ambient profile restored
+    with pytest.raises(FaultError):
+        faults.fault_point("store.catalog")
+    faults.fault_point("serve.worker")  # injected spec gone
+
+
+def test_exclusive_inject_suspends_ambient_specs():
+    faults.arm("store.catalog", seed=1)
+    with faults.inject("serve.worker", exclusive=True):
+        faults.fault_point("store.catalog")  # suspended: no-op
+        with pytest.raises(FaultError):
+            faults.fault_point("serve.worker")
+        assert faults.seam_report() == {"serve.worker": 1}
+    with pytest.raises(FaultError):
+        faults.fault_point("store.catalog")  # ambient restored
+
+
+def test_inject_restores_counters_on_exit():
+    faults.arm("store.catalog")
+    with pytest.raises(FaultError):
+        faults.fault_point("store.catalog")
+    before = faults.seam_report()
+    with faults.inject("serve.worker"):
+        with pytest.raises(FaultError):
+            faults.fault_point("serve.worker")
+    assert faults.seam_report() == before
+
+
+def test_spec_validation_errors():
+    with pytest.raises(ProfileError):
+        FaultSpec("store.catalog", p=1.5)
+    with pytest.raises(ProfileError):
+        FaultSpec("store.catalog", count=-1)
+    with pytest.raises(ProfileError):
+        FaultSpec("UPPER.case")
+
+
+def test_reset_counters_keeps_specs_armed():
+    faults.arm("store.catalog")
+    with pytest.raises(FaultError):
+        faults.fault_point("store.catalog")
+    faults.reset_counters()
+    assert faults.fires() == 0
+    with pytest.raises(FaultError):
+        faults.fault_point("store.catalog")

@@ -191,6 +191,62 @@ def test_rep005_allows_perf_counter():
 
 
 # ----------------------------------------------------------------------
+# REP006 — fault seams are literal, allocation-free, armed-gated
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("source", [
+    # dynamic seam name: the seam table stops being enumerable
+    "from repro.faults import fault_point\n"
+    "name = 'store.catalog'\n"
+    "fault_point(name)\n",
+    # f-string seam name allocates on every disarmed call
+    "from repro.faults import fault_point\n"
+    "op = 'catalog'\n"
+    "fault_point(f'store.{op}')\n",
+    # not a dotted lowercase identifier
+    "from repro.faults import fault_point\n"
+    "fault_point('store.*')\n",
+    "from repro.faults import fault_point\n"
+    "fault_point('Store.Catalog')\n",
+    # error= must be a bare class reference, not an expression
+    "from repro.faults import fault_point\n"
+    "fault_point('store.catalog', type('E', (Exception,), {}))\n",
+    "from repro.faults import fault_point\n"
+    "fault_point('store.catalog', error=RuntimeError('boom'))\n",
+    # wrong arity / unexpected keywords
+    "from repro.faults import fault_point\n"
+    "fault_point('store.catalog', RuntimeError, 3)\n",
+    "from repro.faults import fault_point\n"
+    "fault_point('store.catalog', p=0.5)\n",
+    # bypassing the registry entirely
+    "from repro.faults import FaultError\n"
+    "def f():\n"
+    "    raise FaultError('store.catalog')\n",
+])
+def test_rep006_flags_unsafe_seams(source):
+    assert codes(source) == ["REP006"]
+
+
+def test_rep006_accepts_literal_allocation_free_seams():
+    source = (
+        "from repro.faults import fault_point\n"
+        "from repro.index.store import StoreError\n"
+        "fault_point('store.catalog')\n"
+        "fault_point('store.catalog', StoreError)\n"
+        "fault_point('serve.http.read', error=ConnectionError)\n"
+    )
+    assert codes(source) == []
+
+
+def test_rep006_exempts_the_faults_package_itself():
+    source = (
+        "def fault_point(name, error=None):\n"
+        "    raise FaultError(name)\n"
+    )
+    assert codes(source, package_path=("faults", "registry.py")) == []
+
+
+# ----------------------------------------------------------------------
 # suppressions
 # ----------------------------------------------------------------------
 
@@ -257,7 +313,7 @@ def test_main_list_rules(capsys):
     out = capsys.readouterr().out
     for rule in ALL_RULES:
         assert rule.code in out
-    assert len(ALL_RULES) == 5
+    assert len(ALL_RULES) == 6
 
 
 def test_module_entry_point_runs():
@@ -270,7 +326,7 @@ def test_module_entry_point_runs():
 
 
 def test_repo_source_tree_is_clean():
-    # The acceptance gate, runnable locally: all five rules, zero
+    # The acceptance gate, runnable locally: all six rules, zero
     # findings over the shipped package.
     import repro
     from pathlib import Path

@@ -1,0 +1,242 @@
+"""Store degradation and the circuit breaker, driven by the fault registry.
+
+PR 6 defined the degradation contract (reads degrade to misses, writes
+are dropped, ``save_failures`` counts the losses); these tests exercise
+it through the seeded fault seams instead of monkeypatching, and pin
+the breaker ladder on top: consecutive failures open it, open means
+the store is not touched at all, a half-open probe closes it again.
+"""
+
+import pytest
+
+from repro import faults
+from repro.api import Session, Workload
+from repro.graph import assign_uniform, erdos_renyi
+from repro.index import CircuitBreaker, IndexStore
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+@pytest.fixture
+def graph():
+    g = erdos_renyi(40, num_edges=100, seed=5)
+    return assign_uniform(g, 0.2, 0.8, seed=6)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with IndexStore(tmp_path / "store") as s:
+        yield s
+
+
+WORKLOAD_PAIRS = [(0, 39), (1, 38), (2, 37)]
+
+
+def run_values(session):
+    results = session.run(Workload.reliability(WORKLOAD_PAIRS, samples=400))
+    return [r.values[0] for r in results]
+
+
+class FakeClock:
+    """Deterministic monotonic clock for driving breaker timeouts."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# degradation through the seams
+# ----------------------------------------------------------------------
+
+class TestSeamDegradation:
+    def test_store_level_faults_degrade_to_fresh_sampling(self, graph, store):
+        clean = run_values(Session(graph, seed=7))
+        session = Session(graph, seed=7, store=store)
+        with faults.inject("store.*", exclusive=True):
+            values = run_values(session)
+            fired = faults.fires()  # counters roll back when the block exits
+        assert values == clean  # bit-for-bit despite a dead store
+        assert store.counters.save_failures > 0
+        assert fired > 0
+
+    def test_session_wrapper_seams_cover_all_four_paths(self, graph, store):
+        clean = run_values(Session(graph, seed=7))
+        session = Session(graph, seed=7, store=store)
+        with faults.inject("session.store.*", exclusive=True):
+            values = run_values(session)
+            report = faults.seam_report()
+        assert values == clean
+        # One run touches result-cache read, batch load, batch save and
+        # result-cache write-back, in that order.
+        assert set(report) == {
+            "session.store.get_results",
+            "session.store.load_batch",
+            "session.store.save_batch",
+            "session.store.put_results",
+        }
+
+    def test_catalog_seam_degrades_result_cache(self, graph, store):
+        session = Session(graph, seed=7, store=store)
+        clean = run_values(Session(graph, seed=7))
+        with faults.inject("store.catalog", exclusive=True):
+            assert run_values(session) == clean
+        assert store.counters.save_failures > 0
+        # Disarmed again, the store works and the cache fills.
+        fresh = Session(graph, seed=7, store=store)
+        assert run_values(fresh) == clean
+        assert store.counters.result_stores > 0
+
+    def test_read_degrades_to_miss_then_heals(self, graph, store):
+        warm = Session(graph, seed=7, store=store)
+        baseline = run_values(warm)
+        hits_before = store.counters.result_hits
+        # A flaky read is a miss: the session recomputes and still
+        # answers correctly.
+        degraded = Session(graph, seed=7, store=store)
+        with faults.inject("session.store.get_results", exclusive=True):
+            assert run_values(degraded) == baseline
+        assert store.counters.result_hits == hits_before
+        # Registry disarmed: the next session reads the cache again.
+        healed = Session(graph, seed=7, store=store)
+        assert run_values(healed) == baseline
+        assert store.counters.result_hits > hits_before
+
+
+# ----------------------------------------------------------------------
+# breaker unit ladder
+# ----------------------------------------------------------------------
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=1.0,
+                                 clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.stats()["opens"] == 1
+        assert breaker.stats()["skips"] == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(0.5)
+        assert not breaker.allow()  # still inside the reset window
+        clock.advance(0.6)
+        assert breaker.allow()      # the half-open probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_doubles_backoff_up_to_cap(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0,
+                                 max_reset_timeout_s=3.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_failure()    # probe fails: reopen, timeout 2.0
+        assert breaker.state == "open"
+        assert breaker.stats()["reset_timeout_s"] == 2.0
+        clock.advance(1.1)
+        assert not breaker.allow()  # 1.1 < 2.0: still open
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()    # capped at 3.0, not 4.0
+        assert breaker.stats()["reset_timeout_s"] == 3.0
+        # Success resets the backoff to the base timeout.
+        clock.advance(3.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.stats()["reset_timeout_s"] == 1.0
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# breaker integrated with the session wrappers
+# ----------------------------------------------------------------------
+
+class TestBreakerIntegration:
+    def test_open_breaker_stops_touching_the_store(self, graph, store):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout_s=60.0,
+                                 clock=clock)
+        session = Session(graph, seed=7, store=store, store_breaker=breaker)
+        clean = run_values(Session(graph, seed=7))
+        with faults.inject("session.store.*", exclusive=True):
+            assert run_values(session) == clean
+            assert breaker.state == "open"
+            fires_at_open = faults.fires()
+            # Breaker open: further queries never reach the seams (or
+            # the store behind them) yet still serve correct answers.
+            assert run_values(session) == clean
+            assert faults.fires() == fires_at_open
+        assert breaker.stats()["skips"] > 0
+
+    def test_half_open_probe_recovers_after_outage(self, graph, store):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0,
+                                 clock=clock)
+        session = Session(graph, seed=7, store=store, store_breaker=breaker)
+        clean = run_values(Session(graph, seed=7))
+        with faults.inject("session.store.*", exclusive=True):
+            assert run_values(session) == clean
+        assert breaker.state == "open"
+        # Outage over (faults disarmed) but the window has not elapsed:
+        # the store is still skipped.
+        assert run_values(session) == clean
+        assert breaker.state == "open"
+        clock.advance(1.5)
+        # The next store call is the probe; it succeeds and closes.
+        assert run_values(session) == clean
+        assert breaker.state == "closed"
+        # Closed again: persistence actually resumed.
+        before = store.counters.result_stores
+        Session(graph, seed=8, store=store, store_breaker=breaker).run(
+            Workload.reliability(WORKLOAD_PAIRS, samples=400)
+        )
+        assert store.counters.result_stores > before
+
+    def test_store_stats_reports_breaker_state(self, graph, store):
+        session = Session(graph, seed=7, store=store)
+        stats = session.store_stats()
+        assert stats["breaker"]["state"] == "closed"
+        assert stats["breaker"]["failure_threshold"] == 5
+        # A session without a store reports no stats at all.
+        assert Session(graph, seed=7).store_stats() is None
+
+    def test_default_breaker_attached_with_store(self, graph, store):
+        assert Session(graph, seed=7, store=store).store_breaker is not None
+        assert Session(graph, seed=7).store_breaker is None

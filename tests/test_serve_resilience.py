@@ -1,0 +1,417 @@
+"""Resilience of the serving layer: deadlines, shedding, typed failure.
+
+Companion to ``test_serve_async.py``/``test_serve_http.py``: those pin
+the happy-path coalescing contract, these pin how the same machinery
+degrades — per-request deadlines enforced at flush (batch companions
+bit-for-bit unaffected), bounded admission (``max_pending`` → shed with
+503 + Retry-After over HTTP), typed :class:`SessionClosedError` on the
+submit/close race, and worker/transport faults injected through the
+seeded registry.
+"""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import faults
+from repro.api import ReliabilityQuery, Session, Workload
+from repro.graph import assign_uniform, erdos_renyi
+from repro.serve import (
+    AsyncSession,
+    DeadlineExceededError,
+    OverloadedError,
+    ReliabilityServer,
+    SessionClosedError,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+def build_graph(num_nodes=60, num_edges=150, seed=3):
+    graph = erdos_renyi(num_nodes, num_edges=num_edges, seed=seed)
+    return assign_uniform(graph, 0.2, 0.8, seed=seed + 1)
+
+
+def one_off_results(graph, queries, seed=7):
+    results = []
+    for query in queries:
+        session = Session(graph, seed=seed)
+        results.append(session.run(Workload([query]))[0])
+    return results
+
+
+def serve(graph, coroutine_factory, **server_kwargs):
+    """Start a server, run ``coroutine_factory(host, port)``, stop."""
+
+    async def _main():
+        server = ReliabilityServer(graph, **server_kwargs)
+        host, port = await server.start()
+        try:
+            return await coroutine_factory(host, port)
+        finally:
+            await server.stop()
+
+    return asyncio.run(_main())
+
+
+async def request(method, host, port, path, payload=None):
+    """One HTTP request from a worker thread: (status, body, headers)."""
+
+    def _call():
+        data = json.dumps(payload).encode() if payload is not None else None
+        req = urllib.request.Request(
+            f"http://{host}:{port}{path}", data=data, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=10) as response:
+                return response.status, json.loads(response.read()), dict(
+                    response.headers
+                )
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read()), dict(error.headers)
+
+    return await asyncio.get_running_loop().run_in_executor(None, _call)
+
+
+# ----------------------------------------------------------------------
+# deadlines
+# ----------------------------------------------------------------------
+
+def test_expired_deadline_fails_typed_and_companions_are_untouched():
+    graph = build_graph()
+    companions = [
+        ReliabilityQuery(i, target=50 + i, samples=500) for i in range(4)
+    ]
+    doomed = ReliabilityQuery(
+        5, target=55, samples=500, deadline_ms=1.0
+    )
+
+    async def scenario():
+        # max_wait_ms far beyond the 1 ms deadline: the query is
+        # guaranteed to expire before its batch flushes.
+        async with AsyncSession(graph, seed=7, max_wait_ms=60.0) as serving:
+            outcomes = await asyncio.gather(
+                *(serving.submit(q) for q in [*companions, doomed]),
+                return_exceptions=True,
+            )
+            return outcomes, serving.stats
+
+    outcomes, stats = asyncio.run(scenario())
+    assert isinstance(outcomes[-1], DeadlineExceededError)
+    assert "deadline_ms=1.0" in str(outcomes[-1])
+    assert stats.deadline_expired == 1
+    assert stats.batches == 1  # companions still ran as one batch
+    # The expired query never joined the workload, so companions are
+    # bit-for-bit what a deadline-free run would have produced.
+    expected = one_off_results(graph, companions)
+    for got, want in zip(outcomes[:-1], expected, strict=True):
+        assert got.values == want.values
+
+
+def test_generous_deadline_is_served_normally():
+    graph = build_graph()
+    query = ReliabilityQuery(0, target=59, samples=500, deadline_ms=30_000.0)
+
+    async def scenario():
+        async with AsyncSession(graph, seed=7, max_wait_ms=1.0) as serving:
+            return await serving.submit(query), serving.stats
+
+    result, stats = asyncio.run(scenario())
+    assert result.values == one_off_results(graph, [query])[0].values
+    assert stats.deadline_expired == 0
+
+
+def test_deadline_validation_rejects_nonpositive_and_nan():
+    for bad in (0, -5, float("nan")):
+        with pytest.raises(ValueError):
+            ReliabilityQuery(0, target=1, samples=100, deadline_ms=bad)
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+
+def test_max_pending_sheds_excess_submissions_then_recovers():
+    graph = build_graph()
+
+    def query(i):
+        return ReliabilityQuery(i, target=59 - i, samples=300)
+
+    async def scenario():
+        async with AsyncSession(
+            graph, seed=7, max_wait_ms=100.0, max_pending=2
+        ) as serving:
+            admitted = [
+                asyncio.create_task(serving.submit(query(i)))
+                for i in range(2)
+            ]
+            await asyncio.sleep(0)  # let both enqueue
+            with pytest.raises(OverloadedError, match="max_pending=2"):
+                await serving.submit(query(2))
+            shed_count = serving.stats.shed
+            # Once the admitted pair drains, capacity is back.
+            results = await asyncio.gather(*admitted)
+            late = await serving.submit(query(3))
+            return results, late, shed_count, serving.stats
+
+    results, late, shed_count, stats = asyncio.run(scenario())
+    assert shed_count == 1
+    assert stats.shed == 1
+    expected = one_off_results(graph, [query(0), query(1), query(3)])
+    for got, want in zip([*results, late], expected, strict=True):
+        assert got.values == want.values
+
+
+def test_max_pending_counts_inflight_batches_not_just_queue():
+    graph = build_graph()
+
+    async def scenario():
+        async with AsyncSession(
+            graph, seed=7, max_wait_ms=0.0, max_pending=1
+        ) as serving:
+            with faults.inject("serve.worker", latency_ms=200.0, fail=False):
+                first = asyncio.create_task(
+                    serving.submit(ReliabilityQuery(0, target=59, samples=200))
+                )
+                # Yield until the batch is on the worker (queue empty,
+                # one request in flight).
+                while serving.stats.batches == 0:
+                    await asyncio.sleep(0.005)
+                with pytest.raises(OverloadedError):
+                    await serving.submit(
+                        ReliabilityQuery(1, target=58, samples=200)
+                    )
+                await first
+            return serving.stats
+
+    stats = asyncio.run(scenario())
+    assert stats.shed == 1
+
+
+def test_constructor_rejects_nonpositive_max_pending():
+    graph = build_graph(num_nodes=10, num_edges=20)
+    with pytest.raises(ValueError):
+        AsyncSession(graph, max_pending=0)
+
+
+# ----------------------------------------------------------------------
+# submit/close race
+# ----------------------------------------------------------------------
+
+def test_submit_after_close_raises_session_closed():
+    graph = build_graph(num_nodes=20, num_edges=40)
+
+    async def scenario():
+        serving = AsyncSession(graph, seed=7)
+        await serving.close()
+        with pytest.raises(SessionClosedError):
+            await serving.submit(ReliabilityQuery(0, target=19, samples=100))
+        with pytest.raises(SessionClosedError):
+            await serving.swap_graph(graph)
+
+    asyncio.run(scenario())
+
+
+def test_submit_close_race_resolves_every_caller_typed():
+    """Regression: a submit racing close() must never hang.
+
+    Every concurrent caller either gets its result (it landed in the
+    final flush) or a typed ``SessionClosedError`` — bounded by a
+    wait_for so a stranded future fails the test instead of wedging it.
+    """
+    graph = build_graph()
+    queries = [
+        ReliabilityQuery(i % 10, target=40 + i % 10, samples=200)
+        for i in range(12)
+    ]
+
+    async def client(serving, query):
+        try:
+            return await serving.submit(query)
+        except SessionClosedError as error:
+            return error
+
+    async def scenario():
+        serving = AsyncSession(graph, seed=7, max_wait_ms=5.0)
+        tasks = [
+            asyncio.create_task(client(serving, q)) for q in queries[:6]
+        ]
+        await asyncio.sleep(0)
+        close_task = asyncio.create_task(serving.close())
+        tasks += [
+            asyncio.create_task(client(serving, q)) for q in queries[6:]
+        ]
+        outcomes = await asyncio.wait_for(
+            asyncio.gather(*tasks), timeout=30.0
+        )
+        await close_task
+        return outcomes
+
+    outcomes = asyncio.run(scenario())
+    served = [o for o in outcomes if not isinstance(o, Exception)]
+    rejected = [o for o in outcomes if isinstance(o, Exception)]
+    assert len(served) + len(rejected) == len(queries)
+    assert all(isinstance(o, SessionClosedError) for o in rejected)
+    # Whatever was served is still bit-for-bit correct.
+    for result in served:
+        query = ReliabilityQuery(
+            result.query.source, target=result.query.targets[0],
+            samples=result.query.samples,
+        )
+        assert result.values == one_off_results(graph, [query])[0].values
+
+
+# ----------------------------------------------------------------------
+# worker faults
+# ----------------------------------------------------------------------
+
+def test_worker_latency_fault_slows_but_never_corrupts():
+    graph = build_graph()
+    queries = [
+        ReliabilityQuery(i, target=59 - i, samples=400) for i in range(4)
+    ]
+
+    async def scenario():
+        async with AsyncSession(graph, seed=7, max_wait_ms=10.0) as serving:
+            with faults.inject(
+                "serve.worker", latency_ms=30.0, fail=False, exclusive=True
+            ):
+                results = await asyncio.gather(
+                    *(serving.submit(q) for q in queries)
+                )
+                fired = faults.fires("serve.worker")
+            return results, fired
+
+    results, fired = asyncio.run(scenario())
+    assert fired >= 1
+    for got, want in zip(
+        results, one_off_results(graph, queries), strict=True
+    ):
+        assert got.values == want.values
+
+
+def test_worker_failure_falls_back_to_per_query_isolation():
+    graph = build_graph()
+    queries = [
+        ReliabilityQuery(i, target=59 - i, samples=400) for i in range(4)
+    ]
+
+    async def scenario():
+        async with AsyncSession(graph, seed=7, max_wait_ms=10.0) as serving:
+            with faults.inject("serve.worker", count=1, exclusive=True):
+                results = await asyncio.gather(
+                    *(serving.submit(q) for q in queries)
+                )
+                fired = faults.fires("serve.worker")
+            return results, fired
+
+    results, fired = asyncio.run(scenario())
+    assert fired == 1  # the batch attempt failed exactly once
+    # The isolation rerun answers every caller with the values the
+    # clean batch would have produced (deterministic per (Z, seed)).
+    for got, want in zip(
+        results, one_off_results(graph, queries), strict=True
+    ):
+        assert got.values == want.values
+
+
+# ----------------------------------------------------------------------
+# HTTP surface
+# ----------------------------------------------------------------------
+
+def test_http_shed_returns_503_with_retry_after():
+    graph = build_graph()
+
+    async def scenario(host, port):
+        first = asyncio.ensure_future(request(
+            "POST", host, port, "/reliability",
+            {"source": 0, "target": 59, "samples": 400},
+        ))
+        await asyncio.sleep(0.1)  # first request is now pending
+        shed = await request(
+            "POST", host, port, "/reliability",
+            {"source": 1, "target": 58, "samples": 400},
+        )
+        served = await first
+        health = await request("GET", host, port, "/healthz")
+        return served, shed, health
+
+    served, shed, health = serve(
+        graph, scenario, seed=7, max_pending=1, max_wait_ms=400.0
+    )
+    status, body, _ = served
+    assert status == 200
+    assert body["results"][0]["value"] > 0
+    status, body, headers = shed
+    assert status == 503
+    assert "max_pending=1" in body["error"]
+    assert headers["Retry-After"] == "1"
+    _, body, _ = health
+    assert body["coalescer"]["shed"] == 1
+    assert body["coalescer"]["max_pending"] == 1
+
+
+def test_http_expired_deadline_returns_504():
+    graph = build_graph()
+
+    async def scenario(host, port):
+        expired = await request(
+            "POST", host, port, "/reliability",
+            {"source": 0, "target": 59, "samples": 400, "deadline_ms": 1},
+        )
+        ok = await request(
+            "POST", host, port, "/reliability",
+            {"source": 0, "target": 59, "samples": 400,
+             "deadline_ms": 30_000},
+        )
+        bad = await request(
+            "POST", host, port, "/reliability",
+            {"source": 0, "target": 59, "samples": 400, "deadline_ms": -5},
+        )
+        health = await request("GET", host, port, "/healthz")
+        return expired, ok, bad, health
+
+    expired, ok, bad, health = serve(
+        graph, scenario, seed=7, max_wait_ms=120.0
+    )
+    assert expired[0] == 504
+    assert "deadline_ms" in expired[1]["error"]
+    assert ok[0] == 200
+    assert bad[0] == 400
+    assert health[1]["coalescer"]["deadline_expired"] == 1
+
+
+def test_http_write_fault_drops_connection_but_server_survives():
+    graph = build_graph(num_nodes=20, num_edges=40)
+
+    async def scenario(host, port):
+        with faults.inject("serve.http.write", count=1, exclusive=True):
+            def _failing_call():
+                req = urllib.request.Request(
+                    f"http://{host}:{port}/healthz", method="GET"
+                )
+                try:
+                    with urllib.request.urlopen(req, timeout=10) as response:
+                        return response.status
+                except Exception as error:  # connection torn down mid-write
+                    return error
+
+            outcome = await asyncio.get_running_loop().run_in_executor(
+                None, _failing_call
+            )
+        after = await request("GET", host, port, "/healthz")
+        return outcome, after
+
+    outcome, after = serve(graph, scenario, seed=7)
+    assert isinstance(outcome, Exception)
+    status, body, _ = after
+    assert status == 200
+    assert body["status"] == "ok"
