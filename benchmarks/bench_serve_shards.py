@@ -1,0 +1,245 @@
+"""Benchmark: supervised shard pool vs one shard under keep-alive HTTP load.
+
+The shard pool's claim (:mod:`repro.serve.shard`): routing requests by
+their coalescing key over N worker *processes* multiplies serving
+throughput — each shard pays one compile + one coin-flip pass per
+window on its own core — while crash replay keeps every answer
+bit-for-bit equal to a one-off ``Session.run``.  This benchmark drives
+128 keep-alive HTTP clients (stdlib ``http.client``, one connection
+each) at a :class:`~repro.serve.ReliabilityServer` fronting a
+:class:`~repro.serve.ShardSupervisor`, and compares 4 shards against 1.
+
+Gates (the PR gate, enforced in nightly CI on multi-core runners):
+
+* 4 shards >= 2x the throughput of one shard at 128 keep-alive clients;
+* zero non-200 responses in either run;
+* every response **bit-for-bit equal** to a one-off ``Session.run`` of
+  the same query.
+
+``--smoke`` only gates "runs, answers everything, agrees bit-for-bit"
+(no speedup assertion: CI smoke boxes — and this container — may have
+a single core, where extra processes cannot pay for their IPC).
+
+Usage::
+
+    python benchmarks/bench_serve_shards.py                 # full gate (>= 2x)
+    python benchmarks/bench_serve_shards.py --smoke         # quick CI check
+    python benchmarks/bench_serve_shards.py --json out.json # also dump timings
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import http.client
+import json
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.api import ReliabilityQuery, Session, Workload  # noqa: E402
+from repro.graph import assign_uniform, erdos_renyi  # noqa: E402
+from repro.serve import ReliabilityServer, ShardSupervisor  # noqa: E402
+
+
+def build_graph(num_nodes: int, num_edges: int, seed: int = 0):
+    graph = erdos_renyi(num_nodes, num_edges=num_edges, seed=seed)
+    return assign_uniform(graph, 0.05, 0.5, seed=seed + 1)
+
+
+def client_plans(graph, num_clients: int, per_client: int, samples: int,
+                 seed_groups: int):
+    """One request list per client, seeds spread over ``seed_groups`` keys.
+
+    Distinct seeds are distinct coalescing keys, so the router spreads
+    them across shards; requests sharing a seed still coalesce within
+    their home shard.
+    """
+    n = graph.num_nodes
+    plans = []
+    for c in range(num_clients):
+        queries = []
+        for r in range(per_client):
+            k = (c * per_client + r) % seed_groups
+            queries.append(ReliabilityQuery(
+                source=(c * 7 + r) % (n // 2),
+                target=n - 1 - ((c + r * 3) % (n // 2)),
+                samples=samples,
+                seed=1000 + k,
+            ))
+        plans.append(queries)
+    return plans
+
+
+def one_off_values(graph, plans, seed: int):
+    """Ground truth: every distinct query answered by its own workload."""
+    session = Session(graph, seed=seed)
+    values = {}
+    for queries in plans:
+        for q in queries:
+            if q not in values:
+                values[q] = session.run(Workload([q]))[0].values[0]
+    return values
+
+
+def drive_clients(host, port, plans, loop):
+    """One keep-alive connection per client; returns (statuses, answers)."""
+
+    def client(queries):
+        conn = http.client.HTTPConnection(host, port, timeout=300)
+        outcomes = []
+        try:
+            for q in queries:
+                body = json.dumps({
+                    "source": q.source, "target": q.target,
+                    "samples": q.samples, "seed": q.seed,
+                }).encode()
+                conn.request("POST", "/reliability", body,
+                             {"Content-Type": "application/json"})
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+                value = (payload["results"][0]["value"]
+                         if response.status == 200 else None)
+                outcomes.append((response.status, value))
+        finally:
+            conn.close()
+        return outcomes
+
+    pool = ThreadPoolExecutor(max_workers=len(plans))
+    try:
+        futures = [loop.run_in_executor(pool, client, queries)
+                   for queries in plans]
+        return asyncio.gather(*futures)
+    finally:
+        pool.shutdown(wait=False)
+
+
+def time_pool(graph, plans, num_shards: int, seed: int, wait_ms: float):
+    """Serve every client plan through an N-shard pool; time the burst."""
+
+    async def _run():
+        supervisor = ShardSupervisor(
+            graph, num_shards=num_shards, max_batch=128,
+            max_wait_ms=wait_ms, seed=seed,
+        )
+        server = ReliabilityServer(supervisor)
+        host, port = await server.start()
+        loop = asyncio.get_running_loop()
+        try:
+            start = time.perf_counter()
+            outcomes = await drive_clients(host, port, plans, loop)
+            elapsed = time.perf_counter() - start
+            stats = supervisor.stats.as_dict()
+        finally:
+            await server.stop()
+            await supervisor.close()
+        return elapsed, outcomes, stats
+
+    return asyncio.run(_run())
+
+
+def check_outcomes(plans, outcomes, expected):
+    """Returns (non_200, mismatches) across every client's answers."""
+    non_200 = mismatches = 0
+    for queries, answers in zip(plans, outcomes):
+        for q, (status, value) in zip(queries, answers):
+            if status != 200:
+                non_200 += 1
+            elif value != expected[q]:
+                mismatches += 1
+    return non_200, mismatches
+
+
+def run(smoke: bool, json_path: str | None) -> int:
+    if smoke:
+        num_nodes, num_edges, z = 150, 400, 300
+        num_clients, per_client, seed_groups = 16, 2, 8
+        shards = 2
+        required_speedup = 0.0  # smoke gates "answers and agrees" only
+    else:
+        num_nodes, num_edges, z = 600, 1800, 2000
+        num_clients, per_client, seed_groups = 128, 4, 16
+        shards = 4
+        required_speedup = 2.0
+
+    graph = build_graph(num_nodes, num_edges)
+    plans = client_plans(graph, num_clients, per_client, z, seed_groups)
+    total = sum(len(p) for p in plans)
+    print(f"graph: n={graph.num_nodes} m={graph.num_edges} Z={z} "
+          f"clients={num_clients} requests={total} "
+          f"seed_groups={seed_groups}")
+
+    expected = one_off_values(graph, plans, seed=17)
+
+    one_s, one_outcomes, one_stats = time_pool(
+        graph, plans, num_shards=1, seed=17, wait_ms=10.0
+    )
+    sharded_s, sharded_outcomes, sharded_stats = time_pool(
+        graph, plans, num_shards=shards, seed=17, wait_ms=10.0
+    )
+    speedup = one_s / sharded_s if sharded_s > 0 else float("inf")
+
+    print(f"  1 shard:  {one_s * 1000:9.1f} ms "
+          f"({total / one_s:7.1f} req/s)")
+    print(f"  {shards} shards: {sharded_s * 1000:9.1f} ms "
+          f"({total / sharded_s:7.1f} req/s)")
+    print(f"  speedup:  {speedup:9.2f}x")
+
+    one_bad, one_diff = check_outcomes(plans, one_outcomes, expected)
+    sharded_bad, sharded_diff = check_outcomes(plans, sharded_outcomes, expected)
+    non_200 = one_bad + sharded_bad
+    mismatches = one_diff + sharded_diff
+
+    report = {
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "num_samples": z,
+        "num_clients": num_clients,
+        "requests": total,
+        "num_shards": shards,
+        "required_speedup": required_speedup,
+        "one_shard_seconds": one_s,
+        "sharded_seconds": sharded_s,
+        "speedup": speedup,
+        "non_200": non_200,
+        "value_mismatches": mismatches,
+        "one_shard_supervisor": one_stats,
+        "sharded_supervisor": sharded_stats,
+    }
+    if json_path:
+        Path(json_path).write_text(json.dumps(report, indent=2))
+        print(f"wrote {json_path}")
+
+    if non_200:
+        print(f"FAIL: {non_200} responses were not 200 OK")
+        return 1
+    if mismatches:
+        print(f"FAIL: {mismatches} responses differ from one-off "
+              f"Session.run results")
+        return 1
+    if speedup < required_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below {required_speedup}x")
+        return 1
+    print("OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small graph / few clients / no speedup gate for CI",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the timing report as JSON",
+    )
+    args = parser.parse_args()
+    return run(smoke=args.smoke, json_path=args.json)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

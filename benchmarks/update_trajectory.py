@@ -34,9 +34,10 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 EXTRACTORS = {}
 
 #: Reports that fold into another benchmark's trajectory file.  The
-#: resilience run is a facet of the serving story, so its entries land
-#: in BENCH_serve.json next to the coalescing speedups.
-TRAJECTORY_FILES = {"serve_resilience": "serve"}
+#: resilience and shard-pool runs are facets of the serving story, so
+#: their entries land in BENCH_serve.json next to the coalescing
+#: speedups.
+TRAJECTORY_FILES = {"serve_resilience": "serve", "serve_shards": "serve"}
 
 
 def extractor(name):
@@ -96,6 +97,20 @@ def _serve_resilience(report: dict) -> dict:
         "accepted_p99_seconds": report["accepted_p99_seconds"],
         "shed_p99_seconds": report["shed_p99_seconds"],
         "disarmed_seam_ns_per_call": report["disarmed_seam_ns_per_call"],
+    }
+
+
+@extractor("serve_shards")
+def _serve_shards(report: dict) -> dict:
+    return {
+        "benchmark": "serve_shards",
+        "num_shards": report["num_shards"],
+        "num_clients": report["num_clients"],
+        "speedup": report["speedup"],
+        "sharded_seconds": report["sharded_seconds"],
+        "one_shard_seconds": report["one_shard_seconds"],
+        "non_200": report["non_200"],
+        "replays": report["sharded_supervisor"]["replays"],
     }
 
 

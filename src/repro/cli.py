@@ -172,27 +172,22 @@ def cmd_mrp(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     """Start the coalescing HTTP server over one long-lived session.
 
+    With ``--shards N`` (N >= 2) the server fronts a supervised pool of
+    N worker processes instead of one in-process coalescer: requests
+    route by their coalescing key, a crashed worker is respawned under
+    doubling backoff, and its in-flight requests replay bit-for-bit on
+    a healthy shard.
+
     SIGTERM/SIGINT trigger a graceful drain: stop accepting, finish
     in-flight batches, exit 0.  A second signal forces an immediate
     exit with a non-zero status (130).
     """
     import signal
 
-    from .serve import ReliabilityServer  # local: keep base CLI light
+    from .serve import ReliabilityServer, ShardSupervisor  # local: keep base CLI light
 
     graph = _load_graph(args)
-    store = None
-    if args.store:
-        from .index import IndexStore  # local: keep base CLI light
-
-        store = IndexStore(args.store)
-    server = ReliabilityServer(
-        graph,
-        host=args.host,
-        port=args.port,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        max_pending=args.max_pending or None,
+    session_kwargs = dict(
         seed=args.seed,
         estimator=args.estimator,
         selection_samples=args.samples,
@@ -200,8 +195,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
         fuse_max_words=args.fuse_max_words,
         r=args.r,
         l=args.l,
-        store=store,
     )
+    store = None
+    supervisor = None
+    if args.shards >= 2:
+        # Workers open their own handles on the shared store directory;
+        # the flock writer lock and breakers handle contention.
+        supervisor = ShardSupervisor(
+            graph,
+            num_shards=args.shards,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_pending=args.max_pending or None,
+            heartbeat_interval_s=args.heartbeat_interval_s,
+            heartbeat_timeout_s=4.0 * args.heartbeat_interval_s,
+            replay_budget=args.replay_budget,
+            store_path=args.store or None,
+            **session_kwargs,
+        )
+        server = ReliabilityServer(supervisor, host=args.host, port=args.port)
+    else:
+        if args.store:
+            from .index import IndexStore  # local: keep base CLI light
+
+            store = IndexStore(args.store)
+        server = ReliabilityServer(
+            graph,
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_pending=args.max_pending or None,
+            store=store,
+            **session_kwargs,
+        )
 
     async def _run() -> int:
         loop = asyncio.get_running_loop()
@@ -237,6 +264,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"coalescer: max_batch={args.max_batch}, "
               f"max_wait_ms={args.max_wait_ms}, "
               f"max_pending={args.max_pending or 'unbounded'}", flush=True)
+        if supervisor is not None:
+            pids = [row["pid"] for row in supervisor.describe()["shards"]]
+            print(f"shards: {args.shards} workers (pids {pids}), "
+                  f"heartbeat_interval_s={args.heartbeat_interval_s}, "
+                  f"replay_budget={args.replay_budget}", flush=True)
+            if args.store:
+                print(f"store: {args.store} (one handle per shard)",
+                      flush=True)
         if store is not None:
             stats = store.stats()
             print(f"store: {stats.path} (schema v{stats.schema_version}, "
@@ -246,6 +281,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         try:
             await stop_requested.wait()
             await server.stop()  # graceful: drains in-flight batches
+            if supervisor is not None:
+                await supervisor.close()  # drain + reap worker processes
             serve_task.cancel()
             await asyncio.gather(serve_task, return_exceptions=True)
         except asyncio.CancelledError:
@@ -438,6 +475,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission bound: shed requests (503 + Retry-After) once "
              "this many queries are pending or executing; 0 disables "
              "shedding",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=1,
+        help="worker-process count: >= 2 serves through a supervised "
+             "shard pool with crash replay and two-phase graph swaps; "
+             "1 (default) keeps the single in-process coalescer",
+    )
+    p_serve.add_argument(
+        "--heartbeat-interval-s", type=float, default=1.0,
+        help="shard-pool ping cadence; a worker silent for 4 intervals "
+             "is declared dead, SIGKILLed and respawned",
+    )
+    p_serve.add_argument(
+        "--replay-budget", type=int, default=3,
+        help="shard deaths one request may survive (be replayed past) "
+             "before failing with 503",
     )
     p_serve.add_argument(
         "--estimator", choices=estimator_names(), default="rss",

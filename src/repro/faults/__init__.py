@@ -7,6 +7,13 @@ the full model): :func:`fault_point` marks a seam, :func:`arm` /
 assert on.  Disarmed — the default — every seam is a single global
 check, so production behavior is byte-identical to a build without
 seams.
+
+Registered seam families (rule ``REP006`` keeps the names literal and
+statically enumerable): ``store.*`` (catalog and batch I/O),
+``session.store.*`` (the session's best-effort store wrappers),
+``serve.worker`` (coalescer batch execution), ``serve.http.*``
+(client connections), and ``shard.*`` (the supervised pool's
+transport: ``spawn``, ``heartbeat``, ``ipc.read``, ``ipc.write``).
 """
 
 from .registry import (

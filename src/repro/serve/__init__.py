@@ -13,11 +13,21 @@ exactly that, in two layers:
     ``Session.run`` workload on a worker thread — bit-for-bit identical
     to one-off session calls, ≥3× faster at 64 concurrent clients
     (gated by ``benchmarks/bench_serve_async.py``).
+:class:`ShardSupervisor`
+    A self-healing pool of N worker processes (one ``AsyncSession``
+    each, stdlib socket IPC).  Requests route by a stable hash of the
+    same ``(estimator, Z, seed)`` key coalescing groups by, so
+    shared-world batching still fires within a shard; a shard death
+    (pipe EOF, heartbeat timeout, SIGKILL) triggers respawn under
+    doubling backoff and bit-for-bit replay of its in-flight requests
+    on a healthy shard.  Graph swaps broadcast in two phases
+    (prepare/commit) so the pool never answers from two graphs.
 :class:`ReliabilityServer`
-    A stdlib-only HTTP/1.1 JSON endpoint over an ``AsyncSession``:
-    ``POST /reliability``, ``POST /maximize``, ``POST /graph`` (hot
-    swap, keyed on ``UncertainGraph.version``), ``GET /healthz``.
-    Start it from the command line with ``repro serve``.
+    A stdlib-only HTTP/1.1 JSON endpoint over an ``AsyncSession`` or
+    ``ShardSupervisor``: ``POST /reliability``, ``POST /maximize``,
+    ``POST /graph`` (hot swap, keyed on ``UncertainGraph.version``),
+    ``GET /healthz``.  Start it from the command line with
+    ``repro serve`` (``--shards N`` for the supervised pool).
 
 See ``docs/architecture.md`` ("Serving layer") for the data flow and
 the coalescer tuning knobs, and ``examples/serve_quickstart.py`` for a
@@ -43,6 +53,16 @@ from .http import (
     parse_reliability_query,
     provenance_dict,
     reliability_response,
+    retry_after_seconds,
+)
+from .shard import (
+    ShardCrashError,
+    ShardError,
+    ShardSpawnError,
+    ShardSupervisor,
+    SupervisorStats,
+    route_key,
+    shard_index,
 )
 
 __all__ = [
@@ -62,4 +82,12 @@ __all__ = [
     "parse_reliability_query",
     "provenance_dict",
     "reliability_response",
+    "retry_after_seconds",
+    "ShardCrashError",
+    "ShardError",
+    "ShardSpawnError",
+    "ShardSupervisor",
+    "SupervisorStats",
+    "route_key",
+    "shard_index",
 ]

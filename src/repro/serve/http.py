@@ -33,9 +33,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from dataclasses import asdict
 from typing import Any, Optional, Tuple, Union
 
+from .. import faults
 from ..api import Session
 from ..api.queries import MaximizeQuery, ReliabilityQuery
 from ..api.results import MaximizeResult, ReliabilityResult
@@ -49,6 +51,7 @@ from .async_session import (
     OverloadedError,
     SessionClosedError,
 )
+from .shard import ShardCrashError, ShardSupervisor
 
 #: Largest accepted request body (a graph upload dominates sizing).
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -117,10 +120,30 @@ _STATUS_TEXT = {
     504: "Gateway Timeout",
 }
 
-#: ``Retry-After`` seconds suggested on shed (503) responses: the
-#: coalescing window plus a beat — by then the burst that caused the
-#: shed has flushed.
-RETRY_AFTER_S = 1
+#: Beat added on top of the coalescing window when deriving the
+#: ``Retry-After`` hint: by window + beat the burst that caused a shed
+#: has flushed and its worker slot is free again.
+RETRY_AFTER_BEAT_S = 0.1
+
+
+def retry_after_seconds(max_wait_ms: float) -> int:
+    """``Retry-After`` seconds for 503 responses, from the real window.
+
+    The server's actual coalescing window plus :data:`RETRY_AFTER_BEAT_S`,
+    rounded up to whole seconds (RFC 9110 ``Retry-After`` carries an
+    integer ``delay-seconds``), never below 1.
+
+    Parameters
+    ----------
+    max_wait_ms : float
+        The serving target's coalescing window in milliseconds.
+
+    Returns
+    -------
+    int
+        Suggested client back-off in seconds.
+    """
+    return max(1, math.ceil(max_wait_ms / 1000.0 + RETRY_AFTER_BEAT_S))
 
 
 def provenance_dict(result: Union[ReliabilityResult, MaximizeResult]) -> dict:
@@ -330,7 +353,7 @@ class ReliabilityServer:
 
     def __init__(
         self,
-        target: Union[UncertainGraph, Session, AsyncSession],
+        target: Union[UncertainGraph, Session, AsyncSession, ShardSupervisor],
         host: str = "127.0.0.1",
         port: int = 0,
         max_batch: int = DEFAULT_MAX_BATCH,
@@ -339,13 +362,13 @@ class ReliabilityServer:
         read_timeout_s: Optional[float] = DEFAULT_READ_TIMEOUT_S,
         **session_kwargs: Any,
     ) -> None:
-        if isinstance(target, AsyncSession):
+        if isinstance(target, (AsyncSession, ShardSupervisor)):
             if session_kwargs:
                 raise TypeError(
                     "session_kwargs only apply when constructing from a "
                     "graph; configure the AsyncSession directly instead"
                 )
-            self.serving = target
+            self.serving: Union[AsyncSession, ShardSupervisor] = target
             self._owns_serving = False
         else:
             self.serving = AsyncSession(
@@ -380,9 +403,16 @@ class ReliabilityServer:
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> Tuple[str, int]:
-        """Bind and start accepting connections; returns ``(host, port)``."""
+        """Bind and start accepting connections; returns ``(host, port)``.
+
+        A caller-provided :class:`ShardSupervisor` that has not been
+        started yet is started here (workers spawn before the socket
+        binds, so the first request never races the pool coming up).
+        """
         if self._server is not None:
             raise RuntimeError("server already started")
+        if isinstance(self.serving, ShardSupervisor) and not self.serving.started:
+            await self.serving.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -535,19 +565,22 @@ class ReliabilityServer:
     async def _submit(self, query: Any) -> Any:
         """Submit to the coalescer, mapping resilience errors to HTTP.
 
-        Shedding (``OverloadedError``) becomes 503 with a
-        ``Retry-After`` header, a closed/draining coalescer
-        (``SessionClosedError``) a plain 503, and an expired
-        per-request deadline (``DeadlineExceededError``) a 504.
+        Every retryable 503 — a shed (``OverloadedError``), a
+        closed/draining coalescer (``SessionClosedError``), a request
+        that exhausted its crash-replay budget (``ShardCrashError``) —
+        carries a ``Retry-After`` derived from the server's actual
+        coalescing window (:func:`retry_after_seconds`); an expired
+        per-request deadline (``DeadlineExceededError``) maps to 504.
         """
+        retry_after = {"Retry-After": str(retry_after_seconds(self.serving.max_wait_ms))}
         try:
             return await self.serving.submit(query)
         except OverloadedError as error:
-            raise HttpError(
-                503, str(error), headers={"Retry-After": str(RETRY_AFTER_S)}
-            ) from None
+            raise HttpError(503, str(error), headers=retry_after) from None
+        except ShardCrashError as error:
+            raise HttpError(503, str(error), headers=retry_after) from None
         except SessionClosedError as error:
-            raise HttpError(503, str(error)) from None
+            raise HttpError(503, str(error), headers=retry_after) from None
         except DeadlineExceededError as error:
             raise HttpError(504, str(error)) from None
 
@@ -571,20 +604,33 @@ class ReliabilityServer:
         batching counters; without one the key is absent entirely, so
         monitors can distinguish "no store" from "store with no
         traffic".
+
+        Sharded serving (``repro serve --shards N``) replaces the
+        ``"coalescer"`` section with a ``"supervisor"`` section: pool
+        configuration, death/replay/respawn counters, and one row per
+        shard.  When the fault registry is armed a ``"faults"`` section
+        reports per-seam fire counts so chaos runs can scrape them
+        without process introspection.
         """
+        payload: dict
         payload = {
             "status": "draining" if self._draining else "ok",
             "graph": self._graph_info(),
-            "coalescer": {
+        }
+        if isinstance(self.serving, ShardSupervisor):
+            payload["supervisor"] = self.serving.describe()
+        else:
+            payload["coalescer"] = {
                 "max_batch": self.serving.max_batch,
                 "max_wait_ms": self.serving.max_wait_ms,
                 "max_pending": self.serving.max_pending,
                 **self.serving.stats.as_dict(),
-            },
-        }
+            }
         store = self.serving.store_stats()
         if store is not None:
             payload["store"] = store
+        if faults.armed():
+            payload["faults"] = {"seams": faults.seam_report()}
         return payload
 
 

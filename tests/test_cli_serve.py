@@ -125,6 +125,94 @@ def test_sigint_with_no_traffic_exits_zero(edge_file):
     assert "drained cleanly" in out
 
 
+def healthz(port):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/healthz", timeout=20
+    ) as response:
+        return json.loads(response.read())
+
+
+def test_shard_kill_mid_flight_is_invisible_to_clients(edge_file):
+    """SIGKILL one worker of ``--shards 4`` mid-burst: zero failed responses.
+
+    The latency profile in the child environment pins every batch on a
+    worker for 400 ms, so the kill reliably lands while requests are in
+    flight; the supervisor must replay them on healthy shards (bit-for-
+    bit equal to one-off ``Session.run``) and respawn the dead worker.
+    This is the end-to-end assertion behind the chaos CI shard leg.
+    """
+    from repro.api import ReliabilityQuery, Session, Workload
+    from repro.graph import read_edge_list
+
+    proc, port = spawn_server(
+        edge_file, "--shards", "4", "--heartbeat-interval-s", "0.1",
+        "--max-wait-ms", "5",
+        env_extra={"REPRO_FAULTS": "serve.worker:latency_ms=400,fail=0"},
+    )
+    try:
+        pids = [s["pid"] for s in healthz(port)["supervisor"]["shards"]
+                if s["live"]]
+        assert len(pids) == 4
+
+        # Distinct seeds are distinct routing keys, so the burst spreads
+        # over the pool and the killed shard holds real in-flight work.
+        queries = [ReliabilityQuery(source=0, target=3, samples=400, seed=k)
+                   for k in range(8)]
+        outcomes = [{} for _ in queries]
+
+        def call(query, outcome):
+            body = json.dumps({
+                "source": query.source, "target": query.target,
+                "samples": query.samples, "seed": query.seed,
+            }).encode()
+            try:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/reliability", data=body,
+                    timeout=30,
+                ) as response:
+                    outcome["status"] = response.status
+                    outcome["value"] = (
+                        json.loads(response.read())["results"][0]["value"]
+                    )
+            except Exception as error:
+                outcome["error"] = error
+
+        threads = [threading.Thread(target=call, args=(q, o), daemon=True)
+                   for q, o in zip(queries, outcomes)]
+        for t in threads:
+            t.start()
+        time.sleep(0.3)  # batches are on the workers, asleep in the fault
+        os.kill(pids[0], signal.SIGKILL)
+        for t in threads:
+            t.join(timeout=30)
+
+        session = Session(read_edge_list(edge_file), seed=0)
+        for query, outcome in zip(queries, outcomes):
+            assert outcome.get("status") == 200, outcome
+            expected = session.run(Workload([query]))[0].values[0]
+            assert outcome["value"] == expected  # bit-for-bit, post-replay
+
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            supervisor = healthz(port)["supervisor"]
+            live = [s["pid"] for s in supervisor["shards"] if s["live"]]
+            if (supervisor["deaths"] >= 1 and len(live) == 4
+                    and pids[0] not in live):
+                break
+            time.sleep(0.1)
+        else:
+            raise AssertionError(f"shard never respawned: {supervisor}")
+        assert supervisor["respawns"] >= 1
+
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=20)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert proc.returncode == 0
+    assert "drained cleanly" in out
+
+
 def test_second_signal_forces_nonzero_exit(edge_file):
     # REPRO_FAULTS in the child's environment (exercising env arming in
     # a fresh interpreter) adds 3 s of worker latency, so the drain is

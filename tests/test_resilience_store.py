@@ -177,6 +177,47 @@ class TestCircuitBreaker:
         breaker.record_success()
         assert breaker.stats()["reset_timeout_s"] == 1.0
 
+    def test_half_open_race_admits_exactly_one_probe(self):
+        """Two concurrent callers at backoff expiry: one probe, one skip.
+
+        The open→half-open transition and the probe admission happen
+        under one lock acquisition, so however many threads race
+        ``allow()`` the moment the reset window expires, exactly one
+        may touch the store; the rest are rejected open until the
+        probe reports back.
+        """
+        import threading
+
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(1.1)  # backoff expired: next allow() is the probe
+
+        callers = 8
+        barrier = threading.Barrier(callers)
+        verdicts = [None] * callers
+
+        def contend(i):
+            barrier.wait()  # maximize the race window
+            verdicts[i] = breaker.allow()
+
+        threads = [threading.Thread(target=contend, args=(i,))
+                   for i in range(callers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert verdicts.count(True) == 1, verdicts
+        assert verdicts.count(False) == callers - 1
+        assert breaker.state == "half_open"
+        # The losers were counted as skips; the probe's outcome still
+        # drives the state machine as usual.
+        assert breaker.stats()["skips"] >= callers - 1
+        breaker.record_success()
+        assert breaker.state == "closed"
+
     def test_constructor_validation(self):
         with pytest.raises(ValueError):
             CircuitBreaker(failure_threshold=0)

@@ -468,6 +468,87 @@ def test_unbounded_header_stream_gets_400():
     assert response.startswith(b"HTTP/1.1 400")
 
 
+def test_retry_after_derives_from_coalescing_window():
+    from repro.serve import retry_after_seconds
+
+    # RFC 9110: integer delay-seconds, rounded up from window + beat,
+    # never below one second.
+    assert retry_after_seconds(2.0) == 1          # default window
+    assert retry_after_seconds(400.0) == 1
+    assert retry_after_seconds(1000.0) == 2       # 1.0s + beat rounds up
+    assert retry_after_seconds(1500.0) == 2
+    assert retry_after_seconds(2500.0) == 3
+    assert retry_after_seconds(0.0) == 1
+
+
+def test_shed_retry_after_tracks_configured_window():
+    """A server with a long window advertises a matching Retry-After."""
+    graph = build_graph(num_nodes=10, num_edges=20)
+
+    async def scenario(host, port):
+        def _call():
+            req = urllib.request.Request(
+                f"http://{host}:{port}/reliability",
+                data=json.dumps({"source": 0, "target": 5,
+                                 "samples": 200}).encode(),
+                method="POST",
+            )
+            try:
+                with urllib.request.urlopen(req, timeout=10) as response:
+                    return response.status, dict(response.headers)
+            except urllib.error.HTTPError as error:
+                return error.code, dict(error.headers)
+
+        loop = asyncio.get_running_loop()
+        first = asyncio.ensure_future(loop.run_in_executor(None, _call))
+        await asyncio.sleep(0.1)  # first request now occupies max_pending
+        shed_status, shed_headers = await loop.run_in_executor(None, _call)
+        await first
+        return shed_status, shed_headers
+
+    status, headers = serve(
+        graph, scenario, max_pending=1, max_wait_ms=1200.0
+    )
+    assert status == 503
+    # ceil(1.2s window + 0.1s beat) = 2, not the old hard-coded 1.
+    assert headers["Retry-After"] == "2"
+
+
+def test_drain_time_503_carries_retry_after():
+    """SessionClosedError 503s advertise Retry-After too, not just sheds."""
+    from repro.serve import AsyncSession
+
+    graph = build_graph(num_nodes=10, num_edges=20)
+
+    async def scenario():
+        serving = AsyncSession(graph, max_wait_ms=1.0)
+        server = ReliabilityServer(serving)
+        host, port = await server.start()
+        await serving.close()  # the pool behind the server went away
+        status, headers = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: _raw_status_headers(host, port)
+        )
+        await server.stop()
+        return status, headers
+
+    def _raw_status_headers(host, port):
+        req = urllib.request.Request(
+            f"http://{host}:{port}/reliability",
+            data=json.dumps({"source": 0, "target": 5,
+                             "samples": 100}).encode(),
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=10) as response:
+                return response.status, dict(response.headers)
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers)
+
+    status, headers = asyncio.run(scenario())
+    assert status == 503
+    assert headers["Retry-After"] == "1"
+
+
 def test_stop_leaves_caller_provided_async_session_open():
     from repro.serve import AsyncSession
 

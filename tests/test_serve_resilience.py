@@ -415,3 +415,31 @@ def test_http_write_fault_drops_connection_but_server_survives():
     status, body, _ = after
     assert status == 200
     assert body["status"] == "ok"
+
+
+def test_healthz_reports_seam_fires_when_armed():
+    """Chaos runs scrape per-seam fire counts straight off /healthz."""
+    graph = build_graph(num_nodes=20, num_edges=40)
+
+    async def scenario(host, port):
+        disarmed = await request("GET", host, port, "/healthz")
+        faults.arm("serve.worker:p=1.0,latency_ms=1,fail=0", seed=11)
+        try:
+            served = await request(
+                "POST", host, port, "/reliability",
+                {"source": 0, "target": 10, "samples": 200},
+            )
+            armed = await request("GET", host, port, "/healthz")
+        finally:
+            faults.disarm()
+        return disarmed, served, armed
+
+    disarmed, served, armed = serve(graph, scenario, seed=7)
+    # Disarmed registry: no "faults" section at all, so monitors can
+    # tell "chaos off" from "chaos on, nothing fired yet".
+    assert "faults" not in disarmed[1]
+    assert served[0] == 200
+    status, body, _ = armed
+    assert status == 200
+    seams = body["faults"]["seams"]
+    assert seams["serve.worker"] >= 1
