@@ -1,0 +1,226 @@
+"""Benchmark: streaming delta repair vs evict-and-recompute.
+
+The streaming-update claim (:meth:`repro.api.Session.apply_delta`): a
+session absorbing a sustained stream of edge edits should *repair* its
+cached world batches — re-flipping only the edited edges' keyed coins
+and resuming cached reach fixpoints where the edit was monotone —
+instead of throwing everything away.  This benchmark drives the same
+mixed update+query workload through both strategies: each round applies
+a small :class:`~repro.api.GraphDelta` (probability raises, an
+insertion, periodic deletions) and then answers a fixed fan-out query
+workload at large ``Z``.  The baseline applies the identical edits but
+evicts (``Session.invalidate``) — the pre-delta behavior — so every
+round pays a full coin-flip pass and full sweeps.
+
+Gates (the PR gate, enforced in nightly CI):
+
+* the streaming (repair) loop is >= 10x faster than evict-and-recompute
+  on the sustained update+query workload;
+* every per-round answer is **bit-for-bit equal** between the two
+  strategies, and the final round equals a cold session built directly
+  on the final graph (repair is an optimization, never an
+  approximation).
+
+Usage::
+
+    python benchmarks/bench_delta_stream.py                 # full gate (>= 10x)
+    python benchmarks/bench_delta_stream.py --smoke         # quick CI check
+    python benchmarks/bench_delta_stream.py --json out.json # also dump timings
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api import GraphDelta, ReliabilityQuery, Session, Workload  # noqa: E402
+from repro.graph import UncertainGraph, assign_uniform, erdos_renyi  # noqa: E402
+
+
+def build_graph(num_nodes: int, num_edges: int, seed: int = 0) -> UncertainGraph:
+    graph = erdos_renyi(num_nodes, num_edges=num_edges, seed=seed)
+    return assign_uniform(graph, 0.05, 0.5, seed=seed + 1)
+
+
+def build_workload(graph: UncertainGraph, num_queries: int, samples: int) -> Workload:
+    """A fan-out reliability workload over spread s-t pairs."""
+    n = graph.num_nodes
+    queries = []
+    for i in range(num_queries):
+        s = (i * n) // (num_queries + 1)
+        t = n - 1 - ((i * n) // (num_queries + 2))
+        if s == t:
+            t = (t + 1) % n
+        queries.append(ReliabilityQuery(s, target=t, samples=samples))
+    return Workload(queries)
+
+
+def script_deltas(
+    graph: UncertainGraph, rounds: int, seed: int
+) -> list:
+    """Deterministic per-round edit scripts for the update stream.
+
+    Each round raises a few existing edge probabilities (monotone:
+    cached reach states resume their sweeps) and inserts one fresh
+    edge; one mid-stream round deletes a previously inserted edge, so
+    the non-monotone repair path (drop dirty states, re-sweep affected
+    sources) is part of the measured stream without dominating it —
+    matching streams where probability updates vastly outnumber
+    retractions.
+    """
+    rng = np.random.default_rng(seed)
+    scratch = graph.copy()
+    deltas = []
+    inserted: list = []
+    for r in range(rounds):
+        edges = list(scratch.edges())
+        upserts = {}
+        picks = rng.choice(len(edges), size=min(2, len(edges)), replace=False)
+        for i in picks:
+            u, v, p = edges[int(i)]
+            upserts[(u, v)] = (u, v, min(1.0, p * 1.02 + 0.005))
+        for _ in range(64):  # find a non-adjacent, non-loop pair
+            u = int(rng.integers(0, scratch.num_nodes))
+            v = int(rng.integers(0, scratch.num_nodes))
+            if u != v and not scratch.has_edge(u, v) and (u, v) not in upserts:
+                upserts[(u, v)] = (u, v, 0.05)
+                inserted.append((u, v))
+                break
+        deletes = ()
+        if r == rounds // 2 and inserted:
+            victim = inserted.pop(0)
+            if scratch.has_edge(*victim):
+                deletes = (victim,)
+                upserts.pop(victim, None)
+        delta = GraphDelta(upserts=tuple(upserts.values()), deletes=deletes)
+        delta.apply_to(scratch)
+        deltas.append(delta)
+    return deltas, scratch
+
+
+def run_stream(session: Session, deltas, workload, repair: bool):
+    """Apply the scripted stream; returns (seconds, per-round values)."""
+    per_round = []
+    start = time.perf_counter()
+    for delta in deltas:
+        if repair:
+            session.apply_delta(delta)
+        else:
+            # The pre-delta strategy: mutate and drop every cache.
+            delta.apply_to(session.graph)
+            session.invalidate()
+        results = session.run(workload)
+        per_round.append([v for r in results for v in r.values])
+    return time.perf_counter() - start, per_round
+
+
+def run(smoke: bool, json_path: str | None) -> int:
+    if smoke:
+        num_nodes, num_edges, z = 150, 450, 1024
+        num_queries, rounds = 4, 3
+        required_speedup = 1.0  # smoke only gates "runs and agrees"
+    else:
+        num_nodes, num_edges, z = 600, 1800, 16384
+        num_queries, rounds = 6, 24
+        required_speedup = 10.0
+
+    graph = build_graph(num_nodes, num_edges)
+    workload = build_workload(graph, num_queries, z)
+    deltas, final_graph = script_deltas(graph, rounds, seed=23)
+    num_edits = sum(d.num_edits for d in deltas)
+    print(f"graph: n={graph.num_nodes} m={graph.num_edges} Z={z} "
+          f"queries={num_queries} rounds={rounds} edits={num_edits}")
+
+    # Warm both sessions identically before timing the stream.
+    evict_session = Session(graph.copy(), seed=17)
+    evict_session.run(workload)
+    evict_s, evict_rounds = run_stream(
+        evict_session, deltas, workload, repair=False
+    )
+
+    repair_session = Session(graph.copy(), seed=17)
+    repair_session.run(workload)
+    repair_s, repair_rounds = run_stream(
+        repair_session, deltas, workload, repair=True
+    )
+
+    speedup = evict_s / repair_s if repair_s > 0 else float("inf")
+    per_round_ms = repair_s * 1000 / rounds
+    print(f"  evict-and-recompute stream: {evict_s * 1000:9.1f} ms "
+          f"({evict_s * 1000 / rounds:.2f} ms/round)")
+    print(f"  repair stream:              {repair_s * 1000:9.1f} ms "
+          f"({per_round_ms:.2f} ms/round)")
+    print(f"  speedup:                    {speedup:9.1f}x")
+
+    # Repair is an optimization, never an approximation: every round's
+    # answers must agree bit-for-bit, and the final round must equal a
+    # cold session built directly on the final graph.
+    mismatches = 0
+    for evict_values, repair_values in zip(evict_rounds, repair_rounds,
+                                           strict=True):
+        mismatches += sum(
+            1 for a, b in zip(evict_values, repair_values, strict=True)
+            if a != b
+        )
+    cold = Session(final_graph.copy(), seed=17)
+    cold_values = [v for r in cold.run(workload) for v in r.values]
+    cold_mismatches = sum(
+        1 for a, b in zip(cold_values, repair_rounds[-1], strict=True)
+        if a != b
+    )
+
+    report = {
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "num_samples": z,
+        "num_queries": num_queries,
+        "rounds": rounds,
+        "num_edits": num_edits,
+        "required_speedup": required_speedup,
+        "evict_seconds": evict_s,
+        "repair_seconds": repair_s,
+        "speedup": speedup,
+        "value_mismatches": mismatches,
+        "cold_mismatches": cold_mismatches,
+    }
+    if json_path:
+        Path(json_path).write_text(json.dumps(report, indent=2))
+        print(f"wrote {json_path}")
+
+    if mismatches:
+        print(f"FAIL: {mismatches} repair values differ from evict values")
+        return 1
+    if cold_mismatches:
+        print(f"FAIL: {cold_mismatches} final values differ from a cold "
+              f"session on the final graph")
+        return 1
+    if speedup < required_speedup:
+        print(f"FAIL: speedup {speedup:.1f}x below {required_speedup}x")
+        return 1
+    print("OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small graph / few rounds quick check for CI",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the timing report as JSON",
+    )
+    args = parser.parse_args()
+    return run(smoke=args.smoke, json_path=args.json)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -114,6 +114,17 @@ def _serve_shards(report: dict) -> dict:
     }
 
 
+@extractor("delta")
+def _delta(report: dict) -> dict:
+    return {
+        "speedup": report["speedup"],
+        "repair_seconds": report["repair_seconds"],
+        "evict_seconds": report["evict_seconds"],
+        "rounds": report["rounds"],
+        "num_edits": report["num_edits"],
+    }
+
+
 @extractor("index")
 def _index(report: dict) -> dict:
     return {

@@ -23,6 +23,7 @@ The legacy entry points (:class:`repro.core.facade.ReliabilityMaximizer`
 and friends) remain as thin shims over this layer.
 """
 
+from .delta import DeltaReport, GraphDelta
 from .queries import MaximizeQuery, Query, ReliabilityQuery, Workload
 from .results import (
     MaximizeResult,
@@ -35,6 +36,8 @@ from .session import Session
 from .maximize import METHODS, dispatch_selection, execute_maximize
 
 __all__ = [
+    "DeltaReport",
+    "GraphDelta",
     "MaximizeQuery",
     "Query",
     "ReliabilityQuery",

@@ -23,11 +23,18 @@ if TYPE_CHECKING:  # pragma: no cover - mypy-facing branch
     from ..engine import (
         SelectionGainKernel,
         batch_from_words,
+        batch_reach_resume,
         batch_to_words,
+        coin_base,
         compile_plan,
+        extract_world_columns,
+        extract_worlds,
         pair_hit_fractions,
+        repair_batch,
         resolve_fuse_max_words,
         sample_worlds,
+        scatter_world_columns,
+        world_index_of,
     )
     from ..index.store import StoreError
 else:
@@ -40,11 +47,18 @@ else:
         from ..engine import (
             SelectionGainKernel,
             batch_from_words,
+            batch_reach_resume,
             batch_to_words,
+            coin_base,
             compile_plan,
+            extract_world_columns,
+            extract_worlds,
             pair_hit_fractions,
+            repair_batch,
             resolve_fuse_max_words,
             sample_worlds,
+            scatter_world_columns,
+            world_index_of,
         )
         from ..index.store import StoreError
 
@@ -60,19 +74,33 @@ else:
         pair_hit_fractions = _missing
         sample_worlds = _missing
         batch_from_words = _missing
+        batch_reach_resume = _missing
         batch_to_words = _missing
+        coin_base = _missing
+        repair_batch = _missing
         SelectionGainKernel = _missing
         resolve_fuse_max_words = _missing
+        extract_world_columns = _missing
+        extract_worlds = _missing
+        scatter_world_columns = _missing
+        world_index_of = _missing
 
 __all__ = [
     "HAVE_ENGINE",
     "SelectionGainKernel",
     "StoreError",
     "batch_from_words",
+    "batch_reach_resume",
     "batch_to_words",
+    "coin_base",
     "compile_plan",
+    "extract_world_columns",
+    "extract_worlds",
     "np",
     "pair_hit_fractions",
+    "repair_batch",
     "resolve_fuse_max_words",
     "sample_worlds",
+    "scatter_world_columns",
+    "world_index_of",
 ]

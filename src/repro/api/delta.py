@@ -1,0 +1,154 @@
+"""Graph deltas: declarative edge edits a live session can absorb.
+
+A :class:`GraphDelta` describes a batch of edge edits — probability
+changes, insertions, deletions — as plain data, so the same object can
+drive an in-process :meth:`repro.api.Session.apply_delta`, cross the
+shard-pool IPC boundary (:meth:`repro.serve.ShardSupervisor.apply_delta`)
+and arrive over HTTP as a ``PATCH /edges`` body.  Applying a delta
+through the session *repairs* cached state (world batches, reached
+fixpoints) instead of evicting it; the :class:`DeltaReport` it returns
+says which strategy ran and what survived.
+
+>>> from repro.api import GraphDelta
+>>> delta = GraphDelta(upserts=((0, 1, 0.9), (3, 4, 0.5)), deletes=((1, 2),))
+>>> delta.num_edits
+3
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..graph import UncertainGraph
+
+#: Edge edit: ``(u, v, probability)``.
+ProbEdge = Tuple[int, int, float]
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """A batch of edge edits to apply atomically to one graph.
+
+    Attributes
+    ----------
+    upserts:
+        ``(u, v, p)`` triples — set edge ``(u, v)``'s probability to
+        ``p``, inserting the edge (and any unknown endpoints) when
+        absent.  Matches :meth:`UncertainGraph.add_edge` semantics.
+    deletes:
+        ``(u, v)`` pairs — remove the edge.  Deleting an absent edge is
+        an error (:class:`KeyError`), surfaced by :meth:`validate`
+        before anything mutates.
+
+    Deletes apply before upserts, so a delta may delete and re-insert
+    the same edge (the keyed coin contract then restores that edge's
+    exact coin rows — see :func:`repro.engine.kernel.sample_worlds`).
+    """
+
+    upserts: Tuple[ProbEdge, ...] = ()
+    deletes: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "upserts",
+            tuple((int(u), int(v), float(p)) for u, v, p in self.upserts),
+        )
+        object.__setattr__(
+            self, "deletes",
+            tuple((int(u), int(v)) for u, v in self.deletes),
+        )
+        for u, v, p in self.upserts:
+            if u == v:
+                raise ValueError(f"self-loop edit ({u}, {v}) is not allowed")
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(
+                    f"edge ({u}, {v}): probability {p} outside [0, 1]"
+                )
+        for u, v in self.deletes:
+            if u == v:
+                raise ValueError(f"self-loop edit ({u}, {v}) is not allowed")
+
+    @property
+    def num_edits(self) -> int:
+        """Total edit count (upserts plus deletes)."""
+        return len(self.upserts) + len(self.deletes)
+
+    def validate(self, graph: UncertainGraph) -> None:
+        """Raise before mutation if the delta cannot apply to ``graph``.
+
+        Deletes must name existing edges.  Checking up front keeps
+        :meth:`apply_to` all-or-nothing: a bad delta leaves the graph
+        untouched instead of half-applied.
+        """
+        for u, v in self.deletes:
+            if not graph.has_edge(u, v):
+                raise KeyError(f"edge ({u}, {v}) not in graph")
+
+    def apply_to(self, graph: UncertainGraph) -> None:
+        """Mutate ``graph`` in place: deletes first, then upserts."""
+        self.validate(graph)
+        for u, v in self.deletes:
+            graph.remove_edge(u, v)
+        for u, v, p in self.upserts:
+            graph.add_edge(u, v, p)
+
+
+@dataclass(frozen=True)
+class DeltaReport:
+    """What :meth:`repro.api.Session.apply_delta` did with a delta.
+
+    Attributes
+    ----------
+    strategy:
+        ``"repair"`` when cached world batches were patched in place,
+        ``"evict"`` when the session fell back to dropping caches (no
+        engine, nothing cached, or the ``session.delta.apply`` fault
+        seam fired).  Both strategies produce bit-identical answers to
+        a cold session on the post-delta graph; only the cost differs.
+    num_edits:
+        Edit count of the applied delta.
+    version / content_hash:
+        The graph's post-delta version counter and content hash (the
+        persistent store rekeys under the new hash).
+    repaired_batches:
+        Cached ``(Z, seed)`` world batches patched via
+        :func:`repro.engine.kernel.repair_batch`.
+    resumed_states / dropped_states:
+        Cached per-source reached fixpoints carried forward via
+        monotone sweep resumption vs discarded as potentially dirty
+        (they recompute lazily on next use).
+    persisted_batches:
+        Repaired batches written back to the persistent store under the
+        new content hash (0 without a store, best-effort like every
+        store interaction).
+    seconds:
+        Wall-clock spent applying the delta, repair included.
+    """
+
+    strategy: str
+    num_edits: int
+    version: int
+    content_hash: str
+    repaired_batches: int = 0
+    resumed_states: int = 0
+    dropped_states: int = 0
+    persisted_batches: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready payload (what ``PATCH /edges`` responds with)."""
+        return {
+            "strategy": self.strategy,
+            "num_edits": self.num_edits,
+            "version": self.version,
+            "content_hash": self.content_hash,
+            "repaired_batches": self.repaired_batches,
+            "resumed_states": self.resumed_states,
+            "dropped_states": self.dropped_states,
+            "persisted_batches": self.persisted_batches,
+            "seconds": self.seconds,
+        }
+
+
+__all__ = ["GraphDelta", "DeltaReport", "ProbEdge"]

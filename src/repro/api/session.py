@@ -49,7 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine import QueryPlan, WorldBatch
     from ..index import IndexStore
     from ..index.breaker import CircuitBreaker
-from ..faults import fault_point
+from ..faults import FaultError, fault_point
 from ..reliability import (
     ReliabilityEstimator,
     estimator_spec,
@@ -61,13 +61,21 @@ from ._engine import (
     SelectionGainKernel,
     StoreError,
     batch_from_words,
+    batch_reach_resume,
     batch_to_words,
+    coin_base,
     compile_plan,
+    extract_world_columns,
+    extract_worlds,
     np,
     pair_hit_fractions,
+    repair_batch,
     resolve_fuse_max_words,
     sample_worlds,
+    scatter_world_columns,
+    world_index_of,
 )
+from .delta import DeltaReport, GraphDelta
 from .queries import MaximizeQuery, Pair, Query, ReliabilityQuery, Workload
 from .results import (
     MaximizeResult,
@@ -112,6 +120,14 @@ class Session:
         ``(Z, seed)`` batches are kept (FIFO eviction), so long-lived
         sessions serving heterogeneous workloads stay bounded in
         memory.
+    max_cached_reach:
+        Bound on the per-source reached-fixpoint cache (``0`` disables
+        it): at most this many ``(n, W)`` reached matrices are kept
+        across all ``(Z, seed)`` batches, FIFO-evicted by batch key.
+        Cached fixpoints make repeat-source queries sweep-free and are
+        what :meth:`apply_delta` resumes after a monotone edit instead
+        of re-sweeping.  Purely a performance knob — cached fixpoints
+        are bit-identical to fresh sweeps.
     fuse_max_words:
         Multi-source fusion threshold for batched pair sweeps: distinct
         sources are fused into frontier-gated multi-source kernel
@@ -174,12 +190,17 @@ class Session:
         l: int = 30,
         h: Optional[int] = None,
         max_cached_batches: int = 8,
+        max_cached_reach: int = 128,
         fuse_max_words: Optional[int] = None,
         store: Optional["IndexStore"] = None,
         store_breaker: Optional["CircuitBreaker"] = None,
     ) -> None:
         if max_cached_batches < 1:
             raise ValueError("max_cached_batches must be positive")
+        if max_cached_reach < 0:
+            raise ValueError(
+                "max_cached_reach must be >= 0 (0 disables reach caching)"
+            )
         if store is not None and not _HAVE_ENGINE:
             raise RuntimeError(
                 "a persistent index store requires the vectorized engine "
@@ -211,6 +232,7 @@ class Session:
         self.l = l
         self.h = h
         self.max_cached_batches = max_cached_batches
+        self.max_cached_reach = max_cached_reach
         # Registry name of the default selection estimator, when known:
         # maximize queries overriding samples/seed rebuild through it.
         self.estimator_name: Optional[str] = None
@@ -225,6 +247,9 @@ class Session:
         self._version: Optional[int] = None
         self._plan: Optional["QueryPlan"] = None
         self._worlds: Dict[Tuple[int, int], Tuple["WorldBatch", float]] = {}
+        # Per-(Z, seed) per-source reached fixpoints over the cached
+        # batches — resumed (not recomputed) across monotone deltas.
+        self._reach: Dict[Tuple[int, int], Dict[int, "np.ndarray"]] = {}
         # Sanitizer-mode race detector: sessions are single-threaded by
         # contract (AsyncSession serializes onto one worker thread).
         # The owner binds on first guarded use, not construction, so a
@@ -253,6 +278,7 @@ class Session:
         self._version = None
         self._plan = None
         self._worlds.clear()
+        self._reach.clear()
 
     def store_stats(self) -> Optional[dict]:
         """Persistent-store catalog totals + hit/miss counters, or ``None``.
@@ -457,6 +483,240 @@ class Session:
             self._worlds.pop(next(iter(self._worlds)))
         self._worlds[key] = (batch, elapsed)
 
+    def _reach_for(
+        self, samples: int, seed: int
+    ) -> Optional[Dict[int, "np.ndarray"]]:
+        """The reach-fixpoint cache for ``(Z, seed)``, or ``None``.
+
+        A cached fixpoint stays valid across world-batch eviction —
+        every batch tier rebuilds ``(Z, seed)`` bit-identically — so
+        reach entries are bounded separately
+        (:attr:`max_cached_reach`), FIFO by batch key.
+        """
+        if self.max_cached_reach <= 0:
+            return None
+        key = (samples, seed)
+        states = self._reach.get(key)
+        if states is None:
+            states = self._reach[key] = {}
+        return states
+
+    def _trim_reach(self) -> None:
+        """Enforce the reach-cache bound (whole batch keys at a time)."""
+        total = sum(len(states) for states in self._reach.values())
+        while total > self.max_cached_reach and self._reach:
+            key = next(iter(self._reach))
+            total -= len(self._reach.pop(key))
+
+    # ------------------------------------------------------------------
+    # streaming updates
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: GraphDelta) -> DeltaReport:
+        """Apply edge edits to the live graph, repairing caches in place.
+
+        The delta mutates :attr:`graph` (deletes before upserts), then
+        every cached world batch is *repaired* instead of evicted:
+        untouched edges keep their rows (bit-identical under the keyed
+        coin contract), edited edges get exactly their rows re-flipped
+        (:func:`repro.engine.kernel.repair_batch`), and cached
+        reached fixpoints are resumed from the edited endpoints when
+        the edit is monotone for them — dropped (to recompute lazily)
+        when it is not.  With a store attached, repaired batches
+        persist back under the graph's new content hash.
+
+        Falls back to plain eviction when there is nothing worth
+        repairing (no engine, no cached batches) or when the
+        ``session.delta.apply`` fault seam fires — degradation changes
+        cost, never answers.  Either way, post-delta results are
+        bit-for-bit what a cold session on the edited graph computes
+        (``tests/test_delta_parity.py`` pins this).
+        """
+        self._affinity.check("Session.apply_delta")
+        self._sync_version()
+        start = time.perf_counter()
+        old_plan = self._plan
+        old_worlds = dict(self._worlds)
+        old_reach = {key: dict(states) for key, states in self._reach.items()}
+        delta.apply_to(self.graph)  # validates first; all-or-nothing
+        if _HAVE_ENGINE and old_plan is not None and old_worlds:
+            try:
+                fault_point("session.delta.apply", FaultError)
+                return self._repair_after_delta(
+                    delta, old_plan, old_worlds, old_reach, start
+                )
+            except FaultError:
+                # Chaos path: degrade to eviction — slower, never wrong.
+                pass
+        self.invalidate()
+        self._sync_version()
+        return DeltaReport(
+            strategy="evict",
+            num_edits=delta.num_edits,
+            version=self.graph.version,
+            content_hash=self.graph_hash(),
+            seconds=time.perf_counter() - start,
+        )
+
+    def _repair_after_delta(
+        self,
+        delta: GraphDelta,
+        old_plan: "QueryPlan",
+        old_worlds: Dict[Tuple[int, int], Tuple["WorldBatch", float]],
+        old_reach: Dict[Tuple[int, int], Dict[int, "np.ndarray"]],
+        start: float,
+    ) -> DeltaReport:
+        """Repair strategy of :meth:`apply_delta` (engine + caches live)."""
+        new_plan = compile_plan(self.graph)
+        self._version = self.graph.version
+        self._plan = new_plan
+        self._worlds = {}
+        self._reach = {}
+        repaired = resumed = dropped = persisted = 0
+        for key, states in old_reach.items():
+            if key not in old_worlds:
+                # No batch to repair against (it was FIFO-evicted);
+                # these fixpoints recompute lazily.
+                dropped += len(states)
+        for (samples, seed), (batch, elapsed) in old_worlds.items():
+            # The batch's key root is recomputable from the seed alone:
+            # sampling consumed exactly one uint64 (see coin_base).
+            base = coin_base(np.random.default_rng(seed))
+            new_batch, changes = repair_batch(new_plan, old_plan, batch, base)
+            repaired += 1
+            kept, n_resumed, n_dropped = self._repair_reach(
+                new_plan, new_batch, changes,
+                old_reach.get((samples, seed), {}),
+            )
+            resumed += n_resumed
+            dropped += n_dropped
+            self._remember_batch((samples, seed), new_batch, elapsed)
+            if kept:
+                self._reach[(samples, seed)] = kept
+            if self.store is not None and self._store_allowed():
+                # Rekey under the post-delta content hash so the next
+                # restart (or shard) warm-starts on the edited graph.
+                try:
+                    fault_point("session.store.save_batch", StoreError)
+                    self.store.save_batch(
+                        self.graph_hash(), samples, seed,
+                        batch_to_words(new_batch),
+                    )
+                except StoreError:
+                    self.store.counters.save_failures += 1
+                    self._store_failed()
+                else:
+                    self._store_ok()
+                    persisted += 1
+        self._trim_reach()
+        return DeltaReport(
+            strategy="repair",
+            num_edits=delta.num_edits,
+            version=self.graph.version,
+            content_hash=self.graph_hash(),
+            repaired_batches=repaired,
+            resumed_states=resumed,
+            dropped_states=dropped,
+            persisted_batches=persisted,
+            seconds=time.perf_counter() - start,
+        )
+
+    def _repair_reach(
+        self,
+        plan: "QueryPlan",
+        batch: "WorldBatch",
+        changes: Sequence[Any],
+        states: Dict[int, "np.ndarray"],
+    ) -> Tuple[Dict[int, "np.ndarray"], int, int]:
+        """Carry reached fixpoints across a repaired batch.
+
+        For every cached per-source fixpoint: coin-row *removals* keep
+        the state exact iff the source never reached the edge's tail
+        (either endpoint, undirected) in a removed world — a removed
+        world-bit only matters when the edge was traversable from the
+        reached set, so a clean overlap check proves the old fixpoint
+        is the new one.  Dirty states are dropped (they recompute
+        lazily).  Coin-row *additions* are monotone: seed the far
+        endpoint with the worlds the near one already reaches, then one
+        :func:`~repro.engine.kernel.batch_reach_resume` from the
+        seeded endpoints converges to the exact new fixpoint.  The
+        resume runs over a world-compacted sub-batch
+        (:func:`~repro.engine.kernel.extract_worlds`) holding only the
+        columns where some edit flipped a coin on — worlds are
+        column-independent, so the narrow sweep is bit-exact and costs
+        ``W'/W`` of a full-width one.
+        """
+        if not states:
+            return {}, 0, 0
+        removals = [c for c in changes if bool(np.any(c.removed))]
+        additions = [c for c in changes if bool(np.any(c.added))]
+        kept: Dict[int, "np.ndarray"] = {}
+        resumed = dropped = 0
+        num_nodes = plan.num_nodes
+        # Worlds are column-independent, so only the worlds where some
+        # edited edge gained a coin can grow any fixpoint.  Resume over
+        # a sub-batch of exactly those columns (built lazily, shared by
+        # every state) at W'/W of the full-width sweep cost.
+        gain_index: Optional["np.ndarray"] = None
+        compact_batch: Optional["WorldBatch"] = None
+        if additions:
+            gain_mask = additions[0].added.copy()
+            for change in additions[1:]:
+                gain_mask |= change.added
+            gain_index = world_index_of(gain_mask)
+        for src, state in states.items():
+            if state.shape[0] < num_nodes:
+                # New endpoints interned behind the old rows; existing
+                # dense indices are stable, so zero-pad below.
+                state = np.vstack([
+                    state,
+                    np.zeros(
+                        (num_nodes - state.shape[0], state.shape[1]),
+                        dtype=np.uint64,
+                    ),
+                ])
+            dirty = False
+            for change in removals:
+                u_idx = plan.index_of[change.u]
+                v_idx = plan.index_of[change.v]
+                touch = state[u_idx]
+                if not plan.directed:
+                    touch = touch | state[v_idx]
+                if bool(np.any(touch & change.removed)):
+                    dirty = True
+                    break
+            if dirty:
+                dropped += 1
+                continue
+            frontier: List[int] = []
+            for change in additions:
+                u_idx = plan.index_of[change.u]
+                v_idx = plan.index_of[change.v]
+                gain = state[u_idx] & change.added & ~state[v_idx]
+                if bool(np.any(gain)):
+                    state[v_idx] |= gain
+                    frontier.append(v_idx)
+                if not plan.directed:
+                    gain = state[v_idx] & change.added & ~state[u_idx]
+                    if bool(np.any(gain)):
+                        state[u_idx] |= gain
+                        frontier.append(u_idx)
+            if frontier and gain_index is not None and gain_index.size:
+                if compact_batch is None:
+                    compact_batch = extract_worlds(batch, gain_index)
+                narrow = extract_world_columns(state, gain_index)
+                seeded = narrow.copy()
+                batch_reach_resume(plan, compact_batch, narrow, frontier)
+                # Scatter back only the rows the resume actually grew;
+                # seeds were applied full-width above already.
+                grew = np.flatnonzero(np.any(narrow != seeded, axis=1))
+                if grew.size:
+                    state[grew] = scatter_world_columns(
+                        state[grew], narrow[grew], gain_index
+                    )
+            kept[src] = state
+            resumed += 1
+        return kept, resumed, dropped
+
     def selection_kernel(
         self, estimator: ReliabilityEstimator
     ) -> Optional["SelectionGainKernel"]:
@@ -621,7 +881,9 @@ class Session:
             fresh = pair_hit_fractions(
                 plan, batch, missing, samples,
                 fuse_max_words=self.fuse_max_words,
+                reach_cache=self._reach_for(samples, seed),
             )
+            self._trim_reach()
             solve_s = lookup_s + time.perf_counter() - start
             values.update(fresh)
             if self.store is not None:
@@ -776,7 +1038,9 @@ class Session:
                 fresh = pair_hit_fractions(
                     plan, batch, missing, samples,
                     fuse_max_words=self.fuse_max_words,
+                    reach_cache=self._reach_for(samples, seed),
                 )
+                self._trim_reach()
                 values.update(fresh)
                 if self.store is not None:
                     self._store_put_results("mc", fresh, samples, seed)

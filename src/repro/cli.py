@@ -14,8 +14,8 @@ Five subcommands cover the library's everyday workflows:
     Exact most-reliable-path improvement (Algorithm 3).
 ``repro serve``
     Start the coalescing HTTP JSON server (``POST /reliability``,
-    ``POST /maximize``, ``POST /graph`` hot-swap, ``GET /healthz``) —
-    see :mod:`repro.serve`.  ``--store DIR`` attaches a persistent
+    ``POST /maximize``, ``POST /graph`` hot-swap, ``PATCH /edges``
+    streaming edits, ``GET /healthz``) — see :mod:`repro.serve`.  ``--store DIR`` attaches a persistent
     reliability index so restarts warm-start from disk.
 ``repro index``
     Operate on a persistent reliability index directory
@@ -260,6 +260,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
               "estimator, seed}")
         print("  POST /maximize     {source, target, k, zeta, method, ...}")
         print("  POST /graph        {edges: [[u, v, p], ...], directed, name}")
+        print("  PATCH /edges       {upserts: [[u, v, p], ...], "
+              "deletes: [[u, v], ...]}")
         print("  GET  /healthz")
         print(f"coalescer: max_batch={args.max_batch}, "
               f"max_wait_ms={args.max_wait_ms}, "

@@ -19,6 +19,7 @@ from .csr import (
 )
 from .kernel import (
     GATED_MIN_WORDS,
+    EdgeChange,
     WorldBatch,
     allocate_proportional,
     batch_from_words,
@@ -27,16 +28,25 @@ from .kernel import (
     batch_reach_resume,
     batch_to_words,
     bernoulli_row,
+    coin_base,
     concat_batches,
+    edge_coin_row,
     extend_batch,
+    extract_world_columns,
+    extract_worlds,
     hit_fraction,
     num_words,
     pack_bool_matrix,
     popcount,
+    repair_batch,
     sample_worlds,
+    sample_worlds_keyed,
     sample_worlds_stratified,
+    scatter_world_columns,
+    unpack_bool_matrix,
     unpack_word_row,
     valid_sample_mask,
+    world_index_of,
 )
 from .batch import (
     DEFAULT_FUSE_MAX_WORDS,
@@ -55,6 +65,7 @@ __all__ = [
     "compile_reverse_plan",
     "extend_with_overlay",
     "GATED_MIN_WORDS",
+    "EdgeChange",
     "WorldBatch",
     "allocate_proportional",
     "batch_from_words",
@@ -63,16 +74,25 @@ __all__ = [
     "batch_reach_resume",
     "batch_to_words",
     "bernoulli_row",
+    "coin_base",
     "concat_batches",
+    "edge_coin_row",
     "extend_batch",
+    "extract_world_columns",
+    "extract_worlds",
     "hit_fraction",
     "num_words",
     "pack_bool_matrix",
     "popcount",
+    "repair_batch",
     "sample_worlds",
+    "sample_worlds_keyed",
     "sample_worlds_stratified",
+    "scatter_world_columns",
+    "unpack_bool_matrix",
     "unpack_word_row",
     "valid_sample_mask",
+    "world_index_of",
     "DEFAULT_FUSE_MAX_WORDS",
     "VectorizedSamplingEngine",
     "pair_hit_fractions",

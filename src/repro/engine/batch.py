@@ -10,10 +10,12 @@ promises.
 Statistical contract: every method is an unbiased possible-world Monte
 Carlo estimate with one coin per canonical edge per world, identical in
 distribution to the legacy per-sample scalar BFS.  The *stream* differs
-(numpy PCG64 vs ``random.Random`` Mersenne twister, and coins are flipped
-for every edge instead of lazily), so estimates with the same seed are
-deterministic per implementation but not bit-for-bit equal to the scalar
-path.
+(each batch draws a uint64 base from the engine's PCG64 generator and
+expands it through identity-keyed SplitMix64 counters — see
+:func:`repro.engine.kernel.sample_worlds` — instead of the scalar
+path's lazy ``random.Random`` coins), so estimates with the same seed
+are deterministic per implementation but not bit-for-bit equal to the
+scalar path.
 """
 
 from __future__ import annotations
@@ -73,6 +75,7 @@ def pair_hit_fractions(
     pairs: Sequence[Pair],
     num_samples: int,
     fuse_max_words: Optional[int] = None,
+    reach_cache: Optional[Dict[int, "np.ndarray"]] = None,
 ) -> Dict[Pair, float]:
     """Answer every (s, t) pair inside one shared world batch.
 
@@ -83,6 +86,16 @@ def pair_hit_fractions(
     measured :data:`DEFAULT_FUSE_MAX_WORDS`, ``0`` -> never fuse).
     ``s == t`` pairs are 1.0 and endpoints unknown to the plan are 0.0
     (matching the scalar estimators' semantics).
+
+    ``reach_cache`` maps dense source indices to full ``(n, W)``
+    reached-fixpoint matrices over exactly this ``(plan, batch)``:
+    sources found there skip their sweep, and every freshly swept
+    source is written back (contiguous, caller-owned).  The cache is
+    what :meth:`repro.api.Session.apply_delta` repairs in place after a
+    graph edit, so post-edit queries resume sweeps instead of
+    restarting them.  Purely a performance layer — a cached fixpoint is
+    bit-identical to a fresh sweep by the resume contract of
+    :func:`~repro.engine.kernel.batch_reach_resume`.
     """
     fuse_max_words = resolve_fuse_max_words(fuse_max_words)
     by_source: Dict[int, List[Pair]] = {}
@@ -92,11 +105,14 @@ def pair_hit_fractions(
 
     # Resolve sources; unknown ones answer 0.0 (1.0 for s == t).
     indexed: List[Tuple[int, int]] = []  # (source id, dense index)
+    cached_sources: List[Tuple[int, int]] = []
     for s, spairs in by_source.items():
         src = plan.node_index(s)
         if src is None:
             for pair in spairs:
                 result[pair] = 1.0 if pair[1] == s else 0.0
+        elif reach_cache is not None and src in reach_cache:
+            cached_sources.append((s, src))
         else:
             indexed.append((s, src))
 
@@ -113,26 +129,38 @@ def pair_hit_fractions(
     else:
         groups = [[entry] for entry in indexed]
 
+    def _reduce(s: int, reached_rows: "np.ndarray") -> None:
+        for pair in by_source[s]:
+            t = pair[1]
+            if t == s:
+                result[pair] = 1.0
+                continue
+            dst = plan.node_index(t)
+            if dst is None:
+                result[pair] = 0.0
+            else:
+                result[pair] = hit_fraction(reached_rows[dst], num_samples)
+
+    if reach_cache is not None:
+        for s, src in cached_sources:
+            _reduce(s, reach_cache[src])
     for group in groups:
         if len(group) == 1:
             s, src = group[0]
-            per_source = {s: batch_reach(plan, batch, [src])}
+            rows = batch_reach(plan, batch, [src])
+            if reach_cache is not None:
+                reach_cache[src] = rows
+            _reduce(s, rows)
         else:
             reached = batch_reach_multi(
                 plan, batch, [src for _, src in group]
             )
-            per_source = {s: reached[:, i] for i, (s, _) in enumerate(group)}
-        for s, reached_rows in per_source.items():
-            for pair in by_source[s]:
-                t = pair[1]
-                if t == s:
-                    result[pair] = 1.0
-                    continue
-                dst = plan.node_index(t)
-                if dst is None:
-                    result[pair] = 0.0
-                else:
-                    result[pair] = hit_fraction(reached_rows[dst], num_samples)
+            for i, (s, src) in enumerate(group):
+                rows = reached[:, i]
+                if reach_cache is not None:
+                    rows = np.ascontiguousarray(rows)
+                    reach_cache[src] = rows
+                _reduce(s, rows)
     return result
 
 

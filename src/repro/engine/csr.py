@@ -52,6 +52,15 @@ class QueryPlan:
         Canonical ``(u, v)`` node-id key -> tuple of edge ids carrying
         that key (used by stratified sampling to force edge states;
         base and overlay edges with the same endpoints share a key).
+    edge_u / edge_v / edge_ordinal:
+        ``(num_edges,)`` int64 — the *identity* of each edge id in
+        node-id space: canonical endpoints plus the edge's ordinal
+        among same-key duplicates (0 for every base edge; > 0 only for
+        overlay edges stacked on an existing key).  The keyed coin
+        generator (:func:`~repro.engine.kernel.sample_worlds`) seeds
+        each edge's coin row from this identity, never from the edge
+        id, so recompiling after a graph edit leaves untouched edges'
+        coins bit-identical even when their edge ids shift.
     """
 
     __slots__ = (
@@ -67,6 +76,9 @@ class QueryPlan:
         "node_ids",
         "index_of",
         "edge_index",
+        "edge_u",
+        "edge_v",
+        "edge_ordinal",
         "_reverse",
     )
 
@@ -110,6 +122,17 @@ class QueryPlan:
         else:
             self.dst_unique = np.empty(0, dtype=np.int64)
             self.dst_starts = np.empty(0, dtype=np.int64)
+        # Edge identities derive from edge_index, which every
+        # construction path already threads through: the ordinal is the
+        # edge's position inside its key's id tuple.
+        self.edge_u = np.empty(self.num_edges, dtype=np.int64)
+        self.edge_v = np.empty(self.num_edges, dtype=np.int64)
+        self.edge_ordinal = np.empty(self.num_edges, dtype=np.int64)
+        for (key_u, key_v), eids in edge_index.items():
+            for ordinal, eid in enumerate(eids):
+                self.edge_u[eid] = key_u
+                self.edge_v[eid] = key_v
+                self.edge_ordinal[eid] = ordinal
         self._reverse: Optional["QueryPlan"] = None
 
     def node_index(self, node: int) -> Optional[int]:

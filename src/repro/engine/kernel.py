@@ -31,8 +31,82 @@ from .csr import QueryPlan
 WORD_BITS = 64
 
 #: Edge-row block size for coin generation, sized so the temporary
-#: float64 random matrix stays around ~32 MB regardless of Z.
+#: uint64 counter matrix stays around ~32 MB regardless of Z.
 _COIN_BLOCK_FLOATS = 4_000_000
+
+# SplitMix64 finalizer constants (Steele et al., "Fast splittable
+# pseudorandom number generators").  The keyed coin generator below
+# builds every edge's coin row as a pure function of (base, edge
+# identity, sample index) through this mixer, so coins survive
+# graph edits that renumber edge ids.
+_MIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_M2 = np.uint64(0x94D049BB133111EB)
+_ONE64 = np.uint64(1)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized SplitMix64 finalizer over a uint64 array.
+
+    Array (not scalar) arithmetic throughout: numpy wraps unsigned
+    array overflow silently, which is exactly the mod-2^64 semantics
+    the mixer wants.
+    """
+    x = x ^ (x >> np.uint64(30))
+    x = x * _MIX_M1
+    x = x ^ (x >> np.uint64(27))
+    x = x * _MIX_M2
+    return x ^ (x >> np.uint64(31))
+
+
+def coin_base(rng: np.random.Generator) -> np.uint64:
+    """The per-batch key root :func:`sample_worlds` draws from ``rng``.
+
+    One uint64 is the *only* stream consumption of a keyed sampling
+    pass, so a caller holding just the seed can recompute the base of a
+    batch sampled via ``sample_worlds(plan, Z, default_rng(seed))`` as
+    ``coin_base(default_rng(seed))`` — the identity delta repair
+    (:func:`repair_batch`) relies on to regenerate changed rows without
+    the original generator object.
+    """
+    return np.uint64(rng.integers(0, 2**64, dtype=np.uint64))
+
+
+def _edge_keys(plan: QueryPlan, base: np.uint64) -> np.ndarray:
+    """Per-edge uint64 coin keys chained over each edge's identity.
+
+    The chain folds the canonical endpoints and duplicate ordinal
+    (:attr:`QueryPlan.edge_u` and friends, node-id space) into the
+    base, one mix per component, so the key — and therefore the coin
+    row — is independent of the edge's position in the compiled table.
+    """
+    keys = np.full(plan.num_edges, base, dtype=np.uint64)
+    for part in (plan.edge_u, plan.edge_v, plan.edge_ordinal):
+        words = part.astype(np.uint64) + _ONE64
+        keys = _mix64(keys + _MIX_GAMMA * words)
+    return keys
+
+
+def _keyed_coin_bits(
+    keys: np.ndarray,
+    probs32: np.ndarray,
+    num_samples: int,
+    sample_index: np.ndarray,
+) -> np.ndarray:
+    """Packed ``(rows, W)`` coin words for the keyed rows ``keys``.
+
+    Each coin is the top 24 bits of ``mix64(key + GAMMA * (j + 1))``
+    scaled to [0, 1) — the same 2^-24 grid numpy's float32 ``random()``
+    draws from — compared against the edge's float32 probability.
+    ``random() < 1.0`` always holds and ``< 0.0`` never, so certain
+    edges stay certain.  Because the coin values are fixed by
+    ``(key, j)`` and only the threshold moves, raising an edge's
+    probability turns bits on without ever turning one off — the
+    nesting that makes monotone delta repair exact.
+    """
+    x = _mix64(keys[:, None] + _MIX_GAMMA * (sample_index + _ONE64))
+    coins = (x >> np.uint64(40)).astype(np.float32) * np.float32(2.0**-24)
+    return pack_bool_matrix(coins < probs32[:, None], num_samples)
 
 
 def num_words(num_samples: int) -> int:
@@ -163,6 +237,84 @@ def batch_from_words(words: np.ndarray, num_samples: int) -> WorldBatch:
     )
 
 
+def unpack_bool_matrix(words: np.ndarray, num_samples: int) -> np.ndarray:
+    """Inverse of :func:`pack_bool_matrix`: ``(rows, W)`` -> ``(rows, Z)``."""
+    if words.dtype.byteorder == ">" or (
+        words.dtype.byteorder == "=" and np.little_endian is False
+    ):  # pragma: no cover - big-endian hosts only
+        words = words.byteswap()
+    bits = np.unpackbits(
+        np.ascontiguousarray(words).view(np.uint8), axis=1, bitorder="little"
+    )
+    return bits[:, :num_samples].astype(bool, copy=False)
+
+
+def world_index_of(mask: np.ndarray) -> np.ndarray:
+    """Sorted world indices of the set bits in a ``(W,)`` word row."""
+    return np.flatnonzero(unpack_word_row(mask))
+
+
+def extract_world_columns(
+    words: np.ndarray, world_index: np.ndarray
+) -> np.ndarray:
+    """Gather world columns of a word matrix into a dense narrow one.
+
+    ``words`` is any ``(rows, W)`` uint64 bit matrix (coin words,
+    reached rows); the result packs column ``world_index[g]`` into bit
+    position ``g`` of a ``(rows, W')`` matrix with
+    ``W' = ceil(len(world_index) / 64)``.  Shift-and-mask gather, not
+    a full bit unpack: the hot repair path extracts a few percent of
+    the columns from megabyte matrices, so work must scale with the
+    *selected* width.
+    """
+    world_index = np.asarray(world_index, dtype=np.int64)
+    g = int(world_index.size)
+    if g == 0:
+        return np.zeros((words.shape[0], 0), dtype=np.uint64)
+    cols = words[:, world_index >> 6]  # (rows, G) word gather
+    bits = (cols >> (world_index & 63).astype(np.uint64)) & np.uint64(1)
+    return pack_bool_matrix(bits.astype(np.uint8), g)
+
+
+def scatter_world_columns(
+    dest: np.ndarray, compact: np.ndarray, world_index: np.ndarray
+) -> np.ndarray:
+    """Inverse of :func:`extract_world_columns`: write columns back.
+
+    Bit ``g`` of each compact row lands in world column
+    ``world_index[g]`` of ``dest``; all other destination columns keep
+    their bits.  Returns the updated ``dest`` (a fresh array — ``dest``
+    itself is not mutated, so frozen/mmapped inputs are fine).
+    """
+    width = dest.shape[1] * WORD_BITS
+    bits = unpack_bool_matrix(dest, width)
+    bits[:, world_index] = unpack_bool_matrix(
+        compact, int(world_index.size)
+    )
+    return pack_bool_matrix(bits, width)
+
+
+def extract_worlds(batch: WorldBatch, world_index: np.ndarray) -> WorldBatch:
+    """Narrow sub-batch over a subset of world columns.
+
+    Worlds are column-independent: a world's coins — and therefore its
+    reachability fixpoint — never read another world's bits, so sweeps
+    over the extracted batch agree bit-for-bit with the same worlds'
+    columns of a full-width sweep.  The delta-repair path
+    (:meth:`repro.api.Session.apply_delta`) leans on this to resume
+    cached fixpoints over *only* the worlds an edit actually touched:
+    an edit that flips coins in a few percent of worlds repairs at
+    ``W'/W`` of the full-width sweep cost instead of paying ``W``-wide
+    rows for every frontier arc.
+    """
+    world_index = np.asarray(world_index, dtype=np.int64)
+    return WorldBatch(
+        alive=extract_world_columns(batch.alive, world_index),
+        num_samples=int(world_index.size),
+        valid=valid_sample_mask(int(world_index.size)),
+    )
+
+
 def sample_worlds(
     plan: QueryPlan,
     num_samples: int,
@@ -175,23 +327,51 @@ def sample_worlds(
     ``forced_true`` / ``forced_false`` pin edge ids to a fixed state in
     all samples — the stratified sampler's conditioning mechanism.
     Probability-1 edges are always present, probability-0 never.
+
+    Coins are *identity-keyed*: the generator contributes one uint64
+    base (:func:`coin_base`) and every edge's row is then a pure
+    function of ``(base, edge identity, p, Z)``, where identity is the
+    canonical ``(u, v, ordinal)`` in node-id space — never the edge id.
+    Two plans compiled from graphs that share an edge therefore give
+    that edge bit-identical coins under the same base even when the
+    edit renumbered every edge id, which is what lets
+    :func:`repair_batch` patch a cached batch instead of resampling it.
     """
     if sanitize.enabled():
         sanitize.check_probabilities(plan.probs, "sample_worlds: plan.probs")
+    return sample_worlds_keyed(
+        plan, num_samples, coin_base(rng), forced_true, forced_false
+    )
+
+
+def sample_worlds_keyed(
+    plan: QueryPlan,
+    num_samples: int,
+    base: np.uint64,
+    forced_true: Iterable[int] = (),
+    forced_false: Iterable[int] = (),
+) -> WorldBatch:
+    """:func:`sample_worlds` from an explicit key root instead of a rng.
+
+    ``sample_worlds(plan, Z, rng)`` is exactly
+    ``sample_worlds_keyed(plan, Z, coin_base(rng))``; the explicit-base
+    entry point exists for delta repair, which re-derives the base from
+    the session seed long after the original generator is gone.
+    """
     num_edges = plan.num_edges
     words = num_words(num_samples)
     valid = valid_sample_mask(num_samples)
     alive = np.empty((num_edges, words), dtype=np.uint64)
-    # float32 coins halve generation cost; the 2^-24 threshold bias is
-    # orders of magnitude below Monte Carlo noise.  random() < 1.0 still
-    # always holds (certain edges stay certain) and < 0.0 never does.
+    # float32 coins halve comparison cost; the 2^-24 threshold grid bias
+    # is orders of magnitude below Monte Carlo noise.
     probs = plan.probs.astype(np.float32)
+    keys = _edge_keys(plan, base)
+    sample_index = np.arange(num_samples, dtype=np.uint64)
     block = max(1, _COIN_BLOCK_FLOATS // max(num_samples, 1))
     for start in range(0, num_edges, block):
         stop = min(start + block, num_edges)
-        coins = rng.random((stop - start, num_samples), dtype=np.float32)
-        alive[start:stop] = pack_bool_matrix(
-            coins < probs[start:stop, None], num_samples
+        alive[start:stop] = _keyed_coin_bits(
+            keys[start:stop], probs[start:stop], num_samples, sample_index
         )
     forced_true = list(forced_true)
     forced_false = list(forced_false)
@@ -202,6 +382,121 @@ def sample_worlds(
     return WorldBatch(alive=alive, num_samples=num_samples, valid=valid)
 
 
+def edge_coin_row(
+    base: np.uint64,
+    u: int,
+    v: int,
+    ordinal: int,
+    p: float,
+    num_samples: int,
+) -> np.ndarray:
+    """One keyed ``(W,)`` coin row for the edge identity ``(u, v, ordinal)``.
+
+    Bit-identical to the row :func:`sample_worlds_keyed` gives the same
+    identity at the same probability — the single-edge primitive delta
+    repair uses to re-flip exactly one edge's coins.
+    """
+    if sanitize.enabled():
+        sanitize.check_probabilities(p, "edge_coin_row: p")
+    key = np.full(1, base, dtype=np.uint64)
+    for part in (u, v, ordinal):
+        word = np.asarray([part], dtype=np.int64).astype(np.uint64) + _ONE64
+        key = _mix64(key + _MIX_GAMMA * word)
+    sample_index = np.arange(num_samples, dtype=np.uint64)
+    return _keyed_coin_bits(
+        key, np.asarray([p], dtype=np.float32), num_samples, sample_index
+    )[0]
+
+
+@dataclass
+class EdgeChange:
+    """One edge's coin-row delta between an old and a repaired batch.
+
+    ``added`` / ``removed`` are ``(W,)`` word rows of the worlds this
+    edge newly exists in / vanished from.  Under keyed coins a pure
+    probability raise has empty ``removed`` and a pure lower empty
+    ``added`` (the thresholds nest); insertions carry only ``added``,
+    deletions only ``removed`` (``eid`` is ``None`` for a deletion —
+    the row no longer exists in the repaired batch).
+    """
+
+    u: int
+    v: int
+    ordinal: int
+    eid: Optional[int]
+    added: np.ndarray
+    removed: np.ndarray
+
+
+def repair_batch(
+    new_plan: QueryPlan,
+    old_plan: QueryPlan,
+    old_batch: WorldBatch,
+    base: np.uint64,
+) -> Tuple[WorldBatch, List[EdgeChange]]:
+    """Patch a cached batch onto an edited plan instead of resampling.
+
+    Rows for edges whose identity and probability survived the edit are
+    *copied* from ``old_batch`` (bit-identical coins by the keyed-coin
+    contract); rows for changed or inserted edges are regenerated from
+    ``base``; rows for deleted edges are dropped.  The result is
+    ``np.array_equal`` to ``sample_worlds_keyed(new_plan, Z, base)`` —
+    repair is an optimization, never an approximation — and the
+    returned :class:`EdgeChange` list tells reachability-state repair
+    exactly which world-bits each touched edge gained or lost.
+
+    Only standard prefix-layout batches repair (same restriction as
+    :func:`batch_to_words`): a concatenated stratified batch interleaves
+    conditioning with its pad layout and must be resampled.
+    """
+    expected = valid_sample_mask(old_batch.num_samples)
+    if (old_batch.valid.shape != expected.shape
+            or not bool(np.array_equal(old_batch.valid, expected))):
+        raise ValueError(
+            "only prefix-layout batches repair; concatenated batches "
+            "with interior pad bits must be resampled"
+        )
+    num_samples = old_batch.num_samples
+    words = old_batch.num_words
+    old_ids = {
+        (int(old_plan.edge_u[eid]), int(old_plan.edge_v[eid]),
+         int(old_plan.edge_ordinal[eid])): eid
+        for eid in range(old_plan.num_edges)
+    }
+    alive = np.empty((new_plan.num_edges, words), dtype=np.uint64)
+    changes: List[EdgeChange] = []
+    zeros = np.zeros(words, dtype=np.uint64)
+    seen = set()
+    for eid in range(new_plan.num_edges):
+        identity = (int(new_plan.edge_u[eid]), int(new_plan.edge_v[eid]),
+                    int(new_plan.edge_ordinal[eid]))
+        seen.add(identity)
+        old_eid = old_ids.get(identity)
+        p = float(new_plan.probs[eid])
+        if old_eid is not None and p == float(old_plan.probs[old_eid]):
+            alive[eid] = old_batch.alive[old_eid]
+            continue
+        row = edge_coin_row(base, *identity, p, num_samples)
+        alive[eid] = row
+        old_row = old_batch.alive[old_eid] if old_eid is not None else zeros
+        changes.append(EdgeChange(
+            *identity, eid=eid,
+            added=row & ~old_row, removed=old_row & ~row,
+        ))
+    for identity, old_eid in old_ids.items():
+        if identity not in seen:
+            old_row = np.asarray(old_batch.alive[old_eid])
+            changes.append(EdgeChange(
+                *identity, eid=None,
+                added=zeros, removed=old_row.copy(),
+            ))
+    return (
+        WorldBatch(alive=alive, num_samples=num_samples,
+                   valid=valid_sample_mask(num_samples)),
+        changes,
+    )
+
+
 def bernoulli_row(
     p: float,
     num_samples: int,
@@ -210,7 +505,7 @@ def bernoulli_row(
 ) -> np.ndarray:
     """One bit-packed ``(W,)`` coin row: bit ``i`` set with probability ``p``.
 
-    Uses the same float32 draw-and-compare as :func:`sample_worlds`
+    Uses the same float32 threshold-compare as :func:`sample_worlds`
     (``random() < 1.0`` always holds, ``< 0.0`` never), so a row for a
     candidate edge is distributed exactly like the row that edge would
     get inside a freshly sampled batch.  Pad bits stay zero.

@@ -11,6 +11,8 @@ seams.
 Registered seam families (rule ``REP006`` keeps the names literal and
 statically enumerable): ``store.*`` (catalog and batch I/O),
 ``session.store.*`` (the session's best-effort store wrappers),
+``session.delta.apply`` (streaming-update repair; firing it falls the
+session back to evict-and-recompute, answers unchanged),
 ``serve.worker`` (coalescer batch execution), ``serve.http.*``
 (client connections), and ``shard.*`` (the supervised pool's
 transport: ``spawn``, ``heartbeat``, ``ipc.read``, ``ipc.write``).

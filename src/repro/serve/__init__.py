@@ -26,7 +26,8 @@ exactly that, in two layers:
     A stdlib-only HTTP/1.1 JSON endpoint over an ``AsyncSession`` or
     ``ShardSupervisor``: ``POST /reliability``, ``POST /maximize``,
     ``POST /graph`` (hot swap, keyed on ``UncertainGraph.version``),
-    ``GET /healthz``.  Start it from the command line with
+    ``PATCH /edges`` (streaming edits that repair cached world batches
+    in place), ``GET /healthz``.  Start it from the command line with
     ``repro serve`` (``--shards N`` for the supervised pool).
 
 See ``docs/architecture.md`` ("Serving layer") for the data flow and
@@ -48,6 +49,7 @@ from .http import (
     HttpError,
     ReliabilityServer,
     maximize_response,
+    parse_delta,
     parse_graph,
     parse_maximize_query,
     parse_reliability_query,
@@ -77,6 +79,7 @@ __all__ = [
     "HttpError",
     "ReliabilityServer",
     "maximize_response",
+    "parse_delta",
     "parse_graph",
     "parse_maximize_query",
     "parse_reliability_query",

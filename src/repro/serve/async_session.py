@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from types import TracebackType
 from typing import Any, List, Optional, Sequence, Tuple, Type, Union
 
-from ..api import Query, Session, Workload
+from ..api import DeltaReport, GraphDelta, Query, Session, Workload
 from ..api.queries import MaximizeQuery, ReliabilityQuery
 from ..api.results import MaximizeResult, ReliabilityResult
 from ..faults import fault_point
@@ -103,6 +103,9 @@ class CoalescerStats:
         Size of the largest single workload.
     graph_swaps : int
         Completed :meth:`AsyncSession.swap_graph` calls.
+    graph_deltas : int
+        Completed :meth:`AsyncSession.apply_delta` calls (streaming
+        edge edits absorbed without a full swap).
     shed : int
         Submissions rejected by admission control (``max_pending``).
     deadline_expired : int
@@ -116,6 +119,7 @@ class CoalescerStats:
     batched_requests: int = 0
     largest_batch: int = 0
     graph_swaps: int = 0
+    graph_deltas: int = 0
     shed: int = 0
     deadline_expired: int = 0
 
@@ -136,6 +140,7 @@ class CoalescerStats:
             "largest_batch": self.largest_batch,
             "mean_batch_size": self.mean_batch_size,
             "graph_swaps": self.graph_swaps,
+            "graph_deltas": self.graph_deltas,
             "shed": self.shed,
             "deadline_expired": self.deadline_expired,
         }
@@ -419,6 +424,34 @@ class AsyncSession:
         version = await loop.run_in_executor(self._executor, _swap)
         self.stats.graph_swaps += 1
         return version
+
+    async def apply_delta(self, delta: GraphDelta) -> DeltaReport:
+        """Apply streaming edge edits to the served graph in place.
+
+        Like :meth:`swap_graph`, the edit runs on the single-thread
+        executor and therefore serializes with in-flight workloads:
+        batches flushed before the delta answer against the pre-edit
+        graph, batches flushed after it against the post-edit graph —
+        never a mix.  Pending coalesced queries are flushed first for
+        the same reason as in :meth:`swap_graph`.  Unlike a swap, the
+        session keeps (and repairs) its cached world batches via
+        :meth:`repro.api.Session.apply_delta`; the returned
+        :class:`~repro.api.DeltaReport` says whether repair or eviction
+        ran.
+        """
+        if self._closed:
+            raise SessionClosedError("AsyncSession is closed")
+        loop = asyncio.get_running_loop()
+        if self._pending:
+            # Pin pre-delta submissions to the pre-edit graph.
+            self._flush(loop)
+
+        def _apply() -> DeltaReport:
+            return self.session.apply_delta(delta)
+
+        report = await loop.run_in_executor(self._executor, _apply)
+        self.stats.graph_deltas += 1
+        return report
 
     @property
     def graph(self) -> UncertainGraph:

@@ -2,7 +2,7 @@
 
 A deliberately small server — ``asyncio.start_server`` plus a
 hand-rolled HTTP/1.1 request parser — so the serving layer stays free
-of third-party dependencies.  Four endpoints:
+of third-party dependencies.  Five endpoints:
 
 ``POST /reliability``
     Body ``{"source": 0, "target": 3, "samples": 1000, "estimator":
@@ -18,6 +18,14 @@ of third-party dependencies.  Four endpoints:
     in-flight batches (see :meth:`AsyncSession.swap_graph`) and the
     response echoes the new graph's ``version`` — the key every cached
     plan and world batch is invalidated on.
+``PATCH /edges``
+    Streaming edge edits: body ``{"upserts": [[u, v, p], ...],
+    "deletes": [[u, v], ...]}``.  Unlike a full ``/graph`` swap, the
+    session *repairs* its cached world batches in place (re-flipping
+    only the edited edges' keyed coins) and resumes cached reach
+    states where the edit was monotone; the response echoes the
+    :class:`~repro.api.DeltaReport` (strategy, repair counters, new
+    ``version``/``content_hash``).
 ``GET /healthz``
     Liveness plus the served graph's identity/version, the coalescer's
     batching counters and — when a persistent index is attached
@@ -38,7 +46,7 @@ from dataclasses import asdict
 from typing import Any, Optional, Tuple, Union
 
 from .. import faults
-from ..api import Session
+from ..api import GraphDelta, Session
 from ..api.queries import MaximizeQuery, ReliabilityQuery
 from ..api.results import MaximizeResult, ReliabilityResult
 from ..faults import fault_point
@@ -301,6 +309,45 @@ def parse_graph(payload: dict) -> UncertainGraph:
     return graph
 
 
+def parse_delta(payload: dict) -> GraphDelta:
+    """Build a :class:`GraphDelta` from a ``PATCH /edges`` payload.
+
+    Shape checks (lists of well-typed triples/pairs) happen here so a
+    malformed body is a 400; *semantic* validation — deletes naming
+    absent edges — happens inside the session against the live graph
+    and also maps to 400 at the dispatch site.
+    """
+    upserts = payload.get("upserts", [])
+    deletes = payload.get("deletes", [])
+    for field, value in (("upserts", upserts), ("deletes", deletes)):
+        if not isinstance(value, list):
+            raise HttpError(400, f"{field} must be a list")
+    if not upserts and not deletes:
+        raise HttpError(400, "delta requires 'upserts' and/or 'deletes'")
+    for entry in upserts:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            raise HttpError(400, f"upserts entries must be [u, v, p]: "
+                                 f"{entry!r}")
+        u, v, p = entry
+        if any(isinstance(x, bool) or not isinstance(x, int) for x in (u, v)):
+            raise HttpError(400, f"edge endpoints must be integers: {entry!r}")
+        if isinstance(p, bool) or not isinstance(p, (int, float)):
+            raise HttpError(400, f"edge probability must be a number: "
+                                 f"{entry!r}")
+    for entry in deletes:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+            raise HttpError(400, f"deletes entries must be [u, v]: {entry!r}")
+        if any(isinstance(x, bool) or not isinstance(x, int) for x in entry):
+            raise HttpError(400, f"edge endpoints must be integers: {entry!r}")
+    try:
+        return GraphDelta(
+            upserts=tuple((u, v, float(p)) for u, v, p in upserts),
+            deletes=tuple((u, v) for u, v in deletes),
+        )
+    except ValueError as error:
+        raise HttpError(400, f"bad delta: {error}") from None
+
+
 class ReliabilityServer:
     """Serve coalesced reliability/maximize queries over HTTP.
 
@@ -557,7 +604,23 @@ class ReliabilityServer:
             except SessionClosedError as error:
                 raise HttpError(503, str(error)) from None
             return 200, {"status": "swapped", "graph": self._graph_info(version)}
-        if request.path in ("/healthz", "/reliability", "/maximize", "/graph"):
+        if route == ("PATCH", "/edges"):
+            delta = parse_delta(request.json())
+            try:
+                report = await self.serving.apply_delta(delta)
+            except KeyError as error:
+                # A delete naming an absent edge: the graph is untouched
+                # (GraphDelta.validate runs before any mutation).
+                raise HttpError(400, f"bad delta: {error}") from None
+            except SessionClosedError as error:
+                raise HttpError(503, str(error)) from None
+            return 200, {
+                "status": "patched",
+                "report": report.as_dict(),
+                "graph": self._graph_info(report.version),
+            }
+        if request.path in ("/healthz", "/reliability", "/maximize", "/graph",
+                            "/edges"):
             raise HttpError(405, f"method {request.method} not allowed "
                                  f"for {request.path}")
         raise HttpError(404, f"unknown path {request.path}")

@@ -43,6 +43,12 @@ to every shard (``prepare``), phase two flips them over (``commit``).
 A shard that dies mid-swap is respawned directly on the pending graph,
 so it counts as both prepared and committed; clients never observe a
 pool that answers from two different graphs after a swap returns.
+Streaming deltas (:meth:`ShardSupervisor.apply_delta`) ride the same
+two-phase machinery: the prepare frame carries the
+:class:`~repro.api.GraphDelta` instead of a whole graph, each worker's
+commit repairs its session caches in place, and a shard that dies
+mid-delta respawns directly on the supervisor's precomputed post-delta
+graph — a fresh session needs no repair.
 
 Fault seams ``shard.spawn``, ``shard.heartbeat``, ``shard.ipc.read``
 and ``shard.ipc.write`` (see :mod:`repro.faults`) let the chaos suite
@@ -62,9 +68,9 @@ import struct
 import time
 from dataclasses import dataclass
 from types import TracebackType
-from typing import Any, Dict, List, Optional, Tuple, Type
+from typing import Any, Dict, List, Optional, Tuple, Type, Union
 
-from ..api import Query, Session, Workload
+from ..api import DeltaReport, GraphDelta, Query, Session, Workload
 from ..api.queries import MaximizeQuery
 from ..faults import fault_point
 from ..graph import UncertainGraph
@@ -229,7 +235,7 @@ async def _shard_worker(sock: socket.socket, graph: UncertainGraph, options: Dic
         max_pending=None,  # the supervisor owns admission control
     )
     write_lock = asyncio.Lock()
-    pending_graphs: Dict[int, UncertainGraph] = {}
+    pending_graphs: Dict[int, Union[UncertainGraph, GraphDelta]] = {}
     tasks: set = set()
 
     async def send(kind: str, payload: object) -> None:
@@ -255,7 +261,11 @@ async def _shard_worker(sock: socket.socket, graph: UncertainGraph, options: Dic
 
     async def commit(generation: int) -> None:
         pending = pending_graphs.pop(generation, None)
-        if pending is not None:
+        if isinstance(pending, GraphDelta):
+            # Streaming edit: repair this worker's session caches in
+            # place instead of evicting them via a full swap.
+            await serving.apply_delta(pending)
+        elif pending is not None:
             await serving.swap_graph(pending)
         await send("committed", generation)
 
@@ -272,11 +282,11 @@ async def _shard_worker(sock: socket.socket, graph: UncertainGraph, options: Dic
             elif kind == "ping":
                 spawn(send("pong", payload))
             elif kind == "prepare":
-                generation, new_graph = payload
+                generation, staged = payload  # whole graph or GraphDelta
                 # One swap at a time (the supervisor serializes them):
-                # a newer prepare obsoletes any stale pending graph.
+                # a newer prepare obsoletes any stale pending payload.
                 pending_graphs.clear()
-                pending_graphs[generation] = new_graph
+                pending_graphs[generation] = staged
                 spawn(send("prepared", generation))
             elif kind == "commit":
                 spawn(commit(payload))
@@ -340,6 +350,9 @@ class SupervisorStats:
         Deaths declared specifically by heartbeat staleness.
     graph_swaps : int
         Completed two-phase graph swaps.
+    graph_deltas : int
+        Completed two-phase streaming deltas
+        (:meth:`ShardSupervisor.apply_delta`).
     """
 
     requests: int = 0
@@ -351,6 +364,7 @@ class SupervisorStats:
     deaths: int = 0
     heartbeat_timeouts: int = 0
     graph_swaps: int = 0
+    graph_deltas: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Return the counters as a plain dict (JSON-ready)."""
@@ -364,6 +378,7 @@ class SupervisorStats:
             "deaths": self.deaths,
             "heartbeat_timeouts": self.heartbeat_timeouts,
             "graph_swaps": self.graph_swaps,
+            "graph_deltas": self.graph_deltas,
         }
 
 
@@ -935,12 +950,70 @@ class ShardSupervisor:
             self.stats.graph_swaps += 1
             return graph.version
 
+    async def apply_delta(self, delta: GraphDelta) -> DeltaReport:
+        """Broadcast streaming edge edits to every shard (two-phase).
+
+        The same machinery as :meth:`swap_graph` with one twist: the
+        prepare frame carries the small :class:`~repro.api.GraphDelta`
+        instead of a whole graph, and each worker's commit *repairs*
+        its session caches in place (:meth:`repro.api.Session.apply_delta`)
+        rather than evicting them.  The supervisor precomputes the
+        post-delta graph before broadcasting — a shard that dies
+        mid-delta respawns directly on that graph (fresh sessions need
+        no repair) and counts as both prepared and committed, exactly
+        like a mid-swap death.
+
+        Parameters
+        ----------
+        delta : GraphDelta
+            The edits to apply pool-wide.  A delete naming an absent
+            edge raises :class:`KeyError` before anything is broadcast.
+
+        Returns
+        -------
+        DeltaReport
+            Pool-level report: ``strategy="broadcast"`` with the
+            committed graph's version/content hash.  Per-worker repair
+            counters surface through :meth:`shard_stats` (each worker's
+            coalescer reports its ``graph_deltas`` count).
+        """
+        if self._closed:
+            raise SessionClosedError("ShardSupervisor is closed")
+        if not self._started:
+            raise RuntimeError("ShardSupervisor.start() has not run")
+        assert self._swap_lock is not None
+        async with self._swap_lock:
+            final_graph = self._graph.copy()
+            start = time.monotonic()
+            delta.apply_to(final_graph)  # KeyError before any broadcast
+            self._generation += 1
+            generation = self._generation
+            self._pending_graph = final_graph
+            try:
+                await asyncio.gather(
+                    *(self._phase(s, "prepare", generation, delta) for s in self._shards)
+                )
+                self._graph = final_graph
+                await asyncio.gather(
+                    *(self._phase(s, "commit", generation, None) for s in self._shards)
+                )
+            finally:
+                self._pending_graph = None
+            self.stats.graph_deltas += 1
+            return DeltaReport(
+                strategy="broadcast",
+                num_edits=delta.num_edits,
+                version=final_graph.version,
+                content_hash=final_graph.content_hash(),
+                seconds=time.monotonic() - start,
+            )
+
     async def _phase(
         self,
         shard: _Shard,
         kind: str,
         generation: int,
-        graph: Optional[UncertainGraph],
+        staged: Optional[Union[UncertainGraph, GraphDelta]],
     ) -> None:
         ack_kind = "prepared" if kind == "prepare" else "committed"
         while True:
@@ -957,7 +1030,7 @@ class ShardSupervisor:
             ack: "asyncio.Future[Any]" = asyncio.get_running_loop().create_future()
             shard.acks[(ack_kind, generation)] = ack
             try:
-                payload = (generation, graph) if kind == "prepare" else generation
+                payload = (generation, staged) if kind == "prepare" else generation
                 await self._send(shard, kind, payload)
                 await ack
                 return

@@ -1,11 +1,16 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures for the test suite.
+
+Hypothesis strategies live in :mod:`strategies`;
+``small_uncertain_graphs`` is re-exported here for backward
+compatibility with older ``from conftest import ...`` call sites.
+"""
 
 from __future__ import annotations
 
 import pytest
-from hypothesis import strategies as st
 
 from repro.graph import UncertainGraph
+from strategies import small_uncertain_graphs  # noqa: F401  (re-export)
 
 
 @pytest.fixture
@@ -53,33 +58,3 @@ def figure3_graph() -> UncertainGraph:
     return build
 
 
-def small_uncertain_graphs(
-    max_nodes: int = 6,
-    directed: bool = False,
-) -> st.SearchStrategy[UncertainGraph]:
-    """Hypothesis strategy: random small graphs with probabilistic edges."""
-
-    @st.composite
-    def build(draw) -> UncertainGraph:
-        n = draw(st.integers(min_value=2, max_value=max_nodes))
-        is_directed = draw(st.booleans()) if directed else False
-        g = UncertainGraph(directed=is_directed)
-        for u in range(n):
-            g.add_node(u)
-        max_edges = n * (n - 1) if is_directed else n * (n - 1) // 2
-        num_edges = draw(st.integers(min_value=0, max_value=min(max_edges, 9)))
-        for _ in range(num_edges):
-            u = draw(st.integers(min_value=0, max_value=n - 1))
-            v = draw(st.integers(min_value=0, max_value=n - 1))
-            if u == v:
-                continue
-            p = draw(
-                st.floats(
-                    min_value=0.05, max_value=1.0,
-                    allow_nan=False, allow_infinity=False,
-                )
-            )
-            g.add_edge(u, v, p)
-        return g
-
-    return build()

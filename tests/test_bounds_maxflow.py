@@ -14,7 +14,7 @@ from repro.reliability import (
     reliability_upper_bound,
 )
 
-from conftest import small_uncertain_graphs
+from strategies import small_uncertain_graphs
 
 
 class TestDinic:

@@ -52,7 +52,8 @@ class TestIndexInspect:
         payload = json.loads(capsys.readouterr().out)
         assert payload["num_batches"] == 2
         assert payload["num_results"] == 0
-        assert payload["schema_version"] == 1
+        # v2: identity-keyed coin scheme (v1 batches byte-incompatible).
+        assert payload["schema_version"] == 2
         assert payload["batch_bytes"] > 0
         assert len(payload["batches"]) == 2
         row = payload["batches"][0]

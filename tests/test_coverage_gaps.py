@@ -2,6 +2,13 @@
 
 import pytest
 
+# Explicit, reasoned skip instead of silently passing on a numpy-less
+# interpreter: every engine-backed case below names why it was skipped.
+np = pytest.importorskip(
+    "numpy",
+    reason="engine coverage cases need the vectorized engine (numpy)",
+)
+
 from repro.datasets import intel_lab
 from repro.graph import (
     UncertainGraph,
@@ -143,6 +150,36 @@ class TestFacadeDeterminism:
         assert [(u, v) for u, v, _ in a.edges] == [
             (u, v) for u, v, _ in b.edges
         ]
+
+
+class TestReliabilityManyEmptyWorkload:
+    """``reliability_many([])`` is a no-op on every implementation.
+
+    The empty workload must neither compile a plan nor flip a single
+    coin — and certainly not raise — at any of the three entry points
+    (engine, estimator base class, deprecated facade shim).
+    """
+
+    def _graph(self):
+        g = path_graph(4)
+        assign_fixed(g, 0.5)
+        return g
+
+    def test_engine_empty_pairs(self):
+        from repro.engine import VectorizedSamplingEngine
+
+        engine = VectorizedSamplingEngine(seed=1)
+        assert engine.reliability_many(self._graph(), [], 128) == []
+
+    def test_estimator_empty_pairs(self):
+        est = RecursiveStratifiedSampler(100, seed=1)
+        assert est.reliability_many(self._graph(), []) == []
+
+    def test_facade_empty_pairs(self):
+        solver = ReliabilityMaximizer(
+            estimator=ExactEstimator(), evaluation_samples=100,
+        )
+        assert solver.reliability_many(self._graph(), []) == []
 
 
 class TestSolutionReporting:

@@ -32,6 +32,28 @@ def test_readme_quickstart_snippet():
     assert result.gain >= 0
 
 
+def test_readme_streaming_delta_snippet():
+    """The README streaming-update (PATCH /edges) snippet stays true."""
+    from repro.api import GraphDelta, ReliabilityQuery, Session, Workload
+    from repro.graph import UncertainGraph
+
+    g = UncertainGraph.from_edges([(0, 1, 0.4), (1, 2, 0.5), (0, 2, 0.1)])
+    session = Session(g, seed=7)
+    session.run(Workload([ReliabilityQuery(0, target=2, samples=2000)]))
+
+    report = session.apply_delta(GraphDelta(
+        upserts=((0, 1, 0.9), (2, 3, 0.5)),   # raise an edge, insert one
+        deletes=((0, 2),),
+    ))
+    assert report.strategy == "repair"        # caches patched, not dropped
+
+    # ... and the bit-for-bit claim the snippet makes below it.
+    workload = Workload([ReliabilityQuery(0, target=2, samples=2000)])
+    cold = Session(session.graph.copy(), seed=7)
+    assert [r.values for r in session.run(workload)] == \
+        [r.values for r in cold.run(workload)]
+
+
 def test_readme_legacy_facade_snippet():
     """The legacy facade shim from the migration table keeps working."""
     from repro import ReliabilityMaximizer, UncertainGraph

@@ -25,7 +25,7 @@ from repro.reliability import (
 from repro.paths import most_reliable_path, top_l_most_reliable_paths
 from repro.core import improve_most_reliable_path
 
-from conftest import small_uncertain_graphs
+from strategies import small_uncertain_graphs
 
 COMMON = dict(
     deadline=None,
